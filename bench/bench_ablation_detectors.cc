@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Detector ablation: the paper's DDG-based criticality detection vs a
+ * Tune/Subramaniam-style heuristic detector feeding the same
+ * critical-load table and the same TACT prefetchers. The paper's
+ * Section IV-A claim to check: heuristics "flag many more PCs than are
+ * truly critical", which shows up as table churn and lower gains.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace catchsim;
+
+int
+main()
+{
+    banner("Detector ablation", "DDG vs heuristic criticality detection");
+    ExperimentEnv env = ExperimentEnv::fromEnvironment();
+
+    auto rb = runSuite(baselineSkx(), env);
+
+    TablePrinter table({"detector", "gain vs baseline", "table insertions",
+                        "table evictions (churn)"});
+    for (DetectorKind kind : {DetectorKind::Ddg, DetectorKind::Heuristic}) {
+        SimConfig cfg = withCatch(baselineSkx());
+        cfg.criticality.kind = kind;
+        cfg.name = kind == DetectorKind::Ddg ? "catch-ddg"
+                                             : "catch-heuristic";
+        auto rs = runSuite(cfg, env);
+        double ins = sumOver(rs, [](const SimResult &r) {
+            return r.criticalTable.insertions;
+        });
+        double ev = sumOver(rs, [](const SimResult &r) {
+            return r.criticalTable.evictions;
+        });
+        table.addRow({cfg.name,
+                      formatPercent(overallGeomean(rb, rs) - 1.0),
+                      formatDouble(ins, 0), formatDouble(ev, 0)});
+    }
+    table.print();
+    std::printf("\npaper (Section IV-A): heuristics flag many more PCs "
+                "than are truly critical;\nthe DDG detector needs only "
+                "~3 KB and feeds a stable 32-entry table.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: each bench prints
+ * its table with the paper's published number next to ours so the shape
+ * comparison is immediate.
+ */
+
+#ifndef CATCHSIM_BENCH_BENCH_COMMON_HH_
+#define CATCHSIM_BENCH_BENCH_COMMON_HH_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/configs.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace catchsim
+{
+
+/** Prints the standard bench banner. */
+inline void
+banner(const char *fig, const char *what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", fig, what);
+    std::printf("==============================================================\n");
+}
+
+/**
+ * Prints per-category + overall geomean speedups of each test suite over
+ * the base suite, one column per config, with a paper row underneath.
+ */
+inline void
+printCategoryTable(const std::vector<SimResult> &base,
+                   const std::vector<std::vector<SimResult>> &tests,
+                   const std::vector<std::string> &test_names,
+                   const std::vector<double> &paper_geomeans)
+{
+    std::vector<std::string> header = {"category"};
+    for (const auto &n : test_names)
+        header.push_back(n);
+    TablePrinter table(header);
+
+    // Rows: one per category + GeoMean.
+    auto first = categoryGeomeans(base, tests[0]);
+    for (size_t row = 0; row < first.size(); ++row) {
+        std::vector<std::string> cells = {first[row].first};
+        for (const auto &t : tests) {
+            auto g = categoryGeomeans(base, t);
+            cells.push_back(formatPercent(g[row].second - 1.0));
+        }
+        table.addRow(cells);
+    }
+    if (!paper_geomeans.empty()) {
+        std::vector<std::string> cells = {"paper GeoMean"};
+        for (double p : paper_geomeans)
+            cells.push_back(formatPercent(p));
+        table.addRow(cells);
+    }
+    table.print();
+}
+
+} // namespace catchsim
+
+#endif // CATCHSIM_BENCH_BENCH_COMMON_HH_

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 14: four-way multi-programmed workloads (weighted speedup).
+ * Paper: NoL2 -4.05%, NoL2+CATCH +8.45%, CATCH +8.95% vs the baseline.
+ *
+ * Environment knobs: CATCH_MP_MIXES bounds how many of the 60 mixes run
+ * (default 10 for the quick mode; set 60 for the full set).
+ */
+
+#include <cstdlib>
+#include <map>
+
+#include "bench/bench_common.hh"
+#include "sim/mp_simulator.hh"
+
+using namespace catchsim;
+
+namespace
+{
+
+/** Memoised solo IPCs per (config, workload). */
+class SoloCache
+{
+  public:
+    SoloCache(const SimConfig &cfg, uint64_t instrs, uint64_t warmup)
+        : cfg_(cfg), instrs_(instrs), warmup_(warmup)
+    {
+    }
+
+    double
+    ipc(const std::string &wl)
+    {
+        auto it = cache_.find(wl);
+        if (it != cache_.end())
+            return it->second;
+        double v = runWorkload(cfg_, wl, instrs_, warmup_).ipc;
+        cache_[wl] = v;
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+        return v;
+    }
+
+  private:
+    SimConfig cfg_;
+    uint64_t instrs_;
+    uint64_t warmup_;
+    std::map<std::string, double> cache_;
+};
+
+/**
+ * Weighted speedup with a COMMON denominator: every configuration's MP
+ * IPCs are normalised by the baseline configuration's solo IPCs, so the
+ * metric is comparable across configurations (as in the paper's Fig 14).
+ */
+double
+meanWeightedSpeedup(const SimConfig &cfg, const std::vector<MpMix> &mixes,
+                    uint64_t instrs, uint64_t warmup, SoloCache &solo)
+{
+    MpSimulator sim(cfg);
+    double total = 0;
+    std::fprintf(stderr, "[%s] ", cfg.name.c_str());
+    for (const auto &mix : mixes) {
+        std::array<double, 4> alone{};
+        for (int i = 0; i < 4; ++i)
+            alone[i] = solo.ipc(mix.workloads[i]);
+        MpResult r = sim.run(mix, instrs, warmup, alone);
+        total += r.weightedSpeedup;
+        std::fprintf(stderr, "*");
+        std::fflush(stderr);
+    }
+    std::fprintf(stderr, "\n");
+    return total / static_cast<double>(mixes.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 14", "4-way multi-programmed weighted speedup");
+    ExperimentEnv env = ExperimentEnv::fromEnvironment();
+    const char *mix_env = std::getenv("CATCH_MP_MIXES");
+    size_t num_mixes = mix_env ? std::strtoull(mix_env, nullptr, 10) : 10;
+
+    auto all_mixes = mpMixes();
+    if (num_mixes < all_mixes.size())
+        all_mixes.resize(num_mixes);
+    // MP runs cost 4x; use a shorter per-core window.
+    uint64_t instrs = env.instrs / 2;
+    uint64_t warmup = env.warmup / 2;
+
+    SoloCache solo(baselineSkx(), instrs, warmup);
+    double base = meanWeightedSpeedup(baselineSkx(), all_mixes, instrs,
+                                      warmup, solo);
+    double no_l2 = meanWeightedSpeedup(noL2(baselineSkx(), 9728),
+                                       all_mixes, instrs, warmup, solo);
+    double no_l2_catch =
+        meanWeightedSpeedup(withCatch(noL2(baselineSkx(), 9728)),
+                            all_mixes, instrs, warmup, solo);
+    double catch3 = meanWeightedSpeedup(withCatch(baselineSkx()),
+                                        all_mixes, instrs, warmup, solo);
+
+    TablePrinter table({"config", "weighted speedup", "vs baseline",
+                        "paper"});
+    table.addRow({"baseline", formatDouble(base, 3), "-", "-"});
+    table.addRow({"NoL2", formatDouble(no_l2, 3),
+                  formatPercent(no_l2 / base - 1.0), "-4.05%"});
+    table.addRow({"NoL2+CATCH", formatDouble(no_l2_catch, 3),
+                  formatPercent(no_l2_catch / base - 1.0), "+8.45%"});
+    table.addRow({"CATCH", formatDouble(catch3, 3),
+                  formatPercent(catch3 / base - 1.0), "+8.95%"});
+    table.print();
+    return 0;
+}

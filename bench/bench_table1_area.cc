@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table I and Figure 9: area of the criticality-detection hardware
+ * (~3 KB) and of the TACT structures (~1.2 KB), plus the chip-level
+ * area model used by the iso-area configurations.
+ */
+
+#include "bench/bench_common.hh"
+#include "criticality/area_model.hh"
+#include "power/power_model.hh"
+
+using namespace catchsim;
+
+int
+main()
+{
+    banner("Table I / Fig 9", "hardware area budgets");
+
+    CriticalityConfig ccfg;
+    TablePrinter ddg({"DDG component", "bytes"});
+    double ddg_total = 0;
+    for (const auto &item : ddgAreaBudget(ccfg, 224)) {
+        ddg.addRow({item.name, formatDouble(item.bytes, 0)});
+        ddg_total += item.bytes;
+    }
+    ddg.addRow({"TOTAL (paper: ~3 KB)", formatDouble(ddg_total, 0)});
+    ddg.print();
+    std::printf("  bits per graph row: %u (E-C 5b, E-E 36b, E-D 1b)\n\n",
+                ddgBitsPerRow(ccfg));
+
+    TactConfig tcfg;
+    TablePrinter tact({"TACT structure", "bytes"});
+    double tact_total = 0;
+    for (const auto &item : tactAreaBudget(tcfg, 32, 16)) {
+        tact.addRow({item.name, formatDouble(item.bytes, 0)});
+        tact_total += item.bytes;
+    }
+    tact.addRow({"TOTAL (paper: ~1.2 KB)", formatDouble(tact_total, 0)});
+    tact.print();
+
+    std::printf("\nchip area model (4 cores):\n");
+    AreaParams ap;
+    TablePrinter chip({"configuration", "tile mm^2", "cache mm^2",
+                       "cache vs baseline"});
+    SimConfig base = baselineSkx();
+    double cache_base = cacheAreaMm2(ap, base, 4);
+    for (const auto &cfg :
+         {base, noL2(base, 6656), noL2(base, 9728)}) {
+        chip.addRow({cfg.name,
+                     formatDouble(chipAreaMm2(ap, cfg, 4), 1),
+                     formatDouble(cacheAreaMm2(ap, cfg, 4), 1),
+                     formatPercent(cacheAreaMm2(ap, cfg, 4) / cache_base -
+                                   1.0)});
+    }
+    chip.print();
+    std::printf("  (paper: the NoL2+6.5MB configuration is ~30%% lower"
+                " area)\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Defining a custom workload against the public API: a B-tree
+ * range-scan kernel written from scratch, run on the baseline and on
+ * two-level CATCH. Shows the three things a workload author controls:
+ * functional data structures (setup), the emitted instruction stream
+ * with stable PCs (run), and the register dataflow TACT learns from.
+ */
+
+#include <cstdio>
+
+#include "sim/configs.hh"
+#include "sim/simulator.hh"
+#include "trace/workload.hh"
+
+using namespace catchsim;
+
+namespace
+{
+
+/**
+ * Range scan over a linked leaf level: a strided key-array walk picks a
+ * leaf (feeder-learnable: the leaf pointer is the key entry's data),
+ * then the scan walks a few leaf-chain hops (pure chase, unlearnable).
+ */
+class BtreeScan : public Workload
+{
+  public:
+    explicit BtreeScan(uint64_t seed)
+        : Workload("btree-scan", Category::Server, seed)
+    {
+    }
+
+  protected:
+    static constexpr Addr kKeys = 0x10000000;
+    static constexpr Addr kLeaves = 0x40000000;
+    static constexpr size_t kNumKeys = 1 << 16;
+    static constexpr size_t kNumLeaves = 1 << 14; // 4 MB of 256 B leaves
+
+    void
+    setup(FunctionalMemory &mem, Rng &rng) override
+    {
+        for (size_t i = 0; i < kNumKeys; ++i)
+            mem.write(kKeys + i * 8,
+                      kLeaves + rng.below(kNumLeaves) * 256);
+        for (size_t i = 0; i < kNumLeaves; ++i) {
+            Addr leaf = kLeaves + i * 256;
+            mem.write(leaf, kLeaves + rng.below(kNumLeaves) * 256);
+            mem.write(leaf + 8, rng.below(1 << 16)); // aggregate field
+        }
+    }
+
+    void
+    run(Emitter &em, Rng &rng) override
+    {
+        const Addr body = codeBlock(0);
+        const Addr chain = codeBlock(1);
+        for (int n = 0; n < 1024 && !em.done(); ++n, ++pos_) {
+            em.setPc(body);
+            em.alu(r0, {r0}); // cursor++
+            Addr key = kKeys + (pos_ % kNumKeys) * 8;
+            uint64_t leaf = em.load(r1, {r0}, key); // leaf ptr (feeder)
+            for (int hop = 0; hop < 3; ++hop) {
+                em.setPc(chain);
+                em.load(r2, {r1}, leaf + 8);          // aggregate
+                em.alu(r3, {r3, r2});                 // running sum
+                uint64_t next = em.load(r1, {r1}, leaf); // next leaf
+                em.branch(hop < 2, chain, {r1});
+                leaf = next;
+            }
+            em.setPc(body + 0x100);
+            em.branch((rng.next() & 7) == 0, body + 0x180, {r3});
+            em.branch(true, body, {r0});
+        }
+    }
+
+  private:
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t instrs = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                               : 300000;
+
+    struct Run
+    {
+        const char *label;
+        SimConfig cfg;
+    };
+    const Run runs[] = {
+        {"baseline", baselineSkx()},
+        {"two-level CATCH", withCatch(noL2(baselineSkx(), 9728))},
+    };
+
+    std::printf("custom workload: btree-scan, %llu instructions\n\n",
+                static_cast<unsigned long long>(instrs));
+    for (const Run &run : runs) {
+        BtreeScan wl(7);
+        Simulator sim(run.cfg);
+        SimResult r = sim.run(wl, instrs, instrs / 3);
+        std::printf("%-16s IPC %.3f | L1 %4.1f%% L2 %4.1f%% LLC %4.1f%% "
+                    "Mem %4.1f%% | TACT pf %llu, critical PCs %u\n",
+                    run.label, r.ipc,
+                    100 * r.hier.loadHitFraction(Level::L1),
+                    100 * r.hier.loadHitFraction(Level::L2),
+                    100 * r.hier.loadHitFraction(Level::LLC),
+                    100 * r.hier.loadHitFraction(Level::Mem),
+                    static_cast<unsigned long long>(
+                        r.hier.tactPrefetches),
+                    r.activeCriticalPcs);
+    }
+    std::printf("\nThe leaf-pointer load is feeder-covered; the leaf "
+                "chain hops are a pure chase\nand stay at LLC latency - "
+                "exactly the paper's coverable/uncoverable split.\n");
+    return 0;
+}

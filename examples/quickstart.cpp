@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: run one workload on the baseline three-level hierarchy and
+ * on a two-level CATCH hierarchy, and compare.
+ *
+ *   ./quickstart [workload] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/configs.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+
+using namespace catchsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "mcf";
+    uint64_t instrs = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                               : 300000;
+    uint64_t warmup = instrs / 3;
+
+    // Baseline: Skylake-server-like, 1 MB L2 + 5.5 MB exclusive LLC.
+    SimConfig base = baselineSkx();
+    SimResult rb = runWorkload(base, name, instrs, warmup);
+
+    // CATCH on a two-level hierarchy: no L2, LLC grown to 9.5 MB
+    // (iso-area), criticality detection + TACT prefetchers on.
+    SimConfig catch2 = withCatch(noL2(baselineSkx(), 9728));
+    SimResult rc = runWorkload(catch2, name, instrs, warmup);
+
+    std::printf("workload: %s (%s), %llu measured instructions\n",
+                name.c_str(), categoryName(rb.category),
+                static_cast<unsigned long long>(rb.core.instrs));
+    std::printf("\n%-34s %24s %24s\n", "", base.name.c_str(),
+                catch2.name.c_str());
+    std::printf("%-34s %24.3f %24.3f\n", "IPC", rb.ipc, rc.ipc);
+    std::printf("%-34s %23.1f%% %23.1f%%\n", "loads served by L1",
+                100 * rb.hier.loadHitFraction(Level::L1),
+                100 * rc.hier.loadHitFraction(Level::L1));
+    std::printf("%-34s %23.1f%% %23.1f%%\n", "loads served by L2",
+                100 * rb.hier.loadHitFraction(Level::L2),
+                100 * rc.hier.loadHitFraction(Level::L2));
+    std::printf("%-34s %23.1f%% %23.1f%%\n", "loads served by LLC",
+                100 * rb.hier.loadHitFraction(Level::LLC),
+                100 * rc.hier.loadHitFraction(Level::LLC));
+    std::printf("%-34s %23.1f%% %23.1f%%\n", "loads served by memory",
+                100 * rb.hier.loadHitFraction(Level::Mem),
+                100 * rc.hier.loadHitFraction(Level::Mem));
+    std::printf("%-34s %24llu %24llu\n", "TACT prefetches",
+                static_cast<unsigned long long>(rb.hier.tactPrefetches),
+                static_cast<unsigned long long>(rc.hier.tactPrefetches));
+    std::printf("%-34s %24u %24u\n", "active critical PCs",
+                rb.activeCriticalPcs, rc.activeCriticalPcs);
+    std::printf("%-34s %24.3f %24.3f\n", "energy (mJ)",
+                rb.energy.total(), rc.energy.total());
+    std::printf("\nspeedup of two-level CATCH over baseline: %+.2f%%\n",
+                100.0 * (rc.ipc / rb.ipc - 1.0));
+    return 0;
+}

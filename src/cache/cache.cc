@@ -1,0 +1,153 @@
+#include "cache/cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace catchsim
+{
+
+Cache::Cache(std::string name, const CacheGeometry &geom, ReplKind repl,
+             uint64_t seed)
+    : name_(std::move(name)), geom_(geom), numSets_(geom.numSets()),
+      lines_(static_cast<size_t>(numSets_) * geom.ways),
+      repl_(makeReplacement(repl, seed))
+{
+    CATCHSIM_ASSERT(isPowerOfTwo(numSets_), name_, ": sets not pow2");
+    repl_->reset(numSets_, geom_.ways);
+}
+
+uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<uint32_t>((addr >> kLineShift) & (numSets_ - 1));
+}
+
+CacheLine *
+Cache::lookup(Addr addr, bool is_demand)
+{
+    Addr tag = lineAddr(addr);
+    uint32_t set = setIndex(addr);
+    CacheLine *row = &lines_[static_cast<size_t>(set) * geom_.ways];
+    if (is_demand) {
+        ++stats_.demandAccesses;
+        ++stats_.readOps;
+    }
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            if (is_demand) {
+                ++stats_.demandHits;
+                repl_->onHit(set, w);
+                // usedSinceFill is managed by the hierarchy, which needs
+                // to observe the first use of a prefetched line.
+            }
+            return &row[w];
+        }
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::peek(Addr addr) const
+{
+    Addr tag = lineAddr(addr);
+    uint32_t set = setIndex(addr);
+    const CacheLine *row = &lines_[static_cast<size_t>(set) * geom_.ways];
+    for (uint32_t w = 0; w < geom_.ways; ++w)
+        if (row[w].valid && row[w].tag == tag)
+            return &row[w];
+    return nullptr;
+}
+
+Cache::Victim
+Cache::fill(Addr addr, bool dirty, Cycle ready_at, FillSource source,
+            Level fill_level)
+{
+    Addr tag = lineAddr(addr);
+    uint32_t set = setIndex(addr);
+    CacheLine *row = &lines_[static_cast<size_t>(set) * geom_.ways];
+    ++stats_.writeOps;
+
+    // Merge if already present (e.g. a writeback landing on a prefetched
+    // copy, or a duplicate fill).
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].dirty |= dirty;
+            if (ready_at < row[w].readyAt)
+                row[w].readyAt = ready_at;
+            repl_->onHit(set, w);
+            return Victim{};
+        }
+    }
+
+    uint32_t way = geom_.ways;
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (!row[w].valid) {
+            way = w;
+            break;
+        }
+    }
+
+    Victim victim;
+    if (way == geom_.ways) {
+        way = repl_->victim(set);
+        CATCHSIM_ASSERT(way < geom_.ways, name_, ": bad victim way");
+        CacheLine &v = row[way];
+        victim.valid = true;
+        victim.addr = v.tag;
+        victim.dirty = v.dirty;
+        victim.source = v.source;
+        victim.usedSinceFill = v.usedSinceFill;
+        ++stats_.evictions;
+        if (v.dirty)
+            ++stats_.dirtyEvictions;
+        bool was_prefetch = v.source != FillSource::Demand &&
+                            v.source != FillSource::Writeback;
+        if (was_prefetch && !v.usedSinceFill)
+            ++stats_.uselessPrefetchEvictions;
+    }
+
+    CacheLine &line = row[way];
+    line.tag = tag;
+    line.valid = true;
+    line.dirty = dirty;
+    line.readyAt = ready_at;
+    line.source = source;
+    line.fillLevel = fill_level;
+    line.usedSinceFill = false;
+    repl_->onFill(set, way);
+    ++stats_.fills;
+    return victim;
+}
+
+bool
+Cache::invalidate(Addr addr, bool *was_present)
+{
+    Addr tag = lineAddr(addr);
+    uint32_t set = setIndex(addr);
+    CacheLine *row = &lines_[static_cast<size_t>(set) * geom_.ways];
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].valid = false;
+            ++stats_.invalidations;
+            if (was_present)
+                *was_present = true;
+            return row[w].dirty;
+        }
+    }
+    if (was_present)
+        *was_present = false;
+    return false;
+}
+
+bool
+Cache::setDirty(Addr addr)
+{
+    CacheLine *line = lookup(addr, false);
+    if (!line)
+        return false;
+    line->dirty = true;
+    ++stats_.writeOps;
+    return true;
+}
+
+} // namespace catchsim

@@ -1,0 +1,476 @@
+#include "cache/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace catchsim
+{
+
+CacheHierarchy::CacheHierarchy(const SimConfig &cfg)
+    : cfg_(cfg), dram_(cfg.dram)
+{
+    cfg_.validate();
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        l1i_.push_back(std::make_unique<Cache>(
+            "l1i" + std::to_string(c), cfg.l1i, ReplKind::Lru, cfg.seed));
+        l1d_.push_back(std::make_unique<Cache>(
+            "l1d" + std::to_string(c), cfg.l1d, ReplKind::Lru, cfg.seed));
+        if (cfg.hasL2)
+            l2_.push_back(std::make_unique<Cache>(
+                "l2." + std::to_string(c), cfg.l2, ReplKind::Lru,
+                cfg.seed));
+        stride_.emplace_back(256);
+        stream_.emplace_back(64, cfg.streamDegree);
+    }
+    llc_ = std::make_unique<Cache>("llc", cfg.llc, ReplKind::Lru, cfg.seed);
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    stats_ = HierarchyStats();
+    tactTimeliness_.reset();
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        l1i_[c]->resetStats();
+        l1d_[c]->resetStats();
+        if (cfg_.hasL2)
+            l2_[c]->resetStats();
+    }
+    llc_->resetStats();
+    dram_.resetStats();
+}
+
+// ---------------------------------------------------------------------
+// Fill paths
+// ---------------------------------------------------------------------
+
+void
+CacheHierarchy::fillL1(CoreId core, bool code, Addr addr, bool dirty,
+                       Cycle ready_at, FillSource src, Cycle now,
+                       Level fill_level)
+{
+    Cache &l1 = code ? *l1i_[core] : *l1d_[core];
+    Cache::Victim victim = l1.fill(addr, dirty, ready_at, src, fill_level);
+    if (!victim.valid || !victim.dirty)
+        return; // clean L1 victims are dropped (an outer copy exists)
+    if (cfg_.hasL2) {
+        fillL2(core, victim.addr, true, now, FillSource::Writeback, now);
+    } else {
+        // Two-level: the writeback crosses the interconnect to the LLC.
+        ++stats_.ringTransfers;
+        if (CacheLine *line = llc_->lookup(victim.addr, false))
+            line->dirty = true;
+        else
+            fillLlc(victim.addr, true, now, FillSource::Writeback, now);
+    }
+}
+
+void
+CacheHierarchy::fillL2(CoreId core, Addr addr, bool dirty, Cycle ready_at,
+                       FillSource src, Cycle now)
+{
+    CATCHSIM_ASSERT(cfg_.hasL2, "fillL2 without an L2");
+    Cache::Victim victim = l2_[core]->fill(addr, dirty, ready_at, src);
+    if (!victim.valid)
+        return;
+    switch (cfg_.inclusion) {
+      case InclusionPolicy::Exclusive:
+        // Every L2 victim's data moves to the LLC (the exclusive-LLC
+        // victim traffic the paper's power analysis highlights).
+        ++stats_.ringTransfers;
+        fillLlc(victim.addr, victim.dirty, now, FillSource::Writeback,
+                now);
+        break;
+      case InclusionPolicy::Inclusive:
+        // The line is guaranteed LLC-resident; only dirty data moves.
+        if (victim.dirty) {
+            ++stats_.ringTransfers;
+            if (CacheLine *line = llc_->lookup(victim.addr, false))
+                line->dirty = true;
+            else
+                fillLlc(victim.addr, true, now, FillSource::Writeback,
+                        now);
+        }
+        break;
+      case InclusionPolicy::Nine:
+        if (victim.dirty) {
+            ++stats_.ringTransfers;
+            if (CacheLine *line = llc_->lookup(victim.addr, false))
+                line->dirty = true;
+            else
+                fillLlc(victim.addr, true, now, FillSource::Writeback,
+                        now);
+        }
+        break;
+    }
+}
+
+void
+CacheHierarchy::fillLlc(Addr addr, bool dirty, Cycle ready_at,
+                        FillSource src, Cycle now)
+{
+    Cache::Victim victim = llc_->fill(addr, dirty, ready_at, src);
+    if (!victim.valid)
+        return;
+    bool victim_dirty = victim.dirty;
+    if (cfg_.inclusion == InclusionPolicy::Inclusive) {
+        // Back-invalidate inner copies across all cores.
+        for (CoreId c = 0; c < cfg_.numCores; ++c) {
+            l1i_[c]->invalidate(victim.addr);
+            victim_dirty |= l1d_[c]->invalidate(victim.addr);
+            if (cfg_.hasL2)
+                victim_dirty |= l2_[c]->invalidate(victim.addr);
+        }
+    }
+    if (victim_dirty) {
+        ++stats_.memTransfers;
+        dram_.write(victim.addr, now);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Demand paths
+// ---------------------------------------------------------------------
+
+void
+CacheHierarchy::streamObserve(CoreId core, Addr addr, Cycle now)
+{
+    if (!cfg_.l2StreamPrefetcher)
+        return;
+    streamCandidates_.clear();
+    stream_[core].observe(addr, streamCandidates_);
+    for (Addr line : streamCandidates_) {
+        ++stats_.streamPfIssued;
+        if (cfg_.hasL2) {
+            if (l2_[core]->peek(line))
+                continue;
+            if (const CacheLine *in_llc = llc_->peek(line)) {
+                // Pull into the L2 ahead of use.
+                ++stats_.ringTransfers;
+                bool dirty = in_llc->dirty;
+                if (cfg_.inclusion == InclusionPolicy::Exclusive)
+                    llc_->invalidate(line);
+                fillL2(core, line, dirty, now + latLlc(),
+                       FillSource::StreamPf, now);
+            } else {
+                ++stats_.ringTransfers;
+                ++stats_.memTransfers;
+                uint64_t mlat = dram_.read(line, now + latLlc());
+                fillL2(core, line, false, now + latLlc() + mlat,
+                       FillSource::StreamPf, now);
+            }
+        } else {
+            if (llc_->peek(line))
+                continue;
+            ++stats_.memTransfers;
+            uint64_t mlat = dram_.read(line, now + latLlc());
+            fillLlc(line, false, now + latLlc() + mlat,
+                    FillSource::StreamPf, now);
+        }
+    }
+}
+
+MemResult
+CacheHierarchy::serviceMiss(CoreId core, bool code, Addr addr, Cycle now,
+                            bool dirty_fill, uint64_t *hit_ctr)
+{
+    streamObserve(core, addr, now);
+
+    if (cfg_.hasL2) {
+        if (CacheLine *line = l2_[core]->lookup(addr, true)) {
+            line->usedSinceFill = true;
+            uint64_t lat = latL2() + remaining(*line, now);
+            if (dirty_fill)
+                line->dirty = true;
+            fillL1(core, code, addr, dirty_fill, now + lat,
+                   FillSource::Demand, now, Level::L2);
+            ++hit_ctr[static_cast<int>(Level::L2)];
+            return {Level::L2, lat, false};
+        }
+    }
+
+    // Request crosses the interconnect to the LLC.
+    ++stats_.ringTransfers;
+    if (CacheLine *line = llc_->lookup(addr, true)) {
+        line->usedSinceFill = true;
+        ++stats_.ringTransfers; // data return
+        uint64_t lat = latLlc() + remaining(*line, now);
+        bool dirty = line->dirty || dirty_fill;
+        if (cfg_.inclusion == InclusionPolicy::Exclusive) {
+            llc_->invalidate(addr);
+            fillL2(core, addr, dirty, now + lat, FillSource::Demand, now);
+            fillL1(core, code, addr, dirty_fill, now + lat,
+                   FillSource::Demand, now, Level::LLC);
+        } else {
+            if (cfg_.hasL2)
+                fillL2(core, addr, false, now + lat, FillSource::Demand,
+                       now);
+            fillL1(core, code, addr, dirty_fill, now + lat,
+                   FillSource::Demand, now, Level::LLC);
+        }
+        ++hit_ctr[static_cast<int>(Level::LLC)];
+        return {Level::LLC, lat, false};
+    }
+
+    // Miss to memory.
+    ++stats_.ringTransfers; // data return from the memory controller
+    ++stats_.memTransfers;
+    uint64_t mlat = dram_.read(addr, now + latLlc());
+    uint64_t lat = latLlc() + mlat;
+    switch (cfg_.inclusion) {
+      case InclusionPolicy::Exclusive:
+        fillL2(core, addr, dirty_fill, now + lat, FillSource::Demand, now);
+        break;
+      case InclusionPolicy::Inclusive:
+        fillLlc(addr, false, now + lat, FillSource::Demand, now);
+        if (cfg_.hasL2)
+            fillL2(core, addr, dirty_fill, now + lat, FillSource::Demand,
+                   now);
+        break;
+      case InclusionPolicy::Nine:
+        fillLlc(addr, false, now + lat, FillSource::Demand, now);
+        if (cfg_.hasL2)
+            fillL2(core, addr, dirty_fill, now + lat, FillSource::Demand,
+                   now);
+        break;
+    }
+    fillL1(core, code, addr, dirty_fill, now + lat, FillSource::Demand,
+           now, Level::Mem);
+    ++hit_ctr[static_cast<int>(Level::Mem)];
+    return {Level::Mem, lat, false};
+}
+
+void
+CacheHierarchy::noteTactUse(CacheLine &line, Cycle now)
+{
+    if (line.usedSinceFill || line.source != FillSource::TactPf)
+        return;
+    ++stats_.tactUsefulHits;
+    uint64_t rem = remaining(line, now);
+    uint64_t llc = latLlc();
+    uint64_t saved_pct =
+        rem >= llc ? 0 : ((llc - rem) * 100) / llc;
+    tactTimeliness_.add(saved_pct);
+}
+
+MemResult
+CacheHierarchy::load(CoreId core, Addr pc, Addr addr, Cycle now)
+{
+    ++stats_.loads;
+
+    // Train the baseline L1 stride prefetcher on every demand load.
+    if (cfg_.l1StridePrefetcher) {
+        if (auto pf = stride_[core].observe(pc, addr)) {
+            ++stats_.stridePfIssued;
+            prefetchToL1(core, *pf, now, PfKind::Stride);
+        }
+    }
+
+    if (CacheLine *line = l1d_[core]->lookup(addr, true)) {
+        noteTactUse(*line, now);
+        bool tact = line->source == FillSource::TactPf;
+        line->usedSinceFill = true;
+        uint64_t rem = remaining(*line, now);
+        uint64_t lat = latL1() + rem;
+        // A hit on a still-in-flight line is really an L1 miss merged
+        // into the outstanding fill's MSHR; report the level the fill
+        // came from, as the hardware (and the criticality detector)
+        // would see it.
+        Level served = Level::L1;
+        if (rem > 0 && line->fillLevel != Level::None)
+            served = line->fillLevel;
+        ++stats_.loadHits[static_cast<int>(served)];
+        ++stats_.l1HitsBySource[static_cast<int>(line->source)];
+        stats_.l1HitWaitBySource[static_cast<int>(line->source)] += rem;
+
+        // Fig 4 oracle: demote L1 hits to L2 latency.
+        DemoteMode m = cfg_.oracle.demote;
+        if (served == Level::L1 &&
+            (m == DemoteMode::L1ToL2All ||
+             (m == DemoteMode::L1ToL2NonCrit && !critical(core, pc)))) {
+            ++stats_.demotedLoads;
+            lat = latL2();
+        }
+        stats_.totalLoadLatency += lat;
+        stats_.totalL1HitLatency += lat;
+        return {served, lat, tact};
+    }
+
+    // Fig 5 oracle: zero-time critical prefetch of L2/LLC residents.
+    if (cfg_.oracle.oraclePrefetch &&
+        (cfg_.oracle.oraclePrefetchPcLimit == 0 || critical(core, pc))) {
+        if (inL2OrLlc(core, addr)) {
+            ++stats_.oracleConverted;
+            ++stats_.loadHits[static_cast<int>(Level::L1)];
+            fillL1(core, false, addr, false, now, FillSource::OraclePf,
+                   now);
+            stats_.totalLoadLatency += latL1();
+            stats_.totalL1HitLatency += latL1();
+            return {Level::L1, latL1(), true};
+        }
+    }
+
+    MemResult r = serviceMiss(core, false, addr, now, false,
+                               stats_.loadHits);
+
+    // Fig 4 oracle: demote L2 / LLC hits one level out.
+    DemoteMode m = cfg_.oracle.demote;
+    if (r.served == Level::L2 &&
+        (m == DemoteMode::L2ToLlcAll ||
+         (m == DemoteMode::L2ToLlcNonCrit && !critical(core, pc)))) {
+        ++stats_.demotedLoads;
+        r.latency = latLlc();
+    } else if (r.served == Level::LLC &&
+               (m == DemoteMode::LlcToMemAll ||
+                (m == DemoteMode::LlcToMemNonCrit &&
+                 !critical(core, pc)))) {
+        ++stats_.demotedLoads;
+        r.latency = latMemEstimate();
+    }
+    stats_.totalLoadLatency += r.latency;
+    return r;
+}
+
+void
+CacheHierarchy::storeCommit(CoreId core, Addr addr, Cycle now)
+{
+    ++stats_.storeAccesses;
+    if (CacheLine *line = l1d_[core]->lookup(addr, true)) {
+        line->dirty = true;
+        line->usedSinceFill = true;
+        return;
+    }
+    ++stats_.storeL1Misses;
+    // RFO: bring the line in dirty; the pipeline does not wait for it.
+    serviceMiss(core, false, addr, now, true, stats_.rfoHits);
+}
+
+MemResult
+CacheHierarchy::codeFetch(CoreId core, Addr addr, Cycle now)
+{
+    ++stats_.codeFetches;
+    if (cfg_.oracle.oracleCodeInL1) {
+        ++stats_.codeHits[static_cast<int>(Level::L1)];
+        return {Level::L1, cfg_.l1i.latency, false};
+    }
+    if (CacheLine *line = l1i_[core]->lookup(addr, true)) {
+        line->usedSinceFill = true;
+        ++stats_.codeHits[static_cast<int>(Level::L1)];
+        return {Level::L1, cfg_.l1i.latency + remaining(*line, now),
+                false};
+    }
+    return serviceMiss(core, true, addr, now, false,
+                       stats_.codeHits);
+}
+
+Level
+CacheHierarchy::prefetchToL1(CoreId core, Addr addr, Cycle now,
+                             PfKind kind)
+{
+    bool code = kind == PfKind::TactCode;
+    Cache &l1 = code ? *l1i_[core] : *l1d_[core];
+    bool is_tact = kind != PfKind::Stride;
+    if (is_tact)
+        ++stats_.tactPrefetches;
+    if (kind == PfKind::TactCode)
+        ++stats_.codePfIssued;
+
+    // L1 prefetch requests train the L2 stream prefetcher like demand
+    // misses do. This must happen before the L1-residency drop: when
+    // another prefetcher already covered the line into the L1, the
+    // stream engine still needs to see the address stream or it starves
+    // and stops running ahead.
+    if (kind == PfKind::Stride)
+        streamObserve(core, addr, now);
+
+    if (l1.peek(addr)) {
+        if (is_tact)
+            ++stats_.tactPfDropped;
+        return Level::None;
+    }
+
+    FillSource src = kind == PfKind::Stride ? FillSource::StridePf
+                     : code ? FillSource::TactCodePf
+                            : FillSource::TactPf;
+
+    if (cfg_.hasL2) {
+        if (const CacheLine *line = l2_[core]->peek(addr)) {
+            uint64_t lat = latL2() + remaining(*line, now);
+            fillL1(core, code, addr, false, now + lat, src, now,
+                   Level::L2);
+            if (is_tact)
+                ++stats_.tactPfFromL2;
+            return Level::L2;
+        }
+    }
+
+    ++stats_.ringTransfers; // request
+    if (const CacheLine *line = llc_->peek(addr)) {
+        ++stats_.ringTransfers; // data
+        uint64_t lat = latLlc() + remaining(*line, now);
+        bool dirty = line->dirty;
+        if (cfg_.inclusion == InclusionPolicy::Exclusive) {
+            llc_->invalidate(addr);
+            fillL2(core, addr, dirty, now + lat, src, now);
+        } else if (cfg_.hasL2) {
+            fillL2(core, addr, false, now + lat, src, now);
+        }
+        fillL1(core, code, addr, false, now + lat, src, now, Level::LLC);
+        if (is_tact)
+            ++stats_.tactPfFromLlc;
+        return Level::LLC;
+    }
+
+    if (code) {
+        // Code runahead is strictly inter-cache: front-end prefetches
+        // that miss the on-die hierarchy are dropped rather than pulled
+        // from DRAM (a wrong-path DRAM fetch would be pure pollution).
+        ++stats_.tactPfNotOnDie;
+        return Level::None;
+    }
+    ++stats_.ringTransfers; // data return from memory controller
+    ++stats_.memTransfers;
+    uint64_t mlat = dram_.read(addr, now + latLlc());
+    uint64_t lat = latLlc() + mlat;
+    switch (cfg_.inclusion) {
+      case InclusionPolicy::Exclusive:
+        fillL2(core, addr, false, now + lat, src, now);
+        break;
+      case InclusionPolicy::Inclusive:
+        fillLlc(addr, false, now + lat, src, now);
+        if (cfg_.hasL2)
+            fillL2(core, addr, false, now + lat, src, now);
+        break;
+      case InclusionPolicy::Nine:
+        fillLlc(addr, false, now + lat, src, now);
+        break;
+    }
+    fillL1(core, code, addr, false, now + lat, src, now, Level::Mem);
+    if (is_tact)
+        ++stats_.tactPfFromMem;
+    return Level::Mem;
+}
+
+Cycle
+CacheHierarchy::probeDataReady(CoreId core, Addr addr, Cycle now) const
+{
+    bool code = false;
+    const Cache &l1 = code ? *l1i_[core] : *l1d_[core];
+    if (const CacheLine *line = l1.peek(addr))
+        return now + cfg_.l1d.latency + remaining(*line, now);
+    if (cfg_.hasL2)
+        if (const CacheLine *line = l2_[core]->peek(addr))
+            return now + latL2() + remaining(*line, now);
+    if (const CacheLine *line = llc_->peek(addr))
+        return now + latLlc() + remaining(*line, now);
+    return now + levelLatency(Level::Mem);
+}
+
+bool
+CacheHierarchy::inL2OrLlc(CoreId core, Addr addr) const
+{
+    if (cfg_.hasL2 && l2_[core]->peek(addr))
+        return true;
+    return llc_->peek(addr) != nullptr;
+}
+
+} // namespace catchsim

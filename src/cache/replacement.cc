@@ -1,0 +1,201 @@
+#include "cache/replacement.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace catchsim
+{
+
+const char *
+replKindName(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::Lru: return "lru";
+      case ReplKind::Srrip: return "srrip";
+      case ReplKind::TreePlru: return "tree-plru";
+      case ReplKind::Random: return "random";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** True LRU via a per-line timestamp from a per-cache access counter. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void
+    reset(uint32_t sets, uint32_t ways) override
+    {
+        ways_ = ways;
+        stamp_.assign(static_cast<size_t>(sets) * ways, 0);
+        clock_ = 0;
+    }
+
+    void onHit(uint32_t set, uint32_t way) override { touch(set, way); }
+    void onFill(uint32_t set, uint32_t way) override { touch(set, way); }
+
+    uint32_t
+    victim(uint32_t set) override
+    {
+        uint32_t best = 0;
+        uint64_t oldest = ~0ULL;
+        for (uint32_t w = 0; w < ways_; ++w) {
+            uint64_t s = stamp_[static_cast<size_t>(set) * ways_ + w];
+            if (s < oldest) {
+                oldest = s;
+                best = w;
+            }
+        }
+        return best;
+    }
+
+  private:
+    void
+    touch(uint32_t set, uint32_t way)
+    {
+        stamp_[static_cast<size_t>(set) * ways_ + way] = ++clock_;
+    }
+
+    uint32_t ways_ = 0;
+    uint64_t clock_ = 0;
+    std::vector<uint64_t> stamp_;
+};
+
+/** Static re-reference interval prediction with 2-bit RRPVs. */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    static constexpr uint8_t kMaxRrpv = 3;
+
+    void
+    reset(uint32_t sets, uint32_t ways) override
+    {
+        ways_ = ways;
+        rrpv_.assign(static_cast<size_t>(sets) * ways, kMaxRrpv);
+    }
+
+    void
+    onHit(uint32_t set, uint32_t way) override
+    {
+        rrpv_[static_cast<size_t>(set) * ways_ + way] = 0;
+    }
+
+    void
+    onFill(uint32_t set, uint32_t way) override
+    {
+        // long re-reference interval on insertion
+        rrpv_[static_cast<size_t>(set) * ways_ + way] = kMaxRrpv - 1;
+    }
+
+    uint32_t
+    victim(uint32_t set) override
+    {
+        auto *row = &rrpv_[static_cast<size_t>(set) * ways_];
+        while (true) {
+            for (uint32_t w = 0; w < ways_; ++w)
+                if (row[w] == kMaxRrpv)
+                    return w;
+            for (uint32_t w = 0; w < ways_; ++w)
+                ++row[w];
+        }
+    }
+
+  private:
+    uint32_t ways_ = 0;
+    std::vector<uint8_t> rrpv_;
+};
+
+/**
+ * Tree pseudo-LRU. For non-power-of-two associativities the tree covers
+ * the next power of two and out-of-range leaves are skipped by stepping
+ * to their neighbour.
+ */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    void
+    reset(uint32_t sets, uint32_t ways) override
+    {
+        ways_ = ways;
+        treeWays_ = 1u << ceilLog2(ways);
+        bits_.assign(static_cast<size_t>(sets) * treeWays_, 0);
+    }
+
+    void onHit(uint32_t set, uint32_t way) override { touch(set, way); }
+    void onFill(uint32_t set, uint32_t way) override { touch(set, way); }
+
+    uint32_t
+    victim(uint32_t set) override
+    {
+        auto *tree = &bits_[static_cast<size_t>(set) * treeWays_];
+        uint32_t node = 1;
+        while (node < treeWays_)
+            node = 2 * node + tree[node];
+        uint32_t way = node - treeWays_;
+        return way < ways_ ? way : ways_ - 1;
+    }
+
+  private:
+    void
+    touch(uint32_t set, uint32_t way)
+    {
+        auto *tree = &bits_[static_cast<size_t>(set) * treeWays_];
+        uint32_t node = treeWays_ + way;
+        while (node > 1) {
+            uint32_t parent = node / 2;
+            tree[parent] = (node == 2 * parent) ? 1 : 0; // point away
+            node = parent;
+        }
+    }
+
+    uint32_t ways_ = 0;
+    uint32_t treeWays_ = 0;
+    std::vector<uint8_t> bits_;
+};
+
+/** Random replacement (seeded, deterministic). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(uint64_t seed) : rng_(seed) {}
+
+    void
+    reset(uint32_t sets, uint32_t ways) override
+    {
+        (void)sets;
+        ways_ = ways;
+    }
+
+    void onHit(uint32_t, uint32_t) override {}
+    void onFill(uint32_t, uint32_t) override {}
+
+    uint32_t
+    victim(uint32_t set) override
+    {
+        (void)set;
+        return static_cast<uint32_t>(rng_.below(ways_));
+    }
+
+  private:
+    Rng rng_;
+    uint32_t ways_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplKind kind, uint64_t seed)
+{
+    switch (kind) {
+      case ReplKind::Lru: return std::make_unique<LruPolicy>();
+      case ReplKind::Srrip: return std::make_unique<SrripPolicy>();
+      case ReplKind::TreePlru: return std::make_unique<TreePlruPolicy>();
+      case ReplKind::Random: return std::make_unique<RandomPolicy>(seed);
+    }
+    CATCHSIM_PANIC("unreachable replacement kind");
+}
+
+} // namespace catchsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Replacement policies for the set-associative caches.
+ *
+ * LRU is the paper's default everywhere; SRRIP, tree-PLRU and random are
+ * provided for the ablation benches (the paper cites RRIP-family work as
+ * complementary to CATCH).
+ */
+
+#ifndef CATCHSIM_CACHE_REPLACEMENT_HH_
+#define CATCHSIM_CACHE_REPLACEMENT_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace catchsim
+{
+
+/** Which replacement policy a cache uses. */
+enum class ReplKind : uint8_t
+{
+    Lru,
+    Srrip,
+    TreePlru,
+    Random,
+};
+
+const char *replKindName(ReplKind kind);
+
+/** Per-cache replacement state; one instance per cache. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Sizes the policy state for a sets x ways cache. */
+    virtual void reset(uint32_t sets, uint32_t ways) = 0;
+
+    /** Called on a demand hit at (set, way). */
+    virtual void onHit(uint32_t set, uint32_t way) = 0;
+
+    /** Called when a line is filled into (set, way). */
+    virtual void onFill(uint32_t set, uint32_t way) = 0;
+
+    /**
+     * Picks the victim way in a full set.
+     * The cache prefers invalid ways on its own; this is only consulted
+     * when every way is valid.
+     */
+    virtual uint32_t victim(uint32_t set) = 0;
+};
+
+/** Creates a policy instance of the given kind. */
+std::unique_ptr<ReplacementPolicy> makeReplacement(ReplKind kind,
+                                                   uint64_t seed);
+
+} // namespace catchsim
+
+#endif // CATCHSIM_CACHE_REPLACEMENT_HH_

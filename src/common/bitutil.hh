@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by caches, predictors and tables.
+ */
+
+#ifndef CATCHSIM_COMMON_BITUTIL_HH_
+#define CATCHSIM_COMMON_BITUTIL_HH_
+
+#include <cstdint>
+
+namespace catchsim
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+constexpr uint32_t
+floorLog2(uint64_t v)
+{
+    uint32_t r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2(v); v must be non-zero. */
+constexpr uint32_t
+ceilLog2(uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/**
+ * Mixes the bits of a 64-bit value (splitmix64 finalizer). Used to hash
+ * PCs and addresses into table indices without pathological aliasing.
+ */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Hardware-style folded hash of a PC down to @p bits bits. The paper's DDG
+ * stores 10-bit hashed PC addresses; this models that lossy compression.
+ */
+constexpr uint64_t
+hashPc(uint64_t pc, uint32_t bits)
+{
+    uint64_t h = pc >> 2; // instructions are 4-byte aligned in our traces
+    uint64_t folded = 0;
+    while (h) {
+        folded ^= h & ((1ULL << bits) - 1);
+        h >>= bits;
+    }
+    return folded;
+}
+
+} // namespace catchsim
+
+#endif // CATCHSIM_COMMON_BITUTIL_HH_

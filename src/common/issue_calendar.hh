@@ -1,0 +1,98 @@
+/**
+ * @file
+ * IssueCalendar: execution-port bandwidth as a per-cycle issue budget.
+ *
+ * A naive "next-free time per port" model breaks out-of-order schedules:
+ * an op that becomes ready far in the future (e.g. dependent on a memory
+ * load) would reserve a port *from its start time* and make the port
+ * look busy for every intervening cycle, stalling younger ops that are
+ * ready now. Real schedulers issue oldest-ready-first; a port idle
+ * before a future issue is usable. The calendar therefore counts issues
+ * per cycle in a sliding window and schedules each op at the first cycle
+ * >= its ready time with spare slots.
+ */
+
+#ifndef CATCHSIM_COMMON_ISSUE_CALENDAR_HH_
+#define CATCHSIM_COMMON_ISSUE_CALENDAR_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace catchsim
+{
+
+class IssueCalendar
+{
+  public:
+    /**
+     * @param ports issue slots available per cycle
+     * @param window how far ahead of the newest scheduled cycle an op
+     *        can land; far beyond any realistic wakeup spread
+     */
+    explicit IssueCalendar(uint32_t ports, uint32_t window = 16384)
+        : ports_(ports), counts_(window, 0)
+    {
+    }
+
+    /**
+     * Schedules one issue at the first cycle >= @p desired with a spare
+     * slot, occupying @p slots issue slots (an unpipelined op models its
+     * occupancy by consuming several).
+     */
+    Cycle
+    schedule(Cycle desired, uint32_t slots = 1)
+    {
+        const size_t w = counts_.size();
+        // Slide the window forward; slots entering it start empty.
+        if (desired > maxSeen_) {
+            uint64_t advance = desired - maxSeen_;
+            if (advance >= w) {
+                std::fill(counts_.begin(), counts_.end(), 0);
+            } else {
+                for (uint64_t i = 1; i <= advance; ++i)
+                    counts_[(maxSeen_ + i) % w] = 0;
+            }
+            maxSeen_ = desired;
+        }
+        // Requests below the window floor are clamped (they would have
+        // been scheduled long ago; rare and harmless).
+        Cycle floor = maxSeen_ >= w ? maxSeen_ - w + 1 : 0;
+        Cycle c = desired < floor ? floor : desired;
+        uint32_t remaining = slots;
+        Cycle start = c;
+        while (true) {
+            if (c > maxSeen_) {
+                uint64_t advance = c - maxSeen_;
+                for (uint64_t i = 1; i <= advance; ++i)
+                    counts_[(maxSeen_ + i) % w] = 0;
+                maxSeen_ = c;
+            }
+            uint32_t free_here = ports_ > counts_[c % w]
+                                     ? ports_ - counts_[c % w]
+                                     : 0;
+            if (free_here == 0) {
+                if (remaining == slots)
+                    start = c + 1; // haven't started issuing yet
+                ++c;
+                continue;
+            }
+            uint32_t take = free_here < remaining ? free_here : remaining;
+            counts_[c % w] += take;
+            remaining -= take;
+            if (remaining == 0)
+                return start;
+            ++c;
+        }
+    }
+
+  private:
+    uint32_t ports_;
+    std::vector<uint8_t> counts_;
+    Cycle maxSeen_ = 0;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_COMMON_ISSUE_CALENDAR_HH_

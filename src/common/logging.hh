@@ -1,0 +1,83 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for internal simulator bugs (aborts); fatal() is for user
+ * configuration errors (clean exit); warn()/inform() never stop the run.
+ */
+
+#ifndef CATCHSIM_COMMON_LOGGING_HH_
+#define CATCHSIM_COMMON_LOGGING_HH_
+
+#include <sstream>
+#include <string>
+
+namespace catchsim
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenates a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort the simulation due to an internal inconsistency (a simulator bug). */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, Args &&...args)
+{
+    detail::panicImpl(file, line, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Terminate the simulation due to a user error (bad configuration etc.). */
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, Args &&...args)
+{
+    detail::fatalImpl(file, line, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning about questionable but survivable behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace catchsim
+
+#define CATCHSIM_PANIC(...) ::catchsim::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define CATCHSIM_FATAL(...) ::catchsim::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Invariant check that survives NDEBUG builds; panics with a message. */
+#define CATCHSIM_ASSERT(cond, ...)                                           \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            CATCHSIM_PANIC("assertion failed: " #cond " ", __VA_ARGS__);      \
+        }                                                                     \
+    } while (0)
+
+#endif // CATCHSIM_COMMON_LOGGING_HH_

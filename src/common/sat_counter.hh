@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Saturating counter, the workhorse of confidence tracking in the paper's
+ * hardware structures (critical-load table, TACT learners, predictors).
+ */
+
+#ifndef CATCHSIM_COMMON_SAT_COUNTER_HH_
+#define CATCHSIM_COMMON_SAT_COUNTER_HH_
+
+#include <cstdint>
+
+namespace catchsim
+{
+
+/** An n-bit saturating up/down counter. */
+class SatCounter
+{
+  public:
+    /** @param bits counter width; @param initial starting value. */
+    explicit SatCounter(uint32_t bits = 2, uint32_t initial = 0)
+        : max_((1u << bits) - 1), value_(initial > max_ ? max_ : initial)
+    {
+    }
+
+    /** Increment, saturating at the maximum. Returns the new value. */
+    uint32_t
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+        return value_;
+    }
+
+    /** Decrement, saturating at zero. Returns the new value. */
+    uint32_t
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+        return value_;
+    }
+
+    /** True when the counter has reached its maximum value. */
+    bool saturated() const { return value_ == max_; }
+
+    /** True when the counter is in the upper half of its range. */
+    bool predictTaken() const { return value_ > max_ / 2; }
+
+    uint32_t value() const { return value_; }
+    uint32_t max() const { return max_; }
+
+    void reset(uint32_t v = 0) { value_ = v > max_ ? max_ : v; }
+
+  private:
+    uint32_t max_;
+    uint32_t value_;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_COMMON_SAT_COUNTER_HH_

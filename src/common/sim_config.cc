@@ -1,0 +1,72 @@
+#include "common/sim_config.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace catchsim
+{
+
+void
+SimConfig::enableCatch()
+{
+    criticality.enabled = true;
+    tact.cross = true;
+    tact.deepSelf = true;
+    tact.feeder = true;
+    tact.code = true;
+}
+
+void
+SimConfig::removeL2(uint64_t llc_bytes)
+{
+    hasL2 = false;
+    inclusion = InclusionPolicy::Nine;
+    llc.sizeBytes = llc_bytes;
+    // keep the LLC geometry buildable: ways must divide size into
+    // power-of-two sets
+    while (llc.numSets() == 0 || !isPowerOfTwo(llc.numSets()))
+        ++llc.ways;
+}
+
+namespace
+{
+
+void
+checkGeometry(const char *name, const CacheGeometry &g)
+{
+    if (g.sizeBytes % (kLineBytes * g.ways) != 0)
+        CATCHSIM_FATAL(name, ": size not divisible into ways*lines");
+    if (!isPowerOfTwo(g.numSets()))
+        CATCHSIM_FATAL(name, ": number of sets (", g.numSets(),
+                       ") must be a power of two");
+    if (g.latency == 0)
+        CATCHSIM_FATAL(name, ": zero latency");
+}
+
+} // namespace
+
+void
+SimConfig::validate() const
+{
+    if (width == 0 || robSize < 2 * width)
+        CATCHSIM_FATAL("core width/ROB configuration is degenerate");
+    if (numArchRegs < 4 || numArchRegs > 64)
+        CATCHSIM_FATAL("numArchRegs out of supported range");
+    checkGeometry("l1i", l1i);
+    checkGeometry("l1d", l1d);
+    if (hasL2)
+        checkGeometry("l2", l2);
+    checkGeometry("llc", llc);
+    if (!hasL2 && inclusion == InclusionPolicy::Exclusive)
+        CATCHSIM_FATAL("exclusive LLC requires an L2 to be exclusive of");
+    if (numCores == 0 || numCores > 16)
+        CATCHSIM_FATAL("numCores out of supported range");
+    if (criticality.graphFactor < criticality.walkFactor)
+        CATCHSIM_FATAL("DDG buffer must be at least as deep as the walk");
+    if (tact.any() && !criticality.enabled)
+        CATCHSIM_FATAL("TACT prefetchers require criticality detection");
+    if (!isPowerOfTwo(dram.channels) || !isPowerOfTwo(dram.banksPerRank))
+        CATCHSIM_FATAL("DRAM channels/banks must be powers of two");
+}
+
+} // namespace catchsim

@@ -1,0 +1,136 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace catchsim
+{
+
+Histogram::Histogram(uint64_t bucket_width, size_t num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+    CATCHSIM_ASSERT(bucket_width > 0 && num_buckets > 0,
+                    "degenerate histogram");
+}
+
+void
+Histogram::add(uint64_t value, uint64_t count)
+{
+    size_t idx = value / bucketWidth_;
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    buckets_[idx] += count;
+    samples_ += count;
+    total_ += value * count;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ ? static_cast<double>(total_) / samples_ : 0.0;
+}
+
+double
+Histogram::fractionAtLeast(uint64_t threshold) const
+{
+    if (!samples_)
+        return 0.0;
+    uint64_t above = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        // a bucket counts as >= threshold if its lower bound is
+        uint64_t lower = i * bucketWidth_;
+        if (lower >= threshold)
+            above += buckets_[i];
+    }
+    return static_cast<double>(above) / samples_;
+}
+
+double
+Histogram::fractionBelow(uint64_t threshold) const
+{
+    return samples_ ? 1.0 - fractionAtLeast(threshold) : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    samples_ = 0;
+    total_ = 0;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<size_t> widths;
+    for (const auto &row : rows_) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        std::string line;
+        for (size_t c = 0; c < rows_[r].size(); ++c) {
+            std::string cell = rows_[r][c];
+            cell.resize(widths[c], ' ');
+            line += cell;
+            if (c + 1 < rows_[r].size())
+                line += "  ";
+        }
+        std::printf("%s\n", line.c_str());
+        if (r == 0) {
+            std::string sep;
+            for (size_t c = 0; c < widths.size(); ++c) {
+                sep += std::string(widths[c], '-');
+                if (c + 1 < widths.size())
+                    sep += "  ";
+            }
+            std::printf("%s\n", sep.c_str());
+        }
+    }
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+double
+geomean(const std::vector<double> &ratios)
+{
+    CATCHSIM_ASSERT(!ratios.empty(), "geomean of empty set");
+    double log_sum = 0.0;
+    for (double r : ratios) {
+        CATCHSIM_ASSERT(r > 0.0, "geomean needs positive ratios, got ", r);
+        log_sum += std::log(r);
+    }
+    return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
+
+} // namespace catchsim

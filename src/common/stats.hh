@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight statistics helpers: histograms for latency distributions and
+ * a fixed-width table printer used by the benchmark harnesses to emit the
+ * paper's tables.
+ */
+
+#ifndef CATCHSIM_COMMON_STATS_HH_
+#define CATCHSIM_COMMON_STATS_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace catchsim
+{
+
+/**
+ * Bucketed histogram with power-of-two-ish linear buckets. Used for, e.g.,
+ * the distribution of LLC latency saved by TACT prefetches (Fig 11).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each linear bucket
+     * @param num_buckets number of buckets; values beyond the last bucket
+     *        are clamped into it
+     */
+    Histogram(uint64_t bucket_width, size_t num_buckets);
+
+    void add(uint64_t value, uint64_t count = 1);
+
+    uint64_t samples() const { return samples_; }
+    uint64_t total() const { return total_; }
+    double mean() const;
+
+    /** Fraction of samples with value >= threshold, in [0,1]. */
+    double fractionAtLeast(uint64_t threshold) const;
+
+    /** Fraction of samples with value < threshold, in [0,1]. */
+    double fractionBelow(uint64_t threshold) const;
+
+    void reset();
+
+  private:
+    uint64_t bucketWidth_;
+    std::vector<uint64_t> buckets_;
+    uint64_t samples_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Accumulates rows of strings and prints them with aligned columns.
+ * Every bench binary uses this so the regenerated figures/tables share a
+ * consistent, diffable layout.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> row);
+
+    /** Renders the table (with a separator under the header) to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a fraction as a signed percentage string, e.g. "-7.79%". */
+std::string formatPercent(double fraction, int decimals = 2);
+
+/** Formats a double with fixed decimals. */
+std::string formatDouble(double v, int decimals = 3);
+
+/** Geometric mean of a vector of ratios (must all be positive). */
+double geomean(const std::vector<double> &ratios);
+
+} // namespace catchsim
+
+#endif // CATCHSIM_COMMON_STATS_HH_

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ */
+
+#ifndef CATCHSIM_COMMON_TYPES_HH_
+#define CATCHSIM_COMMON_TYPES_HH_
+
+#include <cstdint>
+
+namespace catchsim
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = uint64_t;
+
+/** Absolute time in core clock cycles since the start of simulation. */
+using Cycle = uint64_t;
+
+/** Monotonically increasing per-core instruction sequence number. */
+using SeqNum = uint64_t;
+
+/** Identifier of a simulated core (0-based). */
+using CoreId = uint32_t;
+
+/** Cache line size used by every cache level, in bytes. */
+constexpr uint32_t kLineBytes = 64;
+
+/** log2 of the cache line size. */
+constexpr uint32_t kLineShift = 6;
+
+/** Size of a 4 KB page, used by the TACT trigger cache and prefetchers. */
+constexpr Addr kPageBytes = 4096;
+
+/** Returns the cache-line-aligned address containing @p addr. */
+constexpr Addr
+lineAddr(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Returns the 4 KB-page-aligned address containing @p addr. */
+constexpr Addr
+pageAddr(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kPageBytes - 1);
+}
+
+/** Cache hierarchy levels, outermost last. */
+enum class Level : uint8_t
+{
+    L1 = 0,   ///< both L1I and L1D have the same latency class
+    L2 = 1,
+    LLC = 2,
+    Mem = 3,
+    None = 4, ///< e.g. store-forwarded loads never touch the hierarchy
+};
+
+/** Human-readable name for a hierarchy level. */
+constexpr const char *
+levelName(Level l)
+{
+    switch (l) {
+      case Level::L1: return "L1";
+      case Level::L2: return "L2";
+      case Level::LLC: return "LLC";
+      case Level::Mem: return "Mem";
+      default: return "None";
+    }
+}
+
+} // namespace catchsim
+
+#endif // CATCHSIM_COMMON_TYPES_HH_

@@ -1,0 +1,82 @@
+#include "core/frontend.hh"
+
+namespace catchsim
+{
+
+Frontend::Frontend(const SimConfig &cfg, CoreId core,
+                   CacheHierarchy &hierarchy, Tact *tact)
+    : cfg_(cfg), core_(core), hierarchy_(hierarchy), tact_(tact)
+{
+}
+
+void
+Frontend::bindTrace(const MicroOp *ops, size_t count)
+{
+    ops_ = ops;
+    count_ = count;
+    curCycle_ = 0;
+    fetchedThisCycle_ = 0;
+    lastLine_ = ~0ULL;
+    redirectAt_ = 0;
+}
+
+void
+Frontend::resetStats()
+{
+    stats_ = FrontendStats();
+    predictor_.resetStats();
+}
+
+Cycle
+Frontend::fetchCycle(size_t idx, const MicroOp &op)
+{
+    Cycle t = curCycle_;
+    if (redirectAt_ > t) {
+        t = redirectAt_;
+        fetchedThisCycle_ = 0;
+    }
+
+    Addr line = lineAddr(op.pc);
+    if (line != lastLine_) {
+        ++stats_.lineFetches;
+        MemResult r = hierarchy_.codeFetch(core_, line, t);
+        lastLine_ = line;
+        uint32_t l1_lat = cfg_.l1i.latency;
+        if (r.latency > l1_lat) {
+            // The NIP stalls for the portion of the miss the pipeline
+            // depth cannot hide; the CNPIP runs ahead meanwhile.
+            uint64_t stall = r.latency - l1_lat;
+            if (tact_ && ops_) {
+                auto would_mispredict = [this](const MicroOp &b) {
+                    return predictor_.wouldMispredict(b);
+                };
+                tact_->onCodeStall(ops_, count_, idx, t, would_mispredict);
+            }
+            t += stall;
+            stats_.codeStallCycles += stall;
+            fetchedThisCycle_ = 0;
+        }
+    }
+
+    if (t > curCycle_) {
+        curCycle_ = t;
+        fetchedThisCycle_ = 1;
+    } else if (++fetchedThisCycle_ > cfg_.width) {
+        ++curCycle_;
+        fetchedThisCycle_ = 1;
+    }
+    return curCycle_;
+}
+
+void
+Frontend::redirect(Cycle resume)
+{
+    ++stats_.redirects;
+    if (resume > redirectAt_)
+        redirectAt_ = resume;
+    // The pipeline restarts fetch at the correct path; the current line
+    // must be re-fetched (it usually still hits the L1I).
+    lastLine_ = ~0ULL;
+}
+
+} // namespace catchsim

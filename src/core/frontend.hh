@@ -1,0 +1,77 @@
+/**
+ * @file
+ * In-order front end: next-instruction-pointer (NIP) pacing, L1I line
+ * fetches, branch-mispredict redirects and the TACT-Code runahead hook.
+ *
+ * The front end runs ahead of allocation (decoupled fetch); it stalls
+ * only on L1I misses and on redirects. During an L1I-miss stall the
+ * TACT-Code CNPIP walks the predicted path and prefetches upcoming code
+ * lines (Section IV-B2).
+ */
+
+#ifndef CATCHSIM_CORE_FRONTEND_HH_
+#define CATCHSIM_CORE_FRONTEND_HH_
+
+#include <cstddef>
+
+#include "cache/hierarchy.hh"
+#include "common/sim_config.hh"
+#include "common/types.hh"
+#include "core/branch_predictor.hh"
+#include "tact/tact.hh"
+#include "trace/micro_op.hh"
+
+namespace catchsim
+{
+
+struct FrontendStats
+{
+    uint64_t lineFetches = 0;
+    uint64_t codeStallCycles = 0;
+    uint64_t redirects = 0;
+};
+
+class Frontend
+{
+  public:
+    Frontend(const SimConfig &cfg, CoreId core, CacheHierarchy &hierarchy,
+             Tact *tact);
+
+    /** Gives the runahead walker visibility into the upcoming stream. */
+    void bindTrace(const MicroOp *ops, size_t count);
+
+    /**
+     * Returns the cycle at which ops[idx] is available for allocation;
+     * must be called once per instruction, in program order.
+     */
+    Cycle fetchCycle(size_t idx, const MicroOp &op);
+
+    /** Mispredicted branch resolved; fetch resumes at @p resume. */
+    void redirect(Cycle resume);
+
+    BranchPredictor &predictor() { return predictor_; }
+    const BranchPredictor &predictor() const { return predictor_; }
+    const FrontendStats &stats() const { return stats_; }
+    void resetStats();
+
+  private:
+    SimConfig cfg_;
+    CoreId core_;
+    CacheHierarchy &hierarchy_;
+    Tact *tact_;
+    BranchPredictor predictor_;
+
+    const MicroOp *ops_ = nullptr;
+    size_t count_ = 0;
+
+    Cycle curCycle_ = 0;
+    uint32_t fetchedThisCycle_ = 0;
+    Addr lastLine_ = ~0ULL;
+    Cycle redirectAt_ = 0;
+
+    FrontendStats stats_;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_CORE_FRONTEND_HH_

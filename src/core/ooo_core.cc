@@ -1,0 +1,230 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace catchsim
+{
+
+OooCore::OooCore(const SimConfig &cfg, CoreId core,
+                 CacheHierarchy &hierarchy,
+                 CriticalityDetector *detector, Tact *tact)
+    : cfg_(cfg), core_(core), hierarchy_(hierarchy), detector_(detector),
+      tact_(tact), frontend_(cfg, core, hierarchy, tact),
+      regReady_(cfg.numArchRegs, 0), regProducer_(cfg.numArchRegs, 0),
+      robRetire_(cfg.robSize, 0), aluPorts_(cfg.aluPorts),
+      loadPorts_(cfg.loadPorts), storePorts_(cfg.storePorts),
+      fpPorts_(cfg.fpPorts), storeQueue_(cfg.storeQueueSize)
+{
+}
+
+void
+OooCore::bind(const Trace &trace)
+{
+    trace_ = &trace;
+    pos_ = 0;
+    frontend_.bindTrace(trace.ops.data(), trace.ops.size());
+}
+
+void
+OooCore::rewind()
+{
+    CATCHSIM_ASSERT(trace_, "rewind without a bound trace");
+    pos_ = 0;
+    // Keep all timing state: the machine simply re-executes the loop.
+    frontend_.bindTrace(trace_->ops.data(), trace_->ops.size());
+}
+
+Cycle
+OooCore::allocSlot(Cycle lower_bound)
+{
+    if (lower_bound > curAllocCycle_) {
+        curAllocCycle_ = lower_bound;
+        allocsInCycle_ = 1;
+    } else if (++allocsInCycle_ > cfg_.width) {
+        ++curAllocCycle_;
+        allocsInCycle_ = 1;
+    }
+    return curAllocCycle_;
+}
+
+Cycle
+OooCore::retireSlot(Cycle lower_bound)
+{
+    if (lower_bound > lastRetireCycle_) {
+        lastRetireCycle_ = lower_bound;
+        retiresInCycle_ = 1;
+    } else if (++retiresInCycle_ > cfg_.width) {
+        ++lastRetireCycle_;
+        retiresInCycle_ = 1;
+    }
+    return lastRetireCycle_;
+}
+
+IssueCalendar &
+OooCore::portsFor(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Load: return loadPorts_;
+      case OpClass::Store: return storePorts_;
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+      case OpClass::FpDiv: return fpPorts_;
+      default: return aluPorts_;
+    }
+}
+
+bool
+OooCore::step()
+{
+    if (done())
+        return false;
+    const MicroOp &op = trace_->ops[pos_];
+    ++seq_;
+
+    // ---- Front end (D-node inputs) ----
+    Cycle fetch = frontend_.fetchCycle(pos_, op);
+    Cycle rob_ready = robRetire_[pos_ % cfg_.robSize];
+    Cycle alloc = allocSlot(std::max(fetch, rob_ready));
+
+    // ---- Source operands (E-E edges) ----
+    Cycle src_ready = 0;
+    SeqNum src_seq[kMaxSrcs] = {0, 0, 0};
+    for (uint32_t i = 0; i < kMaxSrcs; ++i) {
+        int8_t s = op.src[i];
+        if (s < 0)
+            continue;
+        src_ready = std::max(src_ready, regReady_[s]);
+        src_seq[i] = regProducer_[s];
+    }
+    Cycle min_dispatch =
+        std::max(alloc + cfg_.renameLat, src_ready);
+
+    // ---- Execute ----
+    Cycle exec_start = 0;
+    Cycle exec_done = 0;
+    Level served = Level::None;
+    bool tact_covered = false;
+    bool mispredicted = false;
+    SeqNum mem_dep = 0;
+
+    switch (op.cls) {
+      case OpClass::Load: {
+        ++loads_;
+        exec_start = loadPorts_.schedule(min_dispatch);
+        // Store-to-load forwarding: youngest older store to the word.
+        const StoreEntry *fwd = nullptr;
+        Addr word = op.memAddr >> 3;
+        for (const auto &se : storeQueue_)
+            if (se.seq != 0 && se.word == word &&
+                (!fwd || se.seq > fwd->seq))
+                fwd = &se;
+        if (fwd) {
+            ++forwardedLoads_;
+            mem_dep = fwd->seq;
+            exec_done = std::max(exec_start, fwd->ready) + cfg_.fwdLatency;
+        } else {
+            MemResult r = hierarchy_.load(core_, op.pc, op.memAddr,
+                                          exec_start);
+            served = r.served;
+            tact_covered = r.tactCovered;
+            exec_done = exec_start + r.latency;
+        }
+        if (tact_) {
+            tact_->onLoadDispatch(op, exec_start);
+            tact_->onLoadComplete(op, exec_done);
+        }
+        break;
+      }
+      case OpClass::Store: {
+        ++stores_;
+        exec_start = storePorts_.schedule(min_dispatch);
+        exec_done = exec_start + 1;
+        StoreEntry &slot = storeQueue_[storeHead_];
+        storeHead_ = (storeHead_ + 1) % storeQueue_.size();
+        slot.word = op.memAddr >> 3;
+        slot.ready = exec_done;
+        slot.seq = seq_;
+        break;
+      }
+      case OpClass::Branch: {
+        exec_start = aluPorts_.schedule(min_dispatch);
+        exec_done = exec_start + opLatency(op.cls);
+        mispredicted = frontend_.predictor().predictAndTrain(op);
+        if (mispredicted)
+            frontend_.redirect(exec_done + cfg_.redirectLat);
+        break;
+      }
+      default: {
+        uint32_t busy =
+            (op.cls == OpClass::Div || op.cls == OpClass::FpDiv) ? 8 : 1;
+        exec_start = portsFor(op.cls).schedule(min_dispatch, busy);
+        exec_done = exec_start + opLatency(op.cls);
+        break;
+      }
+    }
+
+    // ---- Writeback / scoreboard ----
+    if (op.dst >= 0) {
+        regReady_[op.dst] = exec_done;
+        regProducer_[op.dst] = seq_;
+    }
+
+    // ---- Retire (C node) ----
+    Cycle retire = retireSlot(exec_done + 1);
+    robRetire_[pos_ % cfg_.robSize] = retire;
+
+    if (op.isStore())
+        hierarchy_.storeCommit(core_, op.memAddr, retire);
+
+    if (detector_) {
+        RetireInfo ri;
+        ri.pc = op.pc;
+        ri.seq = seq_;
+        ri.cls = op.cls;
+        ri.mispredictedBranch = mispredicted;
+        ri.servedBy = served;
+        ri.tactCovered = tact_covered;
+        ri.allocCycle = alloc;
+        ri.execStart = exec_start;
+        ri.execDone = exec_done;
+        ri.retireCycle = retire;
+        for (uint32_t i = 0; i < kMaxSrcs; ++i)
+            ri.srcSeq[i] = src_seq[i];
+        ri.memDepSeq = mem_dep;
+        detector_->onRetire(ri);
+    }
+    if (tact_)
+        tact_->onRetire(op);
+
+    ++pos_;
+    ++instrsDone_;
+    return true;
+}
+
+void
+OooCore::markMeasurementStart()
+{
+    measStartInstrs_ = instrsDone_;
+    measStartCycle_ = lastRetireCycle_;
+    measStartLoads_ = loads_;
+    measStartStores_ = stores_;
+    measStartFwd_ = forwardedLoads_;
+    frontend_.resetStats();
+}
+
+CoreStats
+OooCore::stats() const
+{
+    CoreStats s;
+    s.instrs = instrsDone_ - measStartInstrs_;
+    s.cycles = lastRetireCycle_ - measStartCycle_;
+    s.loads = loads_ - measStartLoads_;
+    s.stores = stores_ - measStartStores_;
+    s.forwardedLoads = forwardedLoads_ - measStartFwd_;
+    s.branch = frontend_.predictor().stats();
+    return s;
+}
+
+} // namespace catchsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Out-of-order core timing model.
+ *
+ * A forward, per-instruction evaluation of the Fields et al. dependence
+ * graph under real machine constraints: 4-wide in-order allocation into
+ * a 224-entry ROB, register dataflow through a scoreboard, memory
+ * dependences through a store queue with forwarding, execution-port
+ * contention, cache/memory latencies from the hierarchy, branch
+ * mispredict redirects, in-order 4-wide retirement, and a decoupled
+ * front end that stalls on L1I misses. Each instruction receives its
+ * D (alloc), E (dispatch/writeback) and C (retire) event times, which
+ * also feed the criticality-detection hardware.
+ */
+
+#ifndef CATCHSIM_CORE_OOO_CORE_HH_
+#define CATCHSIM_CORE_OOO_CORE_HH_
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/sim_config.hh"
+#include "common/types.hh"
+#include "core/frontend.hh"
+#include "common/issue_calendar.hh"
+#include "criticality/ddg.hh"
+#include "tact/tact.hh"
+#include "trace/workload.hh"
+
+namespace catchsim
+{
+
+/** Per-core run statistics. */
+struct CoreStats
+{
+    uint64_t instrs = 0;
+    uint64_t cycles = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t forwardedLoads = 0;
+    BranchStats branch;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instrs) / cycles : 0.0;
+    }
+};
+
+class OooCore
+{
+  public:
+    /**
+     * @param detector criticality hardware, may be nullptr
+     * @param tact TACT prefetchers, may be nullptr
+     */
+    OooCore(const SimConfig &cfg, CoreId core, CacheHierarchy &hierarchy,
+            CriticalityDetector *detector, Tact *tact);
+
+    /** Attaches a trace; resets pipeline state. */
+    void bind(const Trace &trace);
+
+    /** Processes one instruction; false when the trace is exhausted. */
+    bool step();
+
+    /** Restarts the trace from the beginning, keeping warm structures
+     *  (used by the MP simulator when a short trace wraps around). */
+    void rewind();
+
+    bool done() const { return pos_ >= trace_->ops.size(); }
+
+    /** The core's notion of time: the last retirement. */
+    Cycle now() const { return lastRetireCycle_; }
+
+    /** Instructions processed so far (monotonic across rewinds). */
+    uint64_t instrsDone() const { return instrsDone_; }
+
+    /** Snapshot used for warmup-boundary accounting. */
+    void markMeasurementStart();
+
+    CoreStats stats() const;
+
+    Frontend &frontend() { return frontend_; }
+
+  private:
+    Cycle allocSlot(Cycle lower_bound);
+    Cycle retireSlot(Cycle lower_bound);
+    IssueCalendar &portsFor(OpClass cls);
+
+    SimConfig cfg_;
+    CoreId core_;
+    CacheHierarchy &hierarchy_;
+    CriticalityDetector *detector_;
+    Tact *tact_;
+    Frontend frontend_;
+
+    const Trace *trace_ = nullptr;
+    size_t pos_ = 0;
+    SeqNum seq_ = 0;
+    uint64_t instrsDone_ = 0;
+
+    // Register scoreboard.
+    std::vector<Cycle> regReady_;
+    std::vector<SeqNum> regProducer_;
+
+    // ROB occupancy: retire time of each of the last robSize instrs.
+    std::vector<Cycle> robRetire_;
+
+    // Allocation / retirement pacing.
+    Cycle curAllocCycle_ = 0;
+    uint32_t allocsInCycle_ = 0;
+    Cycle lastRetireCycle_ = 0;
+    uint32_t retiresInCycle_ = 0;
+
+    // Execution-port bandwidth per class.
+    IssueCalendar aluPorts_;
+    IssueCalendar loadPorts_;
+    IssueCalendar storePorts_;
+    IssueCalendar fpPorts_;
+
+    // Store queue for forwarding: most recent stores by 8-byte word.
+    struct StoreEntry
+    {
+        Addr word = 0;
+        Cycle ready = 0;
+        SeqNum seq = 0;
+    };
+    std::vector<StoreEntry> storeQueue_;
+    size_t storeHead_ = 0;
+
+    // Counters.
+    uint64_t loads_ = 0;
+    uint64_t stores_ = 0;
+    uint64_t forwardedLoads_ = 0;
+
+    // Measurement window.
+    uint64_t measStartInstrs_ = 0;
+    Cycle measStartCycle_ = 0;
+    uint64_t measStartLoads_ = 0;
+    uint64_t measStartStores_ = 0;
+    uint64_t measStartFwd_ = 0;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_CORE_OOO_CORE_HH_

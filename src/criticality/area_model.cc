@@ -1,0 +1,63 @@
+#include "criticality/area_model.hh"
+
+namespace catchsim
+{
+
+uint32_t
+ddgBitsPerRow(const CriticalityConfig &cfg)
+{
+    (void)cfg;
+    // Table I: D-D / C-C / D-E / C-D edges are implicit (0 bits).
+    const uint32_t ec_bits = 5;            // quantised execution latency
+    const uint32_t ee_bits = 9 * 3 + 9;    // 3 sources + 1 memory dep
+    const uint32_t ed_bits = 1;            // bad-speculation flag
+    return ec_bits + ee_bits + ed_bits;
+}
+
+std::vector<AreaItem>
+ddgAreaBudget(const CriticalityConfig &cfg, uint32_t rob_size)
+{
+    const double rows = cfg.graphFactor * rob_size;
+    std::vector<AreaItem> items;
+    items.push_back({"graph rows (E-C 5b, E-E 36b, E-D 1b)",
+                     rows * ddgBitsPerRow(cfg) / 8.0});
+    items.push_back({"hashed PC per row (10b)",
+                     rows * cfg.hashedPcBits / 8.0});
+    // Working registers of the incremental algorithm: per-row node cost
+    // and prev-load pointer (folded into the row storage estimate in the
+    // paper; we list it at zero to match Table I's bottom line).
+    items.push_back({"critical-load table (32 x ~5B)",
+                     cfg.tableEntries * 5.0});
+    return items;
+}
+
+std::vector<AreaItem>
+tactAreaBudget(const TactConfig &cfg, uint32_t critical_pcs,
+               uint32_t arch_regs)
+{
+    std::vector<AreaItem> items;
+    // Fig 9's per-structure budgets.
+    items.push_back({"critical target PC table",
+                     critical_pcs * 20.0}); // 640 B at 32 PCs
+    items.push_back({"feeder PC table (deep-self state)",
+                     critical_pcs * 2.0}); // 64 B
+    items.push_back({"feeder register tracking (3B/arch reg)",
+                     arch_regs * 3.0}); // 48 B
+    items.push_back({"trigger cache (8x8, 6B/entry)",
+                     static_cast<double>(cfg.triggerCacheSets) *
+                         cfg.triggerCacheWays * 6.0}); // 384 B
+    items.push_back({"cross PC candidates", critical_pcs * 2.0}); // 64 B
+    items.push_back({"code next-prefetch IP", 8.0});
+    return items;
+}
+
+double
+areaTotalBytes(const std::vector<AreaItem> &items)
+{
+    double total = 0;
+    for (const auto &i : items)
+        total += i.bytes;
+    return total;
+}
+
+} // namespace catchsim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Area accounting for the criticality hardware (the paper's Table I) and
+ * the TACT structures (Fig 9). These reproduce the paper's arithmetic:
+ * the DDG costs about 3 KB and all TACT structures about 1.2 KB.
+ */
+
+#ifndef CATCHSIM_CRITICALITY_AREA_MODEL_HH_
+#define CATCHSIM_CRITICALITY_AREA_MODEL_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_config.hh"
+
+namespace catchsim
+{
+
+/** One line item of an area budget. */
+struct AreaItem
+{
+    std::string name;
+    double bytes;
+};
+
+/** Bits stored per DDG row (E-C latency, E-E deps, E-D flag). */
+uint32_t ddgBitsPerRow(const CriticalityConfig &cfg);
+
+/**
+ * Table I: storage for buffering the DDG, including the hashed-PC side
+ * array, for a @p rob_size-entry machine buffered at graphFactor x ROB.
+ */
+std::vector<AreaItem> ddgAreaBudget(const CriticalityConfig &cfg,
+                                    uint32_t rob_size);
+
+/** Fig 9: storage of every TACT structure. */
+std::vector<AreaItem> tactAreaBudget(const TactConfig &cfg,
+                                     uint32_t critical_pcs,
+                                     uint32_t arch_regs);
+
+/** Sum of an area budget in bytes. */
+double areaTotalBytes(const std::vector<AreaItem> &items);
+
+} // namespace catchsim
+
+#endif // CATCHSIM_CRITICALITY_AREA_MODEL_HH_

@@ -1,0 +1,139 @@
+#include "criticality/ddg.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace catchsim
+{
+
+DdgCriticalityDetector::DdgCriticalityDetector(
+    const CriticalityConfig &cfg, uint32_t rob_size, uint32_t rename_lat,
+    uint32_t redirect_lat, uint32_t width)
+    : cfg_(cfg), robSize_(rob_size), renameLat_(rename_lat),
+      redirectLat_(redirect_lat), width_(width),
+      walkRows_(static_cast<uint32_t>(cfg.walkFactor * rob_size)),
+      quantMax_(31), // 5-bit saturating latency storage
+      rows_(walkRows_), table_(cfg)
+{
+}
+
+void
+DdgCriticalityDetector::onRetire(const RetireInfo &ri)
+{
+    ++stats_.retired;
+    ++retiredTotal_;
+    table_.tick(retiredTotal_);
+
+    if (count_ == 0) {
+        baseSeq_ = ri.seq;
+        prevAlloc_ = ri.allocCycle;
+        lastMispredictRow_ = -1;
+    }
+
+    uint32_t idx = count_;
+    Row &row = rows_[idx];
+    row = Row{};
+    row.pc = ri.pc;
+    row.isLoad = ri.cls == OpClass::Load;
+    row.recordable = row.isLoad &&
+                     (ri.servedBy == Level::L2 ||
+                      ri.servedBy == Level::LLC || ri.tactCovered);
+    uint64_t exec_lat =
+        ri.execDone > ri.execStart ? ri.execDone - ri.execStart : 0;
+    row.quantLat = static_cast<uint32_t>(
+        std::min<uint64_t>(exec_lat >> cfg_.latencyQuantShift, quantMax_));
+
+    // ---- D node: in-order allocation ----
+    if (idx > 0) {
+        const Row &prev = rows_[idx - 1];
+        // The D-D edge carries only the dispatch-width cost (one cycle
+        // per `width` instructions). Allocation *stalls* are explained
+        // by the C-D (ROB depth) and E-D (mispredict) edges, so the
+        // longest path runs through the dependences that caused them -
+        // encoding observed alloc gaps here would make the D chain the
+        // trivial critical path and hide every load.
+        uint64_t gap = (idx % width_ == 0) ? 1 : 0;
+        row.dCost = prev.dCost + gap;
+        row.pLoadD = prev.pLoadD;
+        // C-D edge: ROB back-pressure from the instruction robSize_ ago.
+        if (idx >= robSize_) {
+            const Row &depth = rows_[idx - robSize_];
+            if (depth.cCost > row.dCost) {
+                row.dCost = depth.cCost;
+                row.pLoadD = depth.pLoadC;
+            }
+        }
+        // E-D edge: fetch redirect after a mispredicted branch.
+        if (lastMispredictRow_ >= 0) {
+            const Row &br = rows_[lastMispredictRow_];
+            uint64_t cand = br.eCost + storedLat(br) + redirectLat_;
+            if (cand > row.dCost) {
+                row.dCost = cand;
+                row.pLoadD = br.pLoadE;
+            }
+        }
+    }
+    prevAlloc_ = ri.allocCycle;
+
+    // ---- E node: rename edge + data/memory dependences ----
+    row.eCost = row.dCost + renameLat_;
+    row.pLoadE = row.pLoadD;
+    auto consider_dep = [&](SeqNum producer) {
+        if (producer == 0 || producer < baseSeq_)
+            return; // producer not buffered (or none)
+        uint64_t off = producer - baseSeq_;
+        if (off >= idx)
+            return;
+        const Row &p = rows_[off];
+        uint64_t cand = p.eCost + storedLat(p);
+        if (cand > row.eCost) {
+            row.eCost = cand;
+            row.pLoadE =
+                p.isLoad ? static_cast<int32_t>(off) : p.pLoadE;
+        }
+    };
+    for (SeqNum src : ri.srcSeq)
+        consider_dep(src);
+    consider_dep(ri.memDepSeq);
+
+    // ---- C node: writeback, in-order commit ----
+    row.cCost = row.eCost + storedLat(row);
+    row.pLoadC = row.isLoad ? static_cast<int32_t>(idx) : row.pLoadE;
+    if (idx > 0) {
+        const Row &prev = rows_[idx - 1];
+        if (prev.cCost > row.cCost) {
+            row.cCost = prev.cCost;
+            row.pLoadC = prev.pLoadC;
+        }
+    }
+
+    if (ri.mispredictedBranch)
+        lastMispredictRow_ = static_cast<int32_t>(idx);
+
+    ++count_;
+    if (count_ >= walkRows_)
+        walk();
+}
+
+void
+DdgCriticalityDetector::walk()
+{
+    ++stats_.walks;
+    // The critical path ends at the C node of the last buffered
+    // instruction; pLoadC points at the most recent load on it.
+    int32_t cur = rows_[count_ - 1].pLoadC;
+    while (cur >= 0) {
+        const Row &load = rows_[cur];
+        ++stats_.criticalLoadsFound;
+        if (load.recordable) {
+            ++stats_.recorded;
+            table_.record(load.pc);
+        }
+        cur = load.pLoadE;
+    }
+    // Flush the window (the hardware resets the graph's read pointer).
+    count_ = 0;
+}
+
+} // namespace catchsim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Hardware criticality detection via a buffered data-dependency graph
+ * (Section IV-A), after Fields et al. [1].
+ *
+ * Each retired instruction contributes three nodes (D = allocation,
+ * E = execution dispatch, C = writeback). Edges:
+ *   D-D in-order allocation          (implicit; observed alloc gap)
+ *   C-D ROB-depth back-pressure      (implicit)
+ *   D-E rename latency               (implicit)
+ *   E-E data/memory dependences      (stored: up to 3 srcs + 1 mem dep)
+ *   E-C execution latency            (stored: 5-bit, quantised by 8)
+ *   E-D branch mispredict redirect   (stored: 1 bit)
+ *
+ * Node costs are computed *incrementally on insertion*: each node takes
+ * the max over its incoming edges of (source node cost + edge weight),
+ * so finding the critical path never needs a depth-first search. Each
+ * node also propagates a "previous critical-path load" pointer, so the
+ * walk at the end of a buffered window is just a pointer chase that
+ * enumerates the load instructions on the critical path. Loads that hit
+ * in the L2 or LLC (or were covered by a TACT prefetch) are recorded in
+ * the CriticalTable.
+ */
+
+#ifndef CATCHSIM_CRITICALITY_DDG_HH_
+#define CATCHSIM_CRITICALITY_DDG_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_config.hh"
+#include "common/types.hh"
+#include "criticality/critical_table.hh"
+#include "trace/micro_op.hh"
+
+namespace catchsim
+{
+
+/** Retirement-visible record of one instruction, fed to the detector. */
+struct RetireInfo
+{
+    Addr pc = 0;
+    SeqNum seq = 0;
+    OpClass cls = OpClass::Nop;
+    bool mispredictedBranch = false;
+    Level servedBy = Level::None; ///< loads: level that serviced it
+    bool tactCovered = false;     ///< L1 hit on a TACT-prefetched line
+    Cycle allocCycle = 0;
+    Cycle execStart = 0;
+    Cycle execDone = 0;
+    Cycle retireCycle = 0;
+    SeqNum srcSeq[kMaxSrcs] = {0, 0, 0}; ///< producer seqnums (0 = none)
+    SeqNum memDepSeq = 0; ///< forwarding store's seqnum (0 = none)
+};
+
+/** Common interface of the criticality detectors (DDG and heuristic). */
+class CriticalityDetector
+{
+  public:
+    virtual ~CriticalityDetector() = default;
+
+    /** Buffers/observes one retired instruction. */
+    virtual void onRetire(const RetireInfo &ri) = 0;
+
+    /** The critical-load table the detector feeds. */
+    virtual CriticalTable &table() = 0;
+    virtual const CriticalTable &table() const = 0;
+
+    bool isCritical(Addr pc) const { return table().isCritical(pc); }
+};
+
+/** Detector statistics. */
+struct DdgStats
+{
+    uint64_t retired = 0;
+    uint64_t walks = 0;
+    uint64_t criticalLoadsFound = 0; ///< loads seen on critical paths
+    uint64_t recorded = 0;           ///< of those, L2/LLC hits recorded
+    uint64_t overflows = 0;
+};
+
+class DdgCriticalityDetector : public CriticalityDetector
+{
+  public:
+    DdgCriticalityDetector(const CriticalityConfig &cfg, uint32_t rob_size,
+                           uint32_t rename_lat, uint32_t redirect_lat,
+                           uint32_t width = 4);
+
+    /** Buffers one retired instruction; may trigger a walk. */
+    void onRetire(const RetireInfo &ri) override;
+
+    /** The critical-load table fed by the walks. */
+    CriticalTable &table() override { return table_; }
+    const CriticalTable &table() const override { return table_; }
+
+    const DdgStats &stats() const { return stats_; }
+
+    /** Rows buffered before each walk (2x ROB by default). */
+    uint32_t walkRows() const { return walkRows_; }
+
+  private:
+    struct Row
+    {
+        Addr pc = 0;
+        bool isLoad = false;
+        bool recordable = false; ///< load that hit L2/LLC or TACT line
+        uint32_t quantLat = 0;   ///< 5-bit execution latency, lat >> 3
+        uint64_t dCost = 0, eCost = 0, cCost = 0;
+        int32_t pLoadD = -1, pLoadE = -1, pLoadC = -1;
+    };
+
+    /** Stored (quantised) execution latency of row @p r, in cycles. */
+    uint64_t
+    storedLat(const Row &r) const
+    {
+        return static_cast<uint64_t>(r.quantLat) << cfg_.latencyQuantShift;
+    }
+
+    void walk();
+
+    CriticalityConfig cfg_;
+    uint32_t robSize_;
+    uint32_t renameLat_;
+    uint32_t redirectLat_;
+    uint32_t width_;
+    uint32_t walkRows_;
+    uint32_t quantMax_;
+
+    std::vector<Row> rows_;
+    uint32_t count_ = 0;     ///< rows buffered in the current window
+    SeqNum baseSeq_ = 0;     ///< seq of rows_[0]
+    Cycle prevAlloc_ = 0;
+    int32_t lastMispredictRow_ = -1;
+    uint64_t retiredTotal_ = 0;
+
+    CriticalTable table_;
+    DdgStats stats_;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_CRITICALITY_DDG_HH_

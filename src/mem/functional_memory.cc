@@ -1,0 +1,38 @@
+#include "mem/functional_memory.hh"
+
+namespace catchsim
+{
+
+FunctionalMemory::Page *
+FunctionalMemory::pageFor(Addr addr)
+{
+    Addr page = pageAddr(addr);
+    auto it = pages_.find(page);
+    if (it == pages_.end())
+        it = pages_.emplace(page, std::make_unique<Page>()).first;
+    return it->second.get();
+}
+
+const FunctionalMemory::Page *
+FunctionalMemory::pageForConst(Addr addr) const
+{
+    auto it = pages_.find(pageAddr(addr));
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+uint64_t
+FunctionalMemory::read(Addr addr) const
+{
+    const Page *p = pageForConst(addr);
+    if (!p)
+        return 0; // untouched memory reads as zero
+    return p->words[(addr & (kPageBytes - 1)) >> 3];
+}
+
+void
+FunctionalMemory::write(Addr addr, uint64_t value)
+{
+    pageFor(addr)->words[(addr & (kPageBytes - 1)) >> 3] = value;
+}
+
+} // namespace catchsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sparse functional memory backing the synthetic workloads.
+ *
+ * Workload kernels execute real algorithms (linked lists, hash probes,
+ * stencils...) against this memory, so load values in the trace are the
+ * true contents of the accessed locations. That is what makes
+ * TACT-Feeder honest: when a feeder prefetch "returns", the prefetcher
+ * reads the same value hardware would have seen on the fill and uses it
+ * to compute the dependent (pointer-chased) address.
+ */
+
+#ifndef CATCHSIM_MEM_FUNCTIONAL_MEMORY_HH_
+#define CATCHSIM_MEM_FUNCTIONAL_MEMORY_HH_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace catchsim
+{
+
+/** Page-granular sparse memory of 64-bit words. */
+class FunctionalMemory
+{
+  public:
+    FunctionalMemory() = default;
+
+    // Memory images can be large; keep them uncopied.
+    FunctionalMemory(const FunctionalMemory &) = delete;
+    FunctionalMemory &operator=(const FunctionalMemory &) = delete;
+    FunctionalMemory(FunctionalMemory &&) = default;
+    FunctionalMemory &operator=(FunctionalMemory &&) = default;
+
+    /** Reads the 64-bit word containing @p addr (8-byte aligned access). */
+    uint64_t read(Addr addr) const;
+
+    /** Writes the 64-bit word containing @p addr. */
+    void write(Addr addr, uint64_t value);
+
+    /** Number of distinct 4 KB pages touched so far. */
+    size_t pagesAllocated() const { return pages_.size(); }
+
+  private:
+    static constexpr size_t kWordsPerPage = kPageBytes / sizeof(uint64_t);
+
+    struct Page
+    {
+        uint64_t words[kWordsPerPage] = {};
+    };
+
+    Page *pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_MEM_FUNCTIONAL_MEMORY_HH_

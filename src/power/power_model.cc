@@ -1,0 +1,90 @@
+#include "power/power_model.hh"
+
+#include <cmath>
+
+namespace catchsim
+{
+
+double
+cacheAccessEnergyNj(const EnergyParams &p, const CacheGeometry &geom,
+                    Level level)
+{
+    // CACTI-style: dynamic access energy grows roughly with the square
+    // root of capacity (bitline/wordline lengths).
+    double mb = static_cast<double>(geom.sizeBytes) / (1024.0 * 1024.0);
+    switch (level) {
+      case Level::L1:
+        return p.l1AccessNj * std::sqrt(mb / (32.0 / 1024.0));
+      case Level::L2:
+        return p.l2AccessNj * std::sqrt(mb / 1.0);
+      default:
+        return p.llcAccessNj * std::sqrt(mb / 5.5);
+    }
+}
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &p, const SimConfig &cfg, uint64_t instrs,
+              uint64_t cycles, uint64_t l1_ops, uint64_t l2_ops,
+              uint64_t llc_ops, uint64_t ring_transfers,
+              const DramStats &dram)
+{
+    EnergyBreakdown e;
+    const double nj_to_mj = 1e-6;
+    double seconds = static_cast<double>(cycles) / (p.coreFreqGhz * 1e9);
+
+    e.coreDynamic = instrs * p.corePerInstrNj * nj_to_mj;
+
+    double l1_nj = cacheAccessEnergyNj(p, cfg.l1d, Level::L1);
+    double l2_nj =
+        cfg.hasL2 ? cacheAccessEnergyNj(p, cfg.l2, Level::L2) : 0.0;
+    double llc_nj = cacheAccessEnergyNj(p, cfg.llc, Level::LLC);
+    e.cacheDynamic = (l1_ops * l1_nj + l2_ops * l2_nj + llc_ops * llc_nj) *
+                     nj_to_mj;
+
+    e.interconnect = ring_transfers * p.ringTransferNj * nj_to_mj;
+
+    e.dramDynamic = (dram.activates * p.dramActivateNj +
+                     (dram.reads + dram.writes) * p.dramAccessNj) *
+                    nj_to_mj;
+
+    double cache_mb =
+        (static_cast<double>(cfg.l1i.sizeBytes + cfg.l1d.sizeBytes) *
+             cfg.numCores +
+         (cfg.hasL2 ? static_cast<double>(cfg.l2.sizeBytes) * cfg.numCores
+                    : 0.0) +
+         static_cast<double>(cfg.llc.sizeBytes)) /
+        (1024.0 * 1024.0);
+    double static_watt = p.coreStaticWatt * cfg.numCores +
+                         p.cacheLeakWattPerMb * cache_mb +
+                         p.dramStaticWattPerChannel * cfg.dram.channels;
+    e.staticLeakage = static_watt * seconds * 1e3; // W * s -> mJ
+
+    return e;
+}
+
+double
+chipAreaMm2(const AreaParams &p, const SimConfig &cfg, uint32_t cores)
+{
+    double mb_l2 =
+        cfg.hasL2
+            ? static_cast<double>(cfg.l2.sizeBytes) / (1024.0 * 1024.0)
+            : 0.0;
+    double mb_llc =
+        static_cast<double>(cfg.llc.sizeBytes) / (1024.0 * 1024.0);
+    return p.coreLogicMm2 * cores + p.l2Mm2PerMb * mb_l2 * cores +
+           p.llcMm2PerMb * mb_llc;
+}
+
+double
+cacheAreaMm2(const AreaParams &p, const SimConfig &cfg, uint32_t cores)
+{
+    double mb_l2 =
+        cfg.hasL2
+            ? static_cast<double>(cfg.l2.sizeBytes) / (1024.0 * 1024.0)
+            : 0.0;
+    double mb_llc =
+        static_cast<double>(cfg.llc.sizeBytes) / (1024.0 * 1024.0);
+    return p.l2Mm2PerMb * mb_l2 * cores + p.llcMm2PerMb * mb_llc;
+}
+
+} // namespace catchsim

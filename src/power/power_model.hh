@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Energy and area models standing in for CACTI 6.0 (cache energy/area),
+ * Orion 2.0 (ring interconnect energy) and the Micron DRAM power
+ * calculator, as used by the paper's Section VI-E. Constants are
+ * calibrated to those tools' published outputs for the relevant size
+ * range; only *relative* energy across cache configurations matters for
+ * reproducing Figs 10/16.
+ */
+
+#ifndef CATCHSIM_POWER_POWER_MODEL_HH_
+#define CATCHSIM_POWER_POWER_MODEL_HH_
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "common/sim_config.hh"
+#include "dram/dram.hh"
+
+namespace catchsim
+{
+
+/** Energy totals for one measured window, in millijoules. */
+struct EnergyBreakdown
+{
+    double coreDynamic = 0;
+    double cacheDynamic = 0;
+    double interconnect = 0;
+    double dramDynamic = 0;
+    double staticLeakage = 0;
+
+    double
+    total() const
+    {
+        return coreDynamic + cacheDynamic + interconnect + dramDynamic +
+               staticLeakage;
+    }
+};
+
+/** Tunable energy constants (defaults: 14 nm-class estimates). */
+struct EnergyParams
+{
+    double corePerInstrNj = 0.45;   ///< core dynamic energy / instruction
+    double coreStaticWatt = 0.9;    ///< per-core background power
+
+    // Per-access cache energies; CACTI-style sqrt(capacity) scaling is
+    // applied around these reference points.
+    double l1AccessNj = 0.05;       ///< 32 KB reference
+    double l2AccessNj = 0.28;       ///< 1 MB reference
+    double llcAccessNj = 0.60;      ///< 5.5 MB reference
+    double cacheLeakWattPerMb = 0.07;
+
+    // Ring interconnect (Orion-style): energy per 64 B transfer,
+    // including average hop count.
+    double ringTransferNj = 0.60;
+
+    // DRAM (Micron-style).
+    double dramActivateNj = 2.2;
+    double dramAccessNj = 6.0;      ///< read or write burst incl. I/O
+    double dramStaticWattPerChannel = 0.65;
+
+    double coreFreqGhz = 3.2;
+};
+
+/** Per-access energy of a cache of @p geom, scaled from the reference. */
+double cacheAccessEnergyNj(const EnergyParams &p, const CacheGeometry &geom,
+                           Level level);
+
+/**
+ * Computes the energy of one measured window.
+ *
+ * @param instrs retired instructions in the window (all cores)
+ * @param cycles window length in core cycles
+ */
+EnergyBreakdown computeEnergy(const EnergyParams &p, const SimConfig &cfg,
+                              uint64_t instrs, uint64_t cycles,
+                              uint64_t l1_ops, uint64_t l2_ops,
+                              uint64_t llc_ops, uint64_t ring_transfers,
+                              const DramStats &dram);
+
+/** Die-area model (mm^2) used for the iso-area configurations. */
+struct AreaParams
+{
+    double coreLogicMm2 = 5.4;  ///< core + L1s, per core
+    double l2Mm2PerMb = 1.35;
+    double llcMm2PerMb = 1.20;
+};
+
+/** Total tile area for @p cores cores under @p cfg. */
+double chipAreaMm2(const AreaParams &p, const SimConfig &cfg,
+                   uint32_t cores);
+
+/** Cache-only area (L2 + LLC) - the basis of the paper's ~30% claim. */
+double cacheAreaMm2(const AreaParams &p, const SimConfig &cfg,
+                    uint32_t cores);
+
+} // namespace catchsim
+
+#endif // CATCHSIM_POWER_POWER_MODEL_HH_

@@ -1,0 +1,78 @@
+#include "prefetch/stream_prefetcher.hh"
+
+namespace catchsim
+{
+
+StreamPrefetcher::StreamPrefetcher(uint32_t entries, uint32_t degree)
+    : table_(entries), degree_(degree)
+{
+}
+
+StreamPrefetcher::Entry *
+StreamPrefetcher::find(Addr page)
+{
+    for (auto &e : table_)
+        if (e.valid && e.page == page)
+            return &e;
+    return nullptr;
+}
+
+StreamPrefetcher::Entry *
+StreamPrefetcher::allocate(Addr page)
+{
+    Entry *lru = &table_[0];
+    for (auto &e : table_) {
+        if (!e.valid)
+            return &e;
+        if (e.lastUse < lru->lastUse)
+            lru = &e;
+    }
+    *lru = Entry{};
+    (void)page;
+    return lru;
+}
+
+void
+StreamPrefetcher::observe(Addr addr, std::vector<Addr> &out)
+{
+    ++clock_;
+    Addr page = pageAddr(addr);
+    int32_t line = static_cast<int32_t>((addr - page) >> kLineShift);
+    Entry *e = find(page);
+    if (!e) {
+        e = allocate(page);
+        e->valid = true;
+        e->page = page;
+        e->lastLine = line;
+        e->direction = 0;
+        e->confirms = 0;
+        e->lastUse = clock_;
+        return;
+    }
+    e->lastUse = clock_;
+    int32_t delta = line - e->lastLine;
+    if (delta == 0)
+        return;
+    int32_t dir = delta > 0 ? 1 : -1;
+    if (e->direction == dir) {
+        if (e->confirms < 16)
+            ++e->confirms;
+    } else {
+        e->direction = dir;
+        e->confirms = 1;
+    }
+    e->lastLine = line;
+    if (e->confirms < 2)
+        return;
+
+    // Confirmed stream: prefetch degree_ lines ahead within the page.
+    for (uint32_t k = 1; k <= degree_; ++k) {
+        int32_t target = line + dir * static_cast<int32_t>(k);
+        if (target < 0 || target > 63)
+            break;
+        out.push_back(page + static_cast<Addr>(target) * kLineBytes);
+        ++issued_;
+    }
+}
+
+} // namespace catchsim

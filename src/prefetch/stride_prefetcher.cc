@@ -1,0 +1,56 @@
+#include "prefetch/stride_prefetcher.hh"
+
+#include "common/bitutil.hh"
+
+namespace catchsim
+{
+
+StridePrefetcher::StridePrefetcher(uint32_t entries) : table_(entries) {}
+
+uint32_t
+StridePrefetcher::indexOf(Addr pc) const
+{
+    return static_cast<uint32_t>(mix64(pc) % table_.size());
+}
+
+std::optional<Addr>
+StridePrefetcher::observe(Addr pc, Addr addr)
+{
+    Entry &e = table_[indexOf(pc)];
+    if (!e.valid || e.pc != pc) {
+        e = Entry{};
+        e.pc = pc;
+        e.valid = true;
+        e.lastAddr = addr;
+        return std::nullopt;
+    }
+
+    int64_t stride = static_cast<int64_t>(addr) -
+                     static_cast<int64_t>(e.lastAddr);
+    e.lastAddr = addr;
+    if (stride == 0)
+        return std::nullopt;
+    if (stride == e.stride) {
+        e.conf.increment();
+    } else {
+        if (e.conf.decrement() == 0)
+            e.stride = stride;
+        return std::nullopt;
+    }
+    if (!e.conf.saturated())
+        return std::nullopt;
+    ++issued_;
+    return static_cast<Addr>(static_cast<int64_t>(addr) + e.stride);
+}
+
+bool
+StridePrefetcher::stableStride(Addr pc, int64_t *stride_out) const
+{
+    const Entry &e = table_[indexOf(pc)];
+    if (!e.valid || e.pc != pc || !e.conf.saturated() || e.stride == 0)
+        return false;
+    *stride_out = e.stride;
+    return true;
+}
+
+} // namespace catchsim

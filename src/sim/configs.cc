@@ -1,0 +1,43 @@
+#include "sim/configs.hh"
+
+namespace catchsim
+{
+
+SimConfig
+baselineSkx()
+{
+    SimConfig cfg;
+    cfg.name = "skx-1MBL2-5.5MBexclLLC";
+    return cfg;
+}
+
+SimConfig
+baselineClient()
+{
+    SimConfig cfg;
+    cfg.name = "client-256KBL2-8MBinclLLC";
+    cfg.inclusion = InclusionPolicy::Inclusive;
+    cfg.l2 = CacheGeometry{256 * 1024, 8, 12};
+    cfg.llc = CacheGeometry{8 * 1024 * 1024, 16, 40};
+    return cfg;
+}
+
+SimConfig
+noL2(const SimConfig &base, uint64_t llc_kb)
+{
+    SimConfig cfg = base;
+    cfg.removeL2(llc_kb * 1024);
+    cfg.name = "noL2-" + std::to_string(llc_kb / 1024) + "." +
+               std::to_string((llc_kb % 1024) * 10 / 1024) + "MBLLC";
+    return cfg;
+}
+
+SimConfig
+withCatch(SimConfig base)
+{
+    base.enableCatch();
+    base.name += "+CATCH";
+    return base;
+}
+
+} // namespace catchsim

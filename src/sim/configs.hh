@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The named machine configurations of the paper's evaluation:
+ *
+ *   baselineSkx        1 MB L2 + 5.5 MB exclusive LLC (Section V)
+ *   noL2(kb)           L2 removed, LLC grown to kb KB (Figs 1/10)
+ *   baselineClient     256 KB L2 + 8 MB inclusive LLC (Fig 17)
+ *   withCatch(cfg)     criticality detection + all TACT components
+ */
+
+#ifndef CATCHSIM_SIM_CONFIGS_HH_
+#define CATCHSIM_SIM_CONFIGS_HH_
+
+#include "common/sim_config.hh"
+
+namespace catchsim
+{
+
+/** Skylake-server-like baseline: 1 MB L2, 5.5 MB shared exclusive LLC. */
+SimConfig baselineSkx();
+
+/** Skylake-client-like baseline: 256 KB L2, 8 MB shared inclusive LLC. */
+SimConfig baselineClient();
+
+/** Removes the L2 from @p base and sets the LLC to @p llc_kb KB. */
+SimConfig noL2(const SimConfig &base, uint64_t llc_kb);
+
+/** Adds CATCH (criticality detection + all TACT prefetchers). */
+SimConfig withCatch(SimConfig base);
+
+} // namespace catchsim
+
+#endif // CATCHSIM_SIM_CONFIGS_HH_

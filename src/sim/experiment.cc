@@ -1,0 +1,74 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "trace/suite.hh"
+
+namespace catchsim
+{
+
+ExperimentEnv
+ExperimentEnv::fromEnvironment()
+{
+    ExperimentEnv env;
+    const char *full = std::getenv("CATCH_FULL");
+    env.names = (full && full[0] == '1') ? stSuiteNames() : stQuickNames();
+    const char *instr = std::getenv("CATCH_INSTR");
+    env.instrs = instr ? std::strtoull(instr, nullptr, 10) : 300000;
+    const char *warm = std::getenv("CATCH_WARMUP");
+    env.warmup = warm ? std::strtoull(warm, nullptr, 10) : 100000;
+    return env;
+}
+
+std::vector<SimResult>
+runSuite(const SimConfig &cfg, const ExperimentEnv &env)
+{
+    std::vector<SimResult> results;
+    std::fprintf(stderr, "[%s] ", cfg.name.c_str());
+    for (const auto &name : env.names) {
+        results.push_back(runWorkload(cfg, name, env.instrs, env.warmup));
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+    }
+    std::fprintf(stderr, "\n");
+    return results;
+}
+
+std::vector<std::pair<std::string, double>>
+categoryGeomeans(const std::vector<SimResult> &base,
+                 const std::vector<SimResult> &test)
+{
+    CATCHSIM_ASSERT(base.size() == test.size(),
+                    "mismatched suites in categoryGeomeans");
+    std::map<Category, std::vector<double>> buckets;
+    std::vector<double> all;
+    for (size_t i = 0; i < base.size(); ++i) {
+        CATCHSIM_ASSERT(base[i].workload == test[i].workload,
+                        "suite ordering mismatch");
+        double speedup = test[i].ipc / base[i].ipc;
+        buckets[base[i].category].push_back(speedup);
+        all.push_back(speedup);
+    }
+    std::vector<std::pair<std::string, double>> out;
+    const Category order[] = {Category::Client, Category::Fspec,
+                              Category::Hpc, Category::Ispec,
+                              Category::Server};
+    for (Category c : order)
+        if (buckets.count(c))
+            out.emplace_back(categoryName(c), geomean(buckets[c]));
+    out.emplace_back("GeoMean", geomean(all));
+    return out;
+}
+
+double
+overallGeomean(const std::vector<SimResult> &base,
+               const std::vector<SimResult> &test)
+{
+    auto rows = categoryGeomeans(base, test);
+    return rows.back().second;
+}
+
+} // namespace catchsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries: suite runners,
+ * per-category geomean speedups, and environment-variable knobs.
+ *
+ * Environment knobs:
+ *   CATCH_FULL=1     run the full 70-workload suite (default: quick list)
+ *   CATCH_INSTR=N    measured instructions per run (default 300000)
+ *   CATCH_WARMUP=N   warmup instructions per run (default 100000)
+ */
+
+#ifndef CATCHSIM_SIM_EXPERIMENT_HH_
+#define CATCHSIM_SIM_EXPERIMENT_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "trace/workload.hh"
+
+namespace catchsim
+{
+
+/** Suite selection + run lengths from the environment. */
+struct ExperimentEnv
+{
+    std::vector<std::string> names;
+    uint64_t instrs;
+    uint64_t warmup;
+
+    static ExperimentEnv fromEnvironment();
+};
+
+/** Runs one config across the suite; prints one progress dot per run. */
+std::vector<SimResult> runSuite(const SimConfig &cfg,
+                                const ExperimentEnv &env);
+
+/**
+ * Per-workload speedups of @p test over @p base (paired by index) and
+ * their geometric means: per category plus an overall "GeoMean" entry.
+ * Categories appear in the paper's order.
+ */
+std::vector<std::pair<std::string, double>>
+categoryGeomeans(const std::vector<SimResult> &base,
+                 const std::vector<SimResult> &test);
+
+/** Overall geomean speedup of @p test over @p base. */
+double overallGeomean(const std::vector<SimResult> &base,
+                      const std::vector<SimResult> &test);
+
+/** Sums a counter over a suite's results. */
+template <typename Fn>
+double
+sumOver(const std::vector<SimResult> &rs, Fn fn)
+{
+    double total = 0;
+    for (const auto &r : rs)
+        total += static_cast<double>(fn(r));
+    return total;
+}
+
+} // namespace catchsim
+
+#endif // CATCHSIM_SIM_EXPERIMENT_HH_

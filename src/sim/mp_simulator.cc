@@ -1,0 +1,108 @@
+#include "sim/mp_simulator.hh"
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/ooo_core.hh"
+#include "criticality/ddg.hh"
+#include "criticality/heuristic_detector.hh"
+#include "tact/tact.hh"
+
+namespace catchsim
+{
+
+MpSimulator::MpSimulator(const SimConfig &cfg) : cfg_(cfg)
+{
+    cfg_.numCores = 4;
+    cfg_.validate();
+}
+
+MpResult
+MpSimulator::run(const MpMix &mix, uint64_t instrs_per_core,
+                 uint64_t warmup, const std::array<double, 4> &ipc_alone)
+{
+    const uint64_t total = instrs_per_core + warmup;
+
+    std::vector<Trace> traces;
+    std::vector<std::unique_ptr<Workload>> workloads;
+    for (const auto &name : mix.workloads) {
+        workloads.push_back(makeWorkload(name));
+        traces.push_back(workloads.back()->generate(total));
+    }
+
+    CacheHierarchy hierarchy(cfg_);
+
+    std::vector<std::unique_ptr<CriticalityDetector>> detectors(4);
+    std::vector<std::unique_ptr<Tact>> tacts(4);
+    if (cfg_.criticality.enabled) {
+        for (CoreId c = 0; c < 4; ++c) {
+            if (cfg_.criticality.kind == DetectorKind::Heuristic)
+                detectors[c] =
+                    std::make_unique<HeuristicCriticalityDetector>(
+                        cfg_.criticality);
+            else
+                detectors[c] = std::make_unique<DdgCriticalityDetector>(
+                    cfg_.criticality, cfg_.robSize, cfg_.renameLat,
+                    cfg_.redirectLat, cfg_.width);
+        }
+        hierarchy.setCriticalQuery([&detectors](CoreId c, Addr pc) {
+            return detectors[c]->isCritical(pc);
+        });
+        if (cfg_.tact.any()) {
+            for (CoreId c = 0; c < 4; ++c) {
+                CriticalityDetector *det = detectors[c].get();
+                tacts[c] = std::make_unique<Tact>(
+                    cfg_.tact, c, hierarchy,
+                    [det](Addr pc) { return det->isCritical(pc); },
+                    traces[c].mem.get());
+            }
+        }
+    }
+
+    std::vector<std::unique_ptr<OooCore>> cores;
+    for (CoreId c = 0; c < 4; ++c) {
+        cores.push_back(std::make_unique<OooCore>(
+            cfg_, c, hierarchy, detectors[c].get(), tacts[c].get()));
+        cores[c]->bind(traces[c]);
+    }
+
+    // Interleaved stepping ordered by local core time keeps the shared
+    // LLC/DRAM access stream coherent across cores.
+    bool warm_reset_done = false;
+    while (true) {
+        OooCore *next = nullptr;
+        for (auto &core : cores)
+            if (!core->done() && (!next || core->now() < next->now()))
+                next = core.get();
+        if (!next)
+            break;
+        next->step();
+
+        if (!warm_reset_done) {
+            bool all_warm = true;
+            for (auto &core : cores)
+                all_warm &= core->instrsDone() >= warmup;
+            if (all_warm) {
+                warm_reset_done = true;
+                hierarchy.resetStats();
+                for (auto &core : cores)
+                    core->markMeasurementStart();
+            }
+        }
+    }
+
+    MpResult r;
+    r.mix = mix.name;
+    r.config = cfg_.name;
+    r.weightedSpeedup = 0;
+    for (CoreId c = 0; c < 4; ++c) {
+        r.ipc[c] = cores[c]->stats().ipc();
+        r.ipcAlone[c] = ipc_alone[c];
+        if (ipc_alone[c] > 0)
+            r.weightedSpeedup += r.ipc[c] / ipc_alone[c];
+    }
+    return r;
+}
+
+} // namespace catchsim

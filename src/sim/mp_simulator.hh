@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Four-way multi-programmed simulator (Section VI-C): each core runs its
+ * own trace over private L1s (+L2) with a shared LLC and DRAM. Cores
+ * advance in interleaved steps ordered by their local clocks so shared
+ * structures see a coherent access order. The metric is weighted
+ * speedup: sum over cores of IPC_mp / IPC_alone, with IPC_alone measured
+ * on the same machine configuration.
+ */
+
+#ifndef CATCHSIM_SIM_MP_SIMULATOR_HH_
+#define CATCHSIM_SIM_MP_SIMULATOR_HH_
+
+#include <array>
+#include <string>
+
+#include "common/sim_config.hh"
+#include "trace/suite.hh"
+
+namespace catchsim
+{
+
+struct MpResult
+{
+    std::string mix;
+    std::string config;
+    std::array<double, 4> ipc{};      ///< per-core MP IPC
+    std::array<double, 4> ipcAlone{}; ///< same-config solo IPC
+    double weightedSpeedup = 0;
+};
+
+class MpSimulator
+{
+  public:
+    explicit MpSimulator(const SimConfig &cfg);
+
+    /**
+     * Runs a 4-way mix.
+     * @param ipc_alone solo IPCs of the four workloads on this config
+     *        (callers memoise these across mixes)
+     */
+    MpResult run(const MpMix &mix, uint64_t instrs_per_core,
+                 uint64_t warmup, const std::array<double, 4> &ipc_alone);
+
+  private:
+    SimConfig cfg_;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_SIM_MP_SIMULATOR_HH_

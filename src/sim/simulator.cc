@@ -1,0 +1,124 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+#include "criticality/heuristic_detector.hh"
+#include "trace/suite.hh"
+
+namespace catchsim
+{
+
+Simulator::Simulator(const SimConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+SimResult
+Simulator::run(Workload &workload, uint64_t instrs, uint64_t warmup)
+{
+    SimConfig cfg = cfg_;
+    cfg.numCores = 1;
+
+    Trace trace = workload.generate(instrs + warmup);
+    CacheHierarchy hierarchy(cfg);
+
+    std::unique_ptr<CriticalityDetector> detector;
+    DdgCriticalityDetector *ddg = nullptr;
+    bool need_detector =
+        cfg.criticality.enabled ||
+        cfg.oracle.demote == DemoteMode::L1ToL2NonCrit ||
+        cfg.oracle.demote == DemoteMode::L2ToLlcNonCrit ||
+        cfg.oracle.demote == DemoteMode::LlcToMemNonCrit ||
+        (cfg.oracle.oraclePrefetch && cfg.oracle.oraclePrefetchPcLimit);
+    if (need_detector) {
+        CriticalityConfig ccfg = cfg.criticality;
+        if (cfg.oracle.oraclePrefetch && cfg.oracle.oraclePrefetchPcLimit)
+            ccfg.tableEntries = cfg.oracle.oraclePrefetchPcLimit;
+        if (ccfg.kind == DetectorKind::Heuristic) {
+            detector =
+                std::make_unique<HeuristicCriticalityDetector>(ccfg);
+        } else {
+            auto d = std::make_unique<DdgCriticalityDetector>(
+                ccfg, cfg.robSize, cfg.renameLat, cfg.redirectLat,
+                cfg.width);
+            ddg = d.get();
+            detector = std::move(d);
+        }
+        hierarchy.setCriticalQuery([&detector](CoreId, Addr pc) {
+            return detector->isCritical(pc);
+        });
+    }
+
+    std::unique_ptr<Tact> tact;
+    if (cfg.tact.any()) {
+        CATCHSIM_ASSERT(detector != nullptr, "TACT requires the detector");
+        tact = std::make_unique<Tact>(
+            cfg.tact, 0, hierarchy,
+            [&detector](Addr pc) { return detector->isCritical(pc); },
+            trace.mem.get());
+    }
+
+    OooCore core(cfg, 0, hierarchy, detector.get(), tact.get());
+    core.bind(trace);
+
+    while (core.instrsDone() < warmup && core.step()) {
+    }
+    hierarchy.resetStats();
+    core.markMeasurementStart();
+    uint64_t measured_start_cycle = core.now();
+    while (core.step()) {
+    }
+
+    SimResult r;
+    r.workload = workload.name();
+    r.config = cfg.name;
+    r.category = workload.category();
+    r.core = core.stats();
+    r.ipc = r.core.ipc();
+    r.hier = hierarchy.stats();
+    r.l1d = hierarchy.l1dStats(0);
+    r.l1i = hierarchy.l1iStats(0);
+    r.hasL2 = hierarchy.hasL2();
+    if (r.hasL2)
+        r.l2 = *hierarchy.l2Stats(0);
+    r.llc = hierarchy.llcStats();
+    r.dram = hierarchy.dramStats();
+    r.frontend = core.frontend().stats();
+    if (detector) {
+        if (ddg)
+            r.ddg = ddg->stats();
+        r.criticalTable = detector->table().stats();
+        r.activeCriticalPcs = detector->table().activeCount();
+    }
+    if (tact)
+        r.tact = tact->stats();
+
+    const Histogram &tl = hierarchy.tactTimeliness();
+    r.timelinessAtLeast80 = tl.fractionAtLeast(80);
+    r.timelinessAtLeast10 = tl.fractionAtLeast(10);
+    uint64_t pf_located = r.hier.tactPfFromL2 + r.hier.tactPfFromLlc +
+                          r.hier.tactPfFromMem;
+    r.tactFromLlcFraction =
+        pf_located ? static_cast<double>(r.hier.tactPfFromLlc) / pf_located
+                   : 0.0;
+
+    uint64_t l1_ops = r.l1d.readOps + r.l1d.writeOps + r.l1i.readOps +
+                      r.l1i.writeOps;
+    uint64_t l2_ops = r.hasL2 ? r.l2.readOps + r.l2.writeOps : 0;
+    uint64_t llc_ops = r.llc.readOps + r.llc.writeOps;
+    uint64_t cycles = core.now() - measured_start_cycle;
+    r.energy = computeEnergy(EnergyParams{}, cfg, r.core.instrs, cycles,
+                             l1_ops, l2_ops, llc_ops,
+                             r.hier.ringTransfers, r.dram);
+    return r;
+}
+
+SimResult
+runWorkload(const SimConfig &cfg, const std::string &name, uint64_t instrs,
+            uint64_t warmup)
+{
+    auto wl = makeWorkload(name);
+    Simulator sim(cfg);
+    return sim.run(*wl, instrs, warmup);
+}
+
+} // namespace catchsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Single-thread simulator: wires a workload trace, one OooCore, the
+ * cache hierarchy, the criticality detector and TACT together, runs a
+ * warmup window, and collects every statistic the benches report.
+ */
+
+#ifndef CATCHSIM_SIM_SIMULATOR_HH_
+#define CATCHSIM_SIM_SIMULATOR_HH_
+
+#include <memory>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "common/sim_config.hh"
+#include "core/ooo_core.hh"
+#include "criticality/ddg.hh"
+#include "power/power_model.hh"
+#include "tact/tact.hh"
+#include "trace/workload.hh"
+
+namespace catchsim
+{
+
+/** Everything a bench might want from one run. */
+struct SimResult
+{
+    std::string workload;
+    std::string config;
+    Category category = Category::Ispec;
+
+    CoreStats core;
+    double ipc = 0;
+
+    HierarchyStats hier;
+    CacheStats l1d;
+    CacheStats l1i;
+    CacheStats l2;
+    bool hasL2 = false;
+    CacheStats llc;
+    DramStats dram;
+    FrontendStats frontend;
+
+    DdgStats ddg;
+    CriticalTableStats criticalTable;
+    uint32_t activeCriticalPcs = 0;
+    TactStats tact;
+
+    /** Fig 11: fraction of useful TACT prefetches saving >= 80% of the
+     *  LLC latency, and the fraction saving >= 10%. */
+    double timelinessAtLeast80 = 0;
+    double timelinessAtLeast10 = 0;
+    /** Fig 11: fraction of TACT prefetches served by the LLC. */
+    double tactFromLlcFraction = 0;
+
+    EnergyBreakdown energy;
+};
+
+/** Runs one workload on one machine configuration. */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &cfg);
+
+    /**
+     * @param instrs measured instructions
+     * @param warmup instructions run before stats reset
+     */
+    SimResult run(Workload &workload, uint64_t instrs, uint64_t warmup);
+
+  private:
+    SimConfig cfg_;
+};
+
+/** Convenience: build + run in one call. */
+SimResult runWorkload(const SimConfig &cfg, const std::string &name,
+                      uint64_t instrs, uint64_t warmup);
+
+} // namespace catchsim
+
+#endif // CATCHSIM_SIM_SIMULATOR_HH_

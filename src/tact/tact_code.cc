@@ -1,0 +1,39 @@
+#include "tact/tact_code.hh"
+
+namespace catchsim
+{
+
+TactCode::TactCode(const TactConfig &cfg, PrefetchFn prefetch,
+                   MispredictFn would_mispredict)
+    : cfg_(cfg), prefetch_(std::move(prefetch)),
+      wouldMispredict_(std::move(would_mispredict))
+{
+}
+
+void
+TactCode::onCodeStall(const MicroOp *ops, size_t count, size_t idx,
+                      Cycle now)
+{
+    ++stalls_;
+    Addr stalled_line = lineAddr(ops[idx].pc);
+    Addr last_line = stalled_line;
+    uint32_t issued = 0;
+    for (size_t j = idx + 1;
+         j < count && issued < cfg_.codeRunaheadLines; ++j) {
+        const MicroOp &op = ops[j];
+        Addr line = lineAddr(op.pc);
+        if (line != last_line && line != stalled_line) {
+            prefetch_(line, now);
+            ++lines_;
+            ++issued;
+            last_line = line;
+        }
+        // The CNPIP follows branch predictions; past a branch the
+        // predictor gets wrong, the runahead diverges from the real
+        // path, so stop there.
+        if (op.isBranch() && wouldMispredict_(op))
+            break;
+    }
+}
+
+} // namespace catchsim

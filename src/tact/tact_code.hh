@@ -1,0 +1,56 @@
+/**
+ * @file
+ * TACT-Code (Section IV-B2): front-end code runahead. When the NIP logic
+ * stalls on an L1I miss, a Code-Next-Prefetch-IP (CNPIP) checkpoint runs
+ * ahead along the *predicted* path, prefetching upcoming code lines into
+ * the L1I. The CNPIP resets on a branch mispredict - equivalently, the
+ * runahead is only useful up to the first branch the predictor would get
+ * wrong, which is where this model stops it.
+ */
+
+#ifndef CATCHSIM_TACT_TACT_CODE_HH_
+#define CATCHSIM_TACT_TACT_CODE_HH_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/sim_config.hh"
+#include "common/types.hh"
+#include "trace/micro_op.hh"
+
+namespace catchsim
+{
+
+class TactCode
+{
+  public:
+    using PrefetchFn = std::function<void(Addr line_addr, Cycle now)>;
+    /** True when the predictor would NOT follow this branch correctly. */
+    using MispredictFn = std::function<bool(const MicroOp &)>;
+
+    TactCode(const TactConfig &cfg, PrefetchFn prefetch,
+             MispredictFn would_mispredict);
+
+    /**
+     * Runahead triggered by an L1I miss while fetching @p ops[idx].
+     * Walks the upcoming instruction stream (the predicted path, valid
+     * until the first mispredicting branch) and prefetches the next code
+     * lines.
+     */
+    void onCodeStall(const MicroOp *ops, size_t count, size_t idx,
+                     Cycle now);
+
+    uint64_t stalls() const { return stalls_; }
+    uint64_t linesPrefetched() const { return lines_; }
+
+  private:
+    TactConfig cfg_;
+    PrefetchFn prefetch_;
+    MispredictFn wouldMispredict_;
+    uint64_t stalls_ = 0;
+    uint64_t lines_ = 0;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_TACT_TACT_CODE_HH_

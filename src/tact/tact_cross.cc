@@ -1,0 +1,117 @@
+#include "tact/tact_cross.hh"
+
+#include <algorithm>
+
+namespace catchsim
+{
+
+TactCross::TactCross(const TactConfig &cfg, IssueFn issue)
+    : cfg_(cfg), issue_(std::move(issue)), triggerCache_(cfg)
+{
+}
+
+void
+TactCross::dropTarget(Addr pc)
+{
+    auto it = targets_.find(pc);
+    if (it == targets_.end())
+        return;
+    if (it->second.haveTrigger) {
+        auto fit = firing_.find(it->second.triggerPc);
+        if (fit != firing_.end()) {
+            auto &v = fit->second;
+            v.erase(std::remove(v.begin(), v.end(), pc), v.end());
+        }
+    }
+    targets_.erase(it);
+}
+
+void
+TactCross::train(TargetState &st, Addr target_pc, Addr addr)
+{
+    if (st.learned || st.exhausted)
+        return;
+
+    if (!st.haveTrigger) {
+        auto cands = triggerCache_.candidates(addr);
+        if (st.candidateIdx >= cands.size()) {
+            st.candidateIdx = 0;
+            if (++st.wraps > cfg_.crossCandidateWraps) {
+                st.exhausted = true;
+                return;
+            }
+        }
+        if (cands.empty())
+            return;
+        Addr cand = cands[st.candidateIdx];
+        if (cand == target_pc) {
+            // Self associations belong to TACT-Self; skip.
+            ++st.candidateIdx;
+            return;
+        }
+        st.triggerPc = cand;
+        st.haveTrigger = true;
+        st.instances = 0;
+        st.deltaConf.reset();
+        triggerLastAddr_.emplace(cand, 0);
+        return;
+    }
+
+    auto lit = triggerLastAddr_.find(st.triggerPc);
+    if (lit == triggerLastAddr_.end() || lit->second == 0)
+        return;
+
+    ++st.instances;
+    int64_t delta = static_cast<int64_t>(addr) -
+                    static_cast<int64_t>(lit->second);
+    // Cross deltas are expected to stay within a 4 KB page (the paper
+    // observes >85% do); larger deltas never train.
+    if (delta > -static_cast<int64_t>(kPageBytes) &&
+        delta < static_cast<int64_t>(kPageBytes) && delta != 0 &&
+        delta == st.lastDelta) {
+        if (st.deltaConf.increment() >= st.deltaConf.max()) {
+            st.learned = true;
+            st.delta = delta;
+            firing_[st.triggerPc].push_back(target_pc);
+            return;
+        }
+    } else {
+        st.lastDelta = delta;
+        st.deltaConf.reset();
+    }
+
+    if (st.instances >= cfg_.crossTrainInstances) {
+        // This candidate failed to show a stable delta; try the next.
+        st.haveTrigger = false;
+        ++st.candidateIdx;
+    }
+}
+
+void
+TactCross::onLoad(Addr pc, Addr addr, Cycle now, bool is_critical_target)
+{
+    triggerCache_.onLoad(pc, addr);
+
+    // Trigger side: record the address and fire learned targets.
+    auto lit = triggerLastAddr_.find(pc);
+    if (lit != triggerLastAddr_.end())
+        lit->second = addr;
+    auto fit = firing_.find(pc);
+    if (fit != firing_.end()) {
+        for (Addr target_pc : fit->second) {
+            auto tit = targets_.find(target_pc);
+            if (tit == targets_.end() || !tit->second.learned)
+                continue;
+            ++issued_;
+            issue_(static_cast<Addr>(static_cast<int64_t>(addr) +
+                                     tit->second.delta),
+                   now);
+        }
+    }
+
+    // Target side: train.
+    if (is_critical_target)
+        train(targets_[pc], pc, addr);
+}
+
+} // namespace catchsim

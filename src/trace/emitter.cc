@@ -1,0 +1,110 @@
+#include "trace/emitter.hh"
+
+#include "common/logging.hh"
+
+namespace catchsim
+{
+
+Emitter::Emitter(FunctionalMemory &mem, std::vector<MicroOp> &out,
+                 size_t limit)
+    : mem_(mem), out_(out), limit_(limit)
+{
+    out_.reserve(limit);
+}
+
+void
+Emitter::push(MicroOp op)
+{
+    if (done()) {
+        // Kernels keep computing past the budget until their outer loop
+        // notices; silently drop the surplus ops.
+        return;
+    }
+    out_.push_back(op);
+}
+
+void
+Emitter::alu(int dst, std::initializer_list<int> srcs, OpClass cls)
+{
+    MicroOp op;
+    op.pc = pc_;
+    op.cls = cls;
+    op.dst = static_cast<int8_t>(dst);
+    int i = 0;
+    for (int s : srcs) {
+        CATCHSIM_ASSERT(i < static_cast<int>(kMaxSrcs), "too many sources");
+        op.src[i++] = static_cast<int8_t>(s);
+    }
+    push(op);
+    pc_ += 4;
+}
+
+uint64_t
+Emitter::load(int dst, std::initializer_list<int> srcs, Addr addr)
+{
+    uint64_t value = mem_.read(addr);
+    MicroOp op;
+    op.pc = pc_;
+    op.cls = OpClass::Load;
+    op.dst = static_cast<int8_t>(dst);
+    int i = 0;
+    for (int s : srcs) {
+        CATCHSIM_ASSERT(i < static_cast<int>(kMaxSrcs), "too many sources");
+        op.src[i++] = static_cast<int8_t>(s);
+    }
+    op.memAddr = addr;
+    op.value = value;
+    push(op);
+    pc_ += 4;
+    return value;
+}
+
+void
+Emitter::store(std::initializer_list<int> srcs, Addr addr, uint64_t value)
+{
+    mem_.write(addr, value);
+    MicroOp op;
+    op.pc = pc_;
+    op.cls = OpClass::Store;
+    int i = 0;
+    for (int s : srcs) {
+        CATCHSIM_ASSERT(i < static_cast<int>(kMaxSrcs), "too many sources");
+        op.src[i++] = static_cast<int8_t>(s);
+    }
+    op.memAddr = addr;
+    op.value = value;
+    push(op);
+    pc_ += 4;
+}
+
+void
+Emitter::branch(bool taken, Addr target, std::initializer_list<int> srcs)
+{
+    MicroOp op;
+    op.pc = pc_;
+    op.cls = OpClass::Branch;
+    int i = 0;
+    for (int s : srcs) {
+        CATCHSIM_ASSERT(i < static_cast<int>(kMaxSrcs), "too many sources");
+        op.src[i++] = static_cast<int8_t>(s);
+    }
+    op.taken = taken;
+    op.target = target;
+    push(op);
+    pc_ = taken ? target : pc_ + 4;
+}
+
+void
+Emitter::jump(Addr target)
+{
+    branch(true, target);
+}
+
+void
+Emitter::nops(int n)
+{
+    for (int i = 0; i < n; ++i)
+        alu(-1, {});
+}
+
+} // namespace catchsim

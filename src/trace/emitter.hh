@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Emitter: the interface workload kernels use to produce traces.
+ *
+ * Kernels execute their algorithm functionally (reads/writes go to a
+ * FunctionalMemory) while the emitter records a dynamic instruction
+ * stream with stable PCs, realistic register dataflow and real data
+ * values. Stable PCs matter: every PC-indexed structure in the paper
+ * (stride prefetcher, critical-load table, TACT learners) depends on the
+ * same static load reappearing across loop iterations, so kernels reset
+ * the PC to the loop head on every iteration via setPc()/loopHead().
+ */
+
+#ifndef CATCHSIM_TRACE_EMITTER_HH_
+#define CATCHSIM_TRACE_EMITTER_HH_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/functional_memory.hh"
+#include "trace/micro_op.hh"
+
+namespace catchsim
+{
+
+/** Records MicroOps into a trace until a target length is reached. */
+class Emitter
+{
+  public:
+    /**
+     * @param mem functional memory the kernel computes against
+     * @param out destination trace
+     * @param limit number of micro-ops to record
+     */
+    Emitter(FunctionalMemory &mem, std::vector<MicroOp> &out, size_t limit);
+
+    /** True once the requested number of ops has been emitted. */
+    bool done() const { return out_.size() >= limit_; }
+
+    /** Remaining op budget. */
+    size_t remaining() const
+    {
+        return done() ? 0 : limit_ - out_.size();
+    }
+
+    FunctionalMemory &mem() { return mem_; }
+
+    /** Moves the PC to @p pc without emitting anything (a label). */
+    void setPc(Addr pc) { pc_ = pc; }
+
+    Addr pc() const { return pc_; }
+
+    /** Emits an arithmetic op writing @p dst from @p srcs. */
+    void alu(int dst, std::initializer_list<int> srcs,
+             OpClass cls = OpClass::Alu);
+
+    /**
+     * Emits a load of the 64-bit word at @p addr into @p dst.
+     * @param srcs the registers that functionally produced the address
+     * @returns the loaded value (from functional memory)
+     */
+    uint64_t load(int dst, std::initializer_list<int> srcs, Addr addr);
+
+    /** Emits a store of @p value to @p addr; srcs = address + data regs. */
+    void store(std::initializer_list<int> srcs, Addr addr, uint64_t value);
+
+    /**
+     * Emits a conditional branch. When taken the PC moves to @p target,
+     * otherwise it falls through to pc+4.
+     * @param srcs registers the branch condition depends on
+     */
+    void branch(bool taken, Addr target,
+                std::initializer_list<int> srcs = {});
+
+    /** Emits an unconditional jump to @p target (always predictable). */
+    void jump(Addr target);
+
+    /** Emits @p n independent single-cycle filler ops. */
+    void nops(int n);
+
+    /** Total ops emitted so far. */
+    size_t emitted() const { return out_.size(); }
+
+  private:
+    void push(MicroOp op);
+
+    FunctionalMemory &mem_;
+    std::vector<MicroOp> &out_;
+    size_t limit_;
+    Addr pc_ = 0x400000;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_TRACE_EMITTER_HH_

@@ -1,0 +1,147 @@
+#include "trace/trace_io.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace catchsim
+{
+
+namespace
+{
+
+constexpr char kMagic[6] = {'C', 'T', 'S', 'I', 'M', '\0'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool
+put(std::FILE *f, T v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+template <typename T>
+bool
+get(std::FILE *f, T *v)
+{
+    return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+} // namespace
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
+        !put(f.get(), kVersion) ||
+        !put(f.get(), static_cast<uint64_t>(trace.ops.size())))
+        return false;
+    for (const MicroOp &op : trace.ops) {
+        if (!put(f.get(), op.pc) || !put(f.get(), op.memAddr) ||
+            !put(f.get(), op.value) || !put(f.get(), op.target) ||
+            !put(f.get(), static_cast<uint8_t>(op.cls)) ||
+            !put(f.get(), static_cast<int8_t>(op.dst)) ||
+            !put(f.get(), op.src[0]) || !put(f.get(), op.src[1]) ||
+            !put(f.get(), op.src[2]) ||
+            !put(f.get(), static_cast<uint8_t>(op.taken)))
+            return false;
+    }
+    // Serialise the pages the trace actually references: the addresses
+    // of every load/store, which is all the feeder will ever read.
+    std::vector<Addr> pages;
+    {
+        // Collect distinct pages (small sets; a sort+unique suffices).
+        for (const MicroOp &op : trace.ops)
+            if (op.isLoad() || op.isStore())
+                pages.push_back(pageAddr(op.memAddr));
+        std::sort(pages.begin(), pages.end());
+        pages.erase(std::unique(pages.begin(), pages.end()),
+                    pages.end());
+    }
+    if (!put(f.get(), static_cast<uint64_t>(pages.size())))
+        return false;
+    for (Addr page : pages) {
+        if (!put(f.get(), page))
+            return false;
+        for (Addr a = page; a < page + kPageBytes; a += 8)
+            if (!put(f.get(), trace.mem->read(a)))
+                return false;
+    }
+    return true;
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    Trace trace;
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return trace;
+    char magic[6];
+    uint32_t version = 0;
+    uint64_t count = 0;
+    if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+        !get(f.get(), &version) || version != kVersion ||
+        !get(f.get(), &count)) {
+        warn("trace file '", path, "' has a bad header");
+        return trace;
+    }
+    trace.ops.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        MicroOp op;
+        uint8_t cls = 0, taken = 0;
+        if (!get(f.get(), &op.pc) || !get(f.get(), &op.memAddr) ||
+            !get(f.get(), &op.value) || !get(f.get(), &op.target) ||
+            !get(f.get(), &cls) || !get(f.get(), &op.dst) ||
+            !get(f.get(), &op.src[0]) || !get(f.get(), &op.src[1]) ||
+            !get(f.get(), &op.src[2]) || !get(f.get(), &taken)) {
+            warn("trace file '", path, "' truncated at op ", i);
+            trace.ops.clear();
+            return trace;
+        }
+        op.cls = static_cast<OpClass>(cls);
+        op.taken = taken != 0;
+        trace.ops.push_back(op);
+    }
+    uint64_t pages = 0;
+    if (!get(f.get(), &pages)) {
+        trace.ops.clear();
+        return trace;
+    }
+    trace.mem = std::make_shared<FunctionalMemory>();
+    for (uint64_t p = 0; p < pages; ++p) {
+        Addr base = 0;
+        if (!get(f.get(), &base)) {
+            trace.ops.clear();
+            trace.mem.reset();
+            return trace;
+        }
+        for (Addr a = base; a < base + kPageBytes; a += 8) {
+            uint64_t word = 0;
+            if (!get(f.get(), &word)) {
+                trace.ops.clear();
+                trace.mem.reset();
+                return trace;
+            }
+            if (word)
+                trace.mem->write(a, word);
+        }
+    }
+    return trace;
+}
+
+} // namespace catchsim

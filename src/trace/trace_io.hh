@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary trace serialisation: save a generated Trace (instruction stream
+ * plus the functional-memory pages the feeder reads) to disk and load it
+ * back. Lets users capture a workload once and replay it across many
+ * configuration sweeps, or ship traces between machines.
+ *
+ * Format (little-endian, version 1):
+ *   magic "CTSIM\0", u32 version,
+ *   u64 op count, then per op: pc, memAddr, value, target (u64 each),
+ *     cls, dst, src[3], taken (u8 each),
+ *   u64 page count, then per page: u64 base address + 4096 raw bytes.
+ */
+
+#ifndef CATCHSIM_TRACE_TRACE_IO_HH_
+#define CATCHSIM_TRACE_TRACE_IO_HH_
+
+#include <string>
+
+#include "trace/workload.hh"
+
+namespace catchsim
+{
+
+/** Writes @p trace to @p path. @returns false on I/O failure. */
+bool saveTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Reads a trace from @p path.
+ * @returns an empty trace (no ops, null memory) on failure
+ */
+Trace loadTrace(const std::string &path);
+
+} // namespace catchsim
+
+#endif // CATCHSIM_TRACE_TRACE_IO_HH_

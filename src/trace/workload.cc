@@ -1,0 +1,19 @@
+#include "trace/workload.hh"
+
+namespace catchsim
+{
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Client: return "client";
+      case Category::Fspec: return "FSPEC";
+      case Category::Hpc: return "HPC";
+      case Category::Ispec: return "ISPEC";
+      case Category::Server: return "server";
+    }
+    return "?";
+}
+
+} // namespace catchsim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Workload and trace abstractions.
+ *
+ * A Workload is a seeded generator of instruction traces. The synthetic
+ * kernels in trace/kernels stand in for the paper's SPEC CPU 2006 / HPC /
+ * server / client applications; each is engineered to reproduce the
+ * cache-hierarchy behaviour the paper reports for its category (see
+ * DESIGN.md section 2 for the substitution argument).
+ */
+
+#ifndef CATCHSIM_TRACE_WORKLOAD_HH_
+#define CATCHSIM_TRACE_WORKLOAD_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/functional_memory.hh"
+#include "trace/emitter.hh"
+#include "trace/micro_op.hh"
+
+namespace catchsim
+{
+
+/** Workload categories used for per-category reporting, as in the paper. */
+enum class Category : uint8_t
+{
+    Client,
+    Fspec,
+    Hpc,
+    Ispec,
+    Server,
+};
+
+const char *categoryName(Category c);
+
+/** A generated trace plus the functional memory it computed against. */
+struct Trace
+{
+    std::vector<MicroOp> ops;
+    /**
+     * Final memory image. TACT-Feeder reads prefetched lines from here to
+     * obtain the value a hardware fill would return (kernels write their
+     * pointer structures during setup and do not re-link them afterwards,
+     * so the image is stable for the addresses feeder chases).
+     */
+    std::shared_ptr<FunctionalMemory> mem;
+};
+
+/** Base class for all workloads. */
+class Workload
+{
+  public:
+    Workload(std::string name, Category category, uint64_t seed)
+        : name_(std::move(name)), category_(category), seed_(seed)
+    {
+    }
+
+    virtual ~Workload() = default;
+
+    const std::string &name() const { return name_; }
+    Category category() const { return category_; }
+    uint64_t seed() const { return seed_; }
+
+    /** Generates a trace of exactly @p n micro-ops. */
+    Trace
+    generate(size_t n)
+    {
+        Trace trace;
+        trace.mem = std::make_shared<FunctionalMemory>();
+        Emitter em(*trace.mem, trace.ops, n);
+        Rng rng(seed_);
+        setup(*trace.mem, rng);
+        while (!em.done())
+            run(em, rng);
+        return trace;
+    }
+
+  protected:
+    /** Builds the workload's data structures in functional memory. */
+    virtual void setup(FunctionalMemory &mem, Rng &rng) = 0;
+
+    /**
+     * Emits one outer chunk of the algorithm; called repeatedly until the
+     * op budget is exhausted. Implementations must make forward progress
+     * (emit at least one op) per call.
+     */
+    virtual void run(Emitter &em, Rng &rng) = 0;
+
+  private:
+    std::string name_;
+    Category category_;
+    uint64_t seed_;
+};
+
+/** Convenient architectural register names for kernel code. */
+enum Reg : int
+{
+    r0 = 0, r1, r2, r3, r4, r5, r6, r7,
+    r8, r9, r10, r11, r12, r13, r14, r15,
+};
+
+/** Base of the code segment used by kernels. */
+constexpr Addr kCodeBase = 0x00400000;
+
+/** Base of the data segment used by kernels. */
+constexpr Addr kHeapBase = 0x10000000;
+
+/**
+ * Address of code block @p i. Blocks are 0x440 bytes apart: enough for
+ * every kernel's intra-block offsets, packed like compiler-laid-out
+ * functions, and 17 lines is coprime with any power-of-two set count so
+ * consecutive blocks cover all L1I sets (page-aligned blocks would
+ * alias a handful of sets and melt the instruction cache).
+ */
+constexpr Addr
+codeBlock(unsigned i)
+{
+    return kCodeBase + static_cast<Addr>(i) * 0x440;
+}
+
+} // namespace catchsim
+
+#endif // CATCHSIM_TRACE_WORKLOAD_HH_

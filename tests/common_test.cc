@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit helpers, RNG, saturating
+ * counters, histograms, stats helpers, issue calendar and SimConfig
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutil.hh"
+#include "common/issue_calendar.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/sim_config.hh"
+#include "common/stats.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+TEST(BitUtil, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(BitUtil, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtil, Mix64SpreadsBits)
+{
+    // Consecutive inputs must land far apart (used for table indexing).
+    std::set<uint64_t> low_bits;
+    for (uint64_t i = 0; i < 64; ++i)
+        low_bits.insert(mix64(i) & 63);
+    EXPECT_GT(low_bits.size(), 32u);
+}
+
+TEST(BitUtil, HashPcFitsWidth)
+{
+    for (uint64_t pc = 0x400000; pc < 0x400400; pc += 4)
+        EXPECT_LT(hashPc(pc, 10), 1024u);
+}
+
+TEST(LineAddr, Alignment)
+{
+    EXPECT_EQ(lineAddr(0x1000), 0x1000u);
+    EXPECT_EQ(lineAddr(0x103f), 0x1000u);
+    EXPECT_EQ(lineAddr(0x1040), 0x1040u);
+    EXPECT_EQ(pageAddr(0x1fff), 0x1000u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, PercentRoughlyCalibrated)
+{
+    Rng rng(3);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.percent(30);
+    EXPECT_NEAR(hits, 3000, 300);
+}
+
+TEST(SatCounter, SaturatesBothEnds)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.max(), 3u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_TRUE(c.saturated());
+    EXPECT_EQ(c.value(), 3u);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, PredictTakenThreshold)
+{
+    SatCounter c(2, 1);
+    EXPECT_FALSE(c.predictTaken());
+    c.increment();
+    EXPECT_TRUE(c.predictTaken());
+}
+
+TEST(Histogram, FractionAtLeast)
+{
+    Histogram h(10, 11); // buckets 0-9, 10-19, ..., 100+
+    h.add(5);
+    h.add(85);
+    h.add(95);
+    h.add(100);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(80), 0.75);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(0), 1.0);
+    EXPECT_EQ(h.samples(), 4u);
+}
+
+TEST(Histogram, ClampsOverflow)
+{
+    Histogram h(10, 5);
+    h.add(1000000);
+    EXPECT_EQ(h.samples(), 1u);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(40), 1.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.1, 1.1, 1.1}), 1.1, 1e-12);
+}
+
+TEST(Stats, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.0841), "+8.41%");
+    EXPECT_EQ(formatPercent(-0.0779), "-7.79%");
+}
+
+TEST(IssueCalendar, RespectsPerCyclePorts)
+{
+    IssueCalendar cal(2);
+    EXPECT_EQ(cal.schedule(10), 10u);
+    EXPECT_EQ(cal.schedule(10), 10u);
+    EXPECT_EQ(cal.schedule(10), 11u); // third in the same cycle spills
+}
+
+TEST(IssueCalendar, FutureReservationDoesNotBlockPresent)
+{
+    // The regression the calendar exists to prevent: an op scheduled far
+    // in the future must not make the port look busy now.
+    IssueCalendar cal(1);
+    EXPECT_EQ(cal.schedule(1000), 1000u);
+    EXPECT_EQ(cal.schedule(5), 5u);
+    EXPECT_EQ(cal.schedule(6), 6u);
+}
+
+TEST(IssueCalendar, MultiSlotOccupancy)
+{
+    IssueCalendar cal(1);
+    EXPECT_EQ(cal.schedule(0, 3), 0u); // occupies cycles 0,1,2
+    EXPECT_EQ(cal.schedule(0), 3u);
+}
+
+TEST(IssueCalendar, WindowSlides)
+{
+    IssueCalendar cal(1, 64);
+    cal.schedule(0);
+    EXPECT_EQ(cal.schedule(1000), 1000u);
+    // Old cycles left the window; a stale request clamps to the floor.
+    Cycle c = cal.schedule(1);
+    EXPECT_GE(c, 1000u - 64u);
+}
+
+TEST(SimConfig, DefaultsValidate)
+{
+    SimConfig cfg;
+    cfg.validate(); // must not fatal
+    EXPECT_TRUE(cfg.hasL2);
+    EXPECT_EQ(cfg.llc.numSets(), 8192u);
+}
+
+TEST(SimConfig, RemoveL2AdjustsWays)
+{
+    SimConfig cfg;
+    cfg.removeL2(6656 * 1024);
+    EXPECT_FALSE(cfg.hasL2);
+    EXPECT_EQ(cfg.inclusion, InclusionPolicy::Nine);
+    EXPECT_TRUE(isPowerOfTwo(cfg.llc.numSets()));
+    EXPECT_EQ(cfg.llc.sizeBytes, 6656u * 1024u);
+    cfg.validate();
+}
+
+TEST(SimConfig, EnableCatchTurnsEverythingOn)
+{
+    SimConfig cfg;
+    cfg.enableCatch();
+    EXPECT_TRUE(cfg.criticality.enabled);
+    EXPECT_TRUE(cfg.tact.cross && cfg.tact.deepSelf && cfg.tact.feeder &&
+                cfg.tact.code);
+    cfg.validate();
+}
+
+} // namespace
+} // namespace catchsim

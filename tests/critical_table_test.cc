@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the 32-entry critical-load table: confidence behaviour, LRU
+ * pressure (the povray case), and the periodic confidence reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "criticality/area_model.hh"
+#include "criticality/critical_table.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+CriticalityConfig
+cfg32()
+{
+    CriticalityConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+TEST(CriticalTable, NeedsSaturatedConfidence)
+{
+    CriticalTable t(cfg32());
+    t.record(0x400100);
+    EXPECT_FALSE(t.isCritical(0x400100));
+    t.record(0x400100);
+    EXPECT_FALSE(t.isCritical(0x400100));
+    t.record(0x400100);
+    EXPECT_TRUE(t.isCritical(0x400100)); // 2-bit counter saturates at 3
+    EXPECT_EQ(t.activeCount(), 1u);
+}
+
+TEST(CriticalTable, UnknownPcIsNotCritical)
+{
+    CriticalTable t(cfg32());
+    EXPECT_FALSE(t.isCritical(0x400100));
+}
+
+TEST(CriticalTable, HoldsThirtyTwoDistinctPcs)
+{
+    CriticalTable t(cfg32());
+    for (int round = 0; round < 3; ++round)
+        for (Addr pc = 0; pc < 32; ++pc)
+            t.record(0x400000 + pc * 4);
+    uint32_t active = 0;
+    for (Addr pc = 0; pc < 32; ++pc)
+        active += t.isCritical(0x400000 + pc * 4);
+    // Hashing may put >8 PCs into a set; most must survive.
+    EXPECT_GE(active, 20u);
+}
+
+TEST(CriticalTable, ThrashesBeyondCapacity)
+{
+    // The paper's povray observation: far more critical PCs than
+    // entries means evictions and few saturated entries.
+    CriticalTable t(cfg32());
+    for (int round = 0; round < 4; ++round)
+        for (Addr pc = 0; pc < 128; ++pc)
+            t.record(0x400000 + pc * 4);
+    EXPECT_GT(t.stats().evictions, 100u);
+    EXPECT_LT(t.activeCount(), 32u);
+}
+
+TEST(CriticalTable, ConfidenceResetClearsUnsaturated)
+{
+    CriticalityConfig cfg = cfg32();
+    cfg.confResetInterval = 100;
+    CriticalTable t(cfg);
+    t.record(0xa0); // confidence 1, unsaturated
+    t.record(0xb0);
+    t.record(0xb0);
+    t.record(0xb0); // saturated
+    t.tick(100);    // reset fires
+    EXPECT_TRUE(t.isCritical(0xb0));  // saturated entries survive
+    t.record(0xa0);
+    t.record(0xa0);
+    // 0xa0 was reset to 0; two more recordings give confidence 2 < 3.
+    EXPECT_FALSE(t.isCritical(0xa0));
+}
+
+TEST(AreaModel, DdgIsAboutThreeKb)
+{
+    CriticalityConfig cfg;
+    auto items = ddgAreaBudget(cfg, 224);
+    double bytes = areaTotalBytes(items);
+    // Table I: ~2.3 KB of graph rows + ~0.7 KB hashed PCs + the table.
+    EXPECT_GT(bytes, 2500);
+    EXPECT_LT(bytes, 4096);
+    EXPECT_EQ(ddgBitsPerRow(cfg), 5u + 36u + 1u);
+}
+
+TEST(AreaModel, TactIsAboutOneKb)
+{
+    TactConfig cfg;
+    auto items = tactAreaBudget(cfg, 32, 16);
+    double bytes = areaTotalBytes(items);
+    // Fig 9: ~1.2 KB total.
+    EXPECT_GT(bytes, 1000);
+    EXPECT_LT(bytes, 1500);
+}
+
+} // namespace
+} // namespace catchsim

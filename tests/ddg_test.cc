@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the DDG criticality detector: incremental node costs, the
+ * prev-load walk, recordability filtering, the E-D mispredict edge and
+ * the C-D ROB edge.
+ */
+
+#include <gtest/gtest.h>
+
+#include "criticality/ddg.hh"
+#include "criticality/heuristic_detector.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+CriticalityConfig
+smallCfg()
+{
+    CriticalityConfig cfg;
+    cfg.enabled = true;
+    cfg.confResetInterval = 1000000; // keep resets out of the way
+    return cfg;
+}
+
+/** Builds a detector for a small 8-entry ROB so walks happen quickly. */
+DdgCriticalityDetector
+smallDetector()
+{
+    return DdgCriticalityDetector(smallCfg(), 8, 2, 14, 4);
+}
+
+RetireInfo
+mkOp(SeqNum seq, OpClass cls, Addr pc, Cycle alloc, Cycle start,
+     Cycle done)
+{
+    RetireInfo ri;
+    ri.seq = seq;
+    ri.cls = cls;
+    ri.pc = pc;
+    ri.allocCycle = alloc;
+    ri.execStart = start;
+    ri.execDone = done;
+    ri.retireCycle = done + 1;
+    return ri;
+}
+
+TEST(Ddg, WalkTriggersAtTwiceRob)
+{
+    auto det = smallDetector();
+    EXPECT_EQ(det.walkRows(), 16u);
+    for (SeqNum i = 1; i <= 15; ++i)
+        det.onRetire(mkOp(i, OpClass::Alu, 0x400000, i, i + 2, i + 3));
+    EXPECT_EQ(det.stats().walks, 0u);
+    det.onRetire(mkOp(16, OpClass::Alu, 0x400000, 16, 18, 19));
+    EXPECT_EQ(det.stats().walks, 1u);
+}
+
+TEST(Ddg, ChainOfDependentLoadsIsCritical)
+{
+    // A serial chain: load feeds load feeds load... all L2 hits. The
+    // walk must record the chain's PCs.
+    auto det = smallDetector();
+    Cycle t = 0;
+    for (SeqNum i = 1; i <= 16; ++i) {
+        RetireInfo ri = mkOp(i, OpClass::Load, 0x400100 + (i % 4) * 4,
+                             i, t + 2, t + 2 + 16);
+        ri.servedBy = Level::L2;
+        ri.srcSeq[0] = i - 1; // depend on the previous load
+        det.onRetire(ri);
+        t += 16;
+    }
+    EXPECT_GT(det.stats().criticalLoadsFound, 8u);
+    EXPECT_GT(det.stats().recorded, 8u);
+    EXPECT_GT(det.table().stats().recordings, 0u);
+}
+
+TEST(Ddg, L1HitsAreNeverRecorded)
+{
+    auto det = smallDetector();
+    for (SeqNum i = 1; i <= 32; ++i) {
+        RetireInfo ri = mkOp(i, OpClass::Load, 0x400100, i, i + 2,
+                             i + 2 + 5);
+        ri.servedBy = Level::L1;
+        ri.srcSeq[0] = i - 1;
+        det.onRetire(ri);
+    }
+    EXPECT_EQ(det.stats().recorded, 0u);
+}
+
+TEST(Ddg, MemMissesNotRecorded)
+{
+    // The paper records only L2/LLC hits (Section IV-A); memory misses
+    // are the LLC policies' problem.
+    auto det = smallDetector();
+    for (SeqNum i = 1; i <= 32; ++i) {
+        RetireInfo ri = mkOp(i, OpClass::Load, 0x400100, i, i + 2,
+                             i + 200);
+        ri.servedBy = Level::Mem;
+        ri.srcSeq[0] = i - 1;
+        det.onRetire(ri);
+    }
+    EXPECT_EQ(det.stats().recorded, 0u);
+    EXPECT_GT(det.stats().criticalLoadsFound, 0u);
+}
+
+TEST(Ddg, TactCoveredLoadsStayRecordable)
+{
+    auto det = smallDetector();
+    for (SeqNum i = 1; i <= 32; ++i) {
+        RetireInfo ri = mkOp(i, OpClass::Load, 0x400100, i, i + 2,
+                             i + 2 + 5);
+        ri.servedBy = Level::L1;
+        ri.tactCovered = true;
+        ri.srcSeq[0] = i - 1;
+        det.onRetire(ri);
+    }
+    EXPECT_GT(det.stats().recorded, 0u);
+}
+
+TEST(Ddg, NonDependentLoadsAreNotCritical)
+{
+    // Independent short-latency loads between long ALU chains: the ALU
+    // chain is the critical path, the loads are not on it.
+    auto det = smallDetector();
+    Cycle t = 0;
+    for (SeqNum i = 1; i <= 32; ++i) {
+        bool is_load = i % 2 == 0;
+        RetireInfo ri;
+        if (is_load) {
+            ri = mkOp(i, OpClass::Load, 0x400200, i, i + 2, i + 2 + 16);
+            ri.servedBy = Level::L2;
+            // no dependence on the chain
+        } else {
+            ri = mkOp(i, OpClass::Alu, 0x400000, i, t + 2, t + 2 + 30);
+            ri.srcSeq[0] = i - 2; // previous ALU
+            t += 30;
+        }
+        det.onRetire(ri);
+    }
+    EXPECT_EQ(det.stats().recorded, 0u);
+}
+
+TEST(Ddg, MispredictedBranchPullsItsFeederOntoThePath)
+{
+    // Load (L2 hit) -> dependent branch that mispredicts: the E-D edge
+    // makes everything after the redirect depend on the branch, whose
+    // source is the load -> the load is critical.
+    auto det = smallDetector();
+    Cycle t = 0;
+    SeqNum seq = 0;
+    for (int grp = 0; grp < 8; ++grp) {
+        RetireInfo ld = mkOp(++seq, OpClass::Load, 0x400300, t + 1,
+                             t + 2, t + 2 + 16);
+        ld.servedBy = Level::L2;
+        det.onRetire(ld);
+        RetireInfo br = mkOp(++seq, OpClass::Branch, 0x400304, t + 2,
+                             t + 18, t + 19);
+        br.srcSeq[0] = seq - 1;
+        br.mispredictedBranch = true;
+        det.onRetire(br);
+        // Redirect bubble then two cheap ops.
+        RetireInfo a1 = mkOp(++seq, OpClass::Alu, 0x400308, t + 33,
+                             t + 35, t + 36);
+        det.onRetire(a1);
+        RetireInfo a2 = mkOp(++seq, OpClass::Alu, 0x40030c, t + 33,
+                             t + 35, t + 36);
+        det.onRetire(a2);
+        t += 35;
+    }
+    EXPECT_GT(det.stats().recorded, 0u);
+    EXPECT_TRUE(det.table().stats().recordings > 0);
+}
+
+TEST(Ddg, ProducerOutsideWindowIsIgnored)
+{
+    auto det = smallDetector();
+    RetireInfo ri = mkOp(100, OpClass::Load, 0x400100, 1, 3, 20);
+    ri.servedBy = Level::L2;
+    ri.srcSeq[0] = 5; // long-retired producer
+    det.onRetire(ri); // must not crash or mis-index
+    SUCCEED();
+}
+
+TEST(Ddg, LatencyQuantisation)
+{
+    // Stored E-C weights are (latency >> 3) capped at 31: a 300-cycle
+    // latency and a 248-cycle latency quantise identically at the cap.
+    CriticalityConfig cfg = smallCfg();
+    DdgCriticalityDetector det(cfg, 8, 2, 14, 4);
+    // Nothing externally visible to assert beyond not crashing with
+    // extreme latencies; the cap is covered via the walk still working.
+    for (SeqNum i = 1; i <= 16; ++i) {
+        RetireInfo ri = mkOp(i, OpClass::Load, 0x400100, i, i + 2,
+                             i + 2 + 5000);
+        ri.servedBy = Level::L2;
+        ri.srcSeq[0] = i - 1;
+        det.onRetire(ri);
+    }
+    EXPECT_GT(det.stats().recorded, 0u);
+}
+
+TEST(HeuristicDetector, FlagsLoadFeedingMispredict)
+{
+    CriticalityConfig cfg = smallCfg();
+    HeuristicCriticalityDetector det(cfg);
+    for (SeqNum i = 1; i <= 40; i += 2) {
+        RetireInfo ld = mkOp(i, OpClass::Load, 0x400500, i, i + 2,
+                             i + 18);
+        ld.servedBy = Level::L2;
+        det.onRetire(ld);
+        RetireInfo br = mkOp(i + 1, OpClass::Branch, 0x400504, i + 1,
+                             i + 19, i + 20);
+        br.srcSeq[0] = i;
+        br.mispredictedBranch = true;
+        det.onRetire(br);
+    }
+    EXPECT_GT(det.stats().flaggedFeedsMispredict, 10u);
+    EXPECT_TRUE(det.isCritical(0x400500));
+}
+
+TEST(HeuristicDetector, IgnoresL1Feeders)
+{
+    CriticalityConfig cfg = smallCfg();
+    HeuristicCriticalityDetector det(cfg);
+    for (SeqNum i = 1; i <= 40; i += 2) {
+        RetireInfo ld = mkOp(i, OpClass::Load, 0x400500, i, i + 2, i + 7);
+        ld.servedBy = Level::L1;
+        det.onRetire(ld);
+        RetireInfo br = mkOp(i + 1, OpClass::Branch, 0x400504, i + 1,
+                             i + 8, i + 9);
+        br.srcSeq[0] = i;
+        br.mispredictedBranch = true;
+        det.onRetire(br);
+    }
+    EXPECT_FALSE(det.isCritical(0x400500));
+}
+
+TEST(HeuristicDetector, FlagsRetireGatingLoads)
+{
+    CriticalityConfig cfg = smallCfg();
+    HeuristicCriticalityDetector det(cfg);
+    for (SeqNum i = 1; i <= 10; ++i) {
+        // A long-latency L2 load whose completion gates retirement.
+        RetireInfo ld = mkOp(i, OpClass::Load, 0x400600, i, i + 2,
+                             i + 2 + 16);
+        ld.servedBy = Level::L2;
+        ld.retireCycle = ld.execDone + 1;
+        det.onRetire(ld);
+    }
+    EXPECT_GT(det.stats().flaggedRobStall, 0u);
+    EXPECT_TRUE(det.isCritical(0x400600));
+}
+
+TEST(HeuristicDetector, FlagsMorePcsThanDdg)
+{
+    // The paper's complaint about heuristics, reproduced synthetically:
+    // loads in the shadow of an unrelated mispredicting branch still
+    // get flagged when they happen to feed it transitively... here we
+    // simply check that independent non-critical L2 loads gated only by
+    // retirement bandwidth are flagged by the heuristic and not by the
+    // DDG walk.
+    CriticalityConfig cfg = smallCfg();
+    HeuristicCriticalityDetector heur(cfg);
+    DdgCriticalityDetector ddg(cfg, 8, 2, 14, 4);
+    Cycle t = 0;
+    for (SeqNum i = 1; i <= 64; ++i) {
+        // Alternating: a serial ALU chain (the true critical path) and
+        // independent L2 loads that complete just at retirement.
+        RetireInfo ri;
+        if (i % 2 == 0) {
+            ri = mkOp(i, OpClass::Alu, 0x400000, i, t + 2, t + 2 + 18);
+            ri.srcSeq[0] = i - 2;
+            t += 18;
+        } else {
+            ri = mkOp(i, OpClass::Load, 0x400700 + (i % 4) * 4, i, t + 2,
+                      t + 2 + 16);
+            ri.servedBy = Level::L2;
+            ri.retireCycle = ri.execDone + 1;
+        }
+        heur.onRetire(ri);
+        ddg.onRetire(ri);
+    }
+    EXPECT_GT(heur.table().stats().recordings,
+              ddg.table().stats().recordings);
+}
+
+} // namespace
+} // namespace catchsim

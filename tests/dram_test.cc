@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the DDR4 model: row-buffer behaviour, bank/bus occupancy,
+ * write batching and latency ordering properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/dram.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+DramConfig
+smallConfig()
+{
+    DramConfig cfg;
+    return cfg;
+}
+
+TEST(Dram, RowHitIsFasterThanRowMiss)
+{
+    Dram dram(smallConfig());
+    // First access opens the row (miss), second hits it. (Times chosen
+    // away from the staggered refresh blackouts.)
+    uint64_t miss = dram.read(0x100000, 1000);
+    uint64_t hit = dram.read(0x100000 + 64 * 2, 3000); // same row
+    EXPECT_GT(miss, hit);
+    EXPECT_EQ(dram.stats().rowHits, 1u);
+    EXPECT_EQ(dram.stats().rowMisses, 1u);
+}
+
+TEST(Dram, RowMissLatencyBounds)
+{
+    DramConfig cfg = smallConfig();
+    Dram dram(cfg);
+    uint64_t lat = dram.read(0x200000, 0);
+    // Cold miss: controller + tRCD + tCAS + burst (no precharge needed).
+    uint64_t floor = cfg.controllerLat + cfg.tRcd + cfg.tCas +
+                     cfg.burstCycles;
+    EXPECT_GE(lat, floor);
+    EXPECT_LT(lat, floor + cfg.tRp + 10);
+}
+
+TEST(Dram, ConflictingBankAccessesSerialise)
+{
+    DramConfig cfg = smallConfig();
+    Dram dram(cfg);
+    // Two different rows of the same bank at the same instant.
+    Addr a = 0;
+    Addr b = cfg.rowBytes * cfg.channels * cfg.ranksPerChannel *
+             cfg.banksPerRank; // next row, same bank/channel
+    uint64_t l1 = dram.read(a, 0);
+    uint64_t l2 = dram.read(b, 0);
+    EXPECT_GT(l2, l1);
+}
+
+TEST(Dram, IndependentBanksOverlap)
+{
+    DramConfig cfg = smallConfig();
+    Dram dram(cfg);
+    uint64_t l1 = dram.read(0, 0);
+    // Different channel (line interleaved): fully parallel.
+    uint64_t l2 = dram.read(64, 0);
+    EXPECT_EQ(l1, l2);
+}
+
+TEST(Dram, BusSerialisesSameChannelBursts)
+{
+    DramConfig cfg = smallConfig();
+    Dram dram(cfg);
+    // Many same-cycle accesses to one channel but different banks: data
+    // bursts must queue on the channel bus.
+    uint64_t first = dram.read(0, 0);
+    uint64_t last = first;
+    for (int i = 1; i < 8; ++i) {
+        Addr a = static_cast<Addr>(i) * cfg.rowBytes * cfg.channels;
+        last = dram.read(a, 0);
+    }
+    EXPECT_GE(last, first + 7 * cfg.burstCycles);
+}
+
+TEST(Dram, WritesAreCountedAndDrained)
+{
+    DramConfig cfg = smallConfig();
+    Dram dram(cfg);
+    for (uint32_t i = 0; i < cfg.writeQueueDepth * 2; ++i)
+        dram.write(static_cast<Addr>(i) * 128, 100);
+    EXPECT_EQ(dram.stats().writes, cfg.writeQueueDepth * 2);
+    EXPECT_GT(dram.stats().writeDrains, 0u);
+}
+
+TEST(Dram, WriteDrainDelaysReads)
+{
+    DramConfig cfg = smallConfig();
+    Dram with_writes(cfg);
+    Dram without(cfg);
+    // Saturate the write queue of one channel, then read from it.
+    for (uint32_t i = 0; i < cfg.writeQueueDepth; ++i)
+        with_writes.write(static_cast<Addr>(i) * 4096, 50);
+    uint64_t loaded = with_writes.read(1 << 20, 100);
+    uint64_t clean = without.read(1 << 20, 100);
+    EXPECT_GE(loaded, clean);
+}
+
+TEST(Dram, LatencyMonotoneUnderLoad)
+{
+    // Average latency with 64 concurrent requests must exceed the
+    // unloaded latency but stay bounded (no runaway queueing).
+    DramConfig cfg = smallConfig();
+    Dram dram(cfg);
+    uint64_t unloaded = dram.read(0x800000, 0);
+    Rng rng(5);
+    uint64_t total = 0;
+    const int n = 64;
+    for (int i = 0; i < n; ++i)
+        total += dram.read(rng.next() % (64 << 20), 10000);
+    double avg = static_cast<double>(total) / n;
+    EXPECT_GT(avg, static_cast<double>(unloaded) * 0.5);
+    EXPECT_LT(avg, static_cast<double>(unloaded) * 20);
+}
+
+TEST(Dram, RefreshBlackoutDelaysAccess)
+{
+    DramConfig cfg = smallConfig();
+    Dram dram(cfg);
+    // Warm the row, then access inside vs outside a refresh window of
+    // rank 0 (first refresh starts at tRefi/5 with 4 ranks staggered).
+    dram.read(0x100000, 100);
+    Cycle refresh_start = cfg.tRefi * 1 / 5;
+    uint64_t inside = dram.read(0x100000 + 128, refresh_start + 10);
+    uint64_t outside =
+        dram.read(0x100000 + 256, refresh_start + cfg.tRfc + 2000);
+    EXPECT_GT(inside, outside + cfg.tRfc / 2);
+    EXPECT_GT(dram.stats().refreshStalls, 0u);
+}
+
+TEST(Dram, StatsReset)
+{
+    Dram dram(smallConfig());
+    dram.read(0, 0);
+    dram.resetStats();
+    EXPECT_EQ(dram.stats().reads, 0u);
+    EXPECT_EQ(dram.stats().totalReadLatency, 0u);
+}
+
+} // namespace
+} // namespace catchsim

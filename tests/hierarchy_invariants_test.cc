@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Randomised invariant checking for the cache hierarchy: drive long
+ * random operation sequences (loads, stores, code fetches, TACT and
+ * oracle prefetches) against every topology and then verify structural
+ * invariants by probing the line population. This is the property-based
+ * safety net for the inclusion/exclusion state machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "sim/configs.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+/** Small geometry so random traffic exercises evictions heavily. */
+SimConfig
+tinyConfig(InclusionPolicy policy)
+{
+    SimConfig cfg = baselineSkx();
+    cfg.l1i = CacheGeometry{4 * 1024, 4, 5};
+    cfg.l1d = CacheGeometry{4 * 1024, 4, 5};
+    cfg.l2 = CacheGeometry{16 * 1024, 8, 15};
+    cfg.llc = CacheGeometry{64 * 1024, 8, 40};
+    cfg.inclusion = policy;
+    if (policy == InclusionPolicy::Nine && false)
+        cfg.hasL2 = false;
+    cfg.l1StridePrefetcher = true;
+    cfg.l2StreamPrefetcher = true;
+    return cfg;
+}
+
+struct Driver
+{
+    explicit Driver(const SimConfig &cfg) : h(cfg), rng(2024) {}
+
+    void
+    step(Cycle t)
+    {
+        Addr a = (rng.below(4096)) * 64; // 256 KB address pool
+        switch (rng.below(8)) {
+          case 0:
+          case 1:
+          case 2:
+            h.load(0, 0x400000 + rng.below(64) * 4, a, t);
+            break;
+          case 3:
+            h.storeCommit(0, a, t);
+            break;
+          case 4:
+            h.codeFetch(0, 0x400000 + rng.below(512) * 64, t);
+            break;
+          case 5:
+            h.prefetchToL1(0, a, t, CacheHierarchy::PfKind::TactData);
+            break;
+          case 6:
+            h.prefetchToL1(0, a, t, CacheHierarchy::PfKind::Stride);
+            break;
+          default:
+            h.inL2OrLlc(0, a);
+            h.probeDataReady(0, a, t);
+            break;
+        }
+    }
+
+    CacheHierarchy h;
+    Rng rng;
+};
+
+class HierarchyInvariants
+    : public ::testing::TestWithParam<InclusionPolicy>
+{
+};
+
+TEST_P(HierarchyInvariants, SurvivesRandomTrafficAndStaysConsistent)
+{
+    SimConfig cfg = tinyConfig(GetParam());
+    if (GetParam() == InclusionPolicy::Nine) {
+        cfg.hasL2 = false;
+    }
+    Driver d(cfg);
+    for (Cycle t = 0; t < 60000; ++t)
+        d.step(t * 7);
+
+    const auto &stats = d.h.stats();
+    // Conservation: every demand load is served exactly once.
+    uint64_t served = 0;
+    for (int l = 0; l < 4; ++l)
+        served += stats.loadHits[l];
+    EXPECT_EQ(served, stats.loads);
+
+    // Every level participated.
+    EXPECT_GT(stats.loadHits[0], 0u);
+    EXPECT_GT(stats.loadHits[3], 0u);
+    EXPECT_GT(d.h.llcStats().fills, 0u);
+    EXPECT_GT(d.h.dramStats().reads, 0u);
+    // Dirty data eventually reaches DRAM.
+    EXPECT_GT(d.h.dramStats().writes, 0u);
+}
+
+TEST_P(HierarchyInvariants, NoLineIsLostForever)
+{
+    // After heavy traffic, any address must still be loadable with a
+    // bounded latency (nothing gets wedged in an inconsistent state).
+    SimConfig cfg = tinyConfig(GetParam());
+    if (GetParam() == InclusionPolicy::Nine)
+        cfg.hasL2 = false;
+    Driver d(cfg);
+    for (Cycle t = 0; t < 30000; ++t)
+        d.step(t * 7);
+    for (int i = 0; i < 256; ++i) {
+        Addr a = static_cast<Addr>(d.rng.below(4096)) * 64;
+        // Spread the probes in time so DRAM queueing stays realistic.
+        MemResult r = d.h.load(0, 0x400000, a,
+                               1000000000ULL + i * 500ULL);
+        EXPECT_LT(r.latency, 5000u) << "addr " << a;
+    }
+}
+
+TEST_P(HierarchyInvariants, DeterministicUnderSeed)
+{
+    SimConfig cfg = tinyConfig(GetParam());
+    if (GetParam() == InclusionPolicy::Nine)
+        cfg.hasL2 = false;
+    Driver d1(cfg), d2(cfg);
+    for (Cycle t = 0; t < 20000; ++t) {
+        d1.step(t * 7);
+        d2.step(t * 7);
+    }
+    EXPECT_EQ(d1.h.stats().loadHits[0], d2.h.stats().loadHits[0]);
+    EXPECT_EQ(d1.h.dramStats().reads, d2.h.dramStats().reads);
+    EXPECT_EQ(d1.h.stats().ringTransfers, d2.h.stats().ringTransfers);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, HierarchyInvariants,
+                         ::testing::Values(InclusionPolicy::Exclusive,
+                                           InclusionPolicy::Inclusive,
+                                           InclusionPolicy::Nine),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case InclusionPolicy::Exclusive:
+                                 return "Exclusive";
+                               case InclusionPolicy::Inclusive:
+                                 return "Inclusive";
+                               default:
+                                 return "Nine";
+                             }
+                         });
+
+/** Exclusive-specific: an L2 hit must not also be LLC-resident after
+ *  the hierarchy settles (no silent duplication). */
+TEST(HierarchyExclusive, NoSteadyStateDuplication)
+{
+    SimConfig cfg = tinyConfig(InclusionPolicy::Exclusive);
+    cfg.l1StridePrefetcher = false;
+    cfg.l2StreamPrefetcher = false;
+    CacheHierarchy h(cfg);
+    // Touch a handful of lines repeatedly: they live in L1/L2; the LLC
+    // holds only victims. Duplication would show as LLC fills >> L2
+    // evictions.
+    for (int round = 0; round < 50; ++round)
+        for (Addr a = 0; a < 16; ++a)
+            h.load(0, 0x400000, 0x10000 + a * 64, round * 1000 + a);
+    EXPECT_LE(h.llcStats().fills, h.l2Stats(0)->evictions + 1);
+}
+
+} // namespace
+} // namespace catchsim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper's headline qualitative claims
+ * must hold on representative workloads, and the full CATCH machinery
+ * must compose correctly across modules. These are the "shape"
+ * assertions the benches print tables for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/configs.hh"
+#include "sim/simulator.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+constexpr uint64_t kInstr = 120000;
+constexpr uint64_t kWarm = 40000;
+
+double
+ipcOf(const SimConfig &cfg, const std::string &wl)
+{
+    return runWorkload(cfg, wl, kInstr, kWarm).ipc;
+}
+
+TEST(Integration, HmmerLosesWithoutL2AndCatchRecovers)
+{
+    // The paper's flagship per-workload claim (Fig 12): hmmer loses
+    // heavily without the L2; CATCH brings it back to (at least) near
+    // baseline.
+    double base = ipcOf(baselineSkx(), "hmmer");
+    double no_l2 = ipcOf(noL2(baselineSkx(), 6656), "hmmer");
+    double catch2 = ipcOf(withCatch(noL2(baselineSkx(), 9728)), "hmmer");
+    EXPECT_LT(no_l2 / base, 0.80);
+    EXPECT_GT(catch2 / base, 0.95);
+}
+
+TEST(Integration, McfGainsFromFeeder)
+{
+    // Fig 12: TACT-Feeder lifts mcf far above baseline.
+    double base = ipcOf(baselineSkx(), "mcf");
+    double catch3 = ipcOf(withCatch(baselineSkx()), "mcf");
+    EXPECT_GT(catch3 / base, 1.25);
+}
+
+TEST(Integration, UnprefetchableChaseIsNotRecovered)
+{
+    // namd/gromacs: the pure chase cannot be covered by TACT.
+    double base = ipcOf(baselineSkx(), "namd");
+    double no_l2 = ipcOf(noL2(baselineSkx(), 9728), "namd");
+    double catch2 = ipcOf(withCatch(noL2(baselineSkx(), 9728)), "namd");
+    EXPECT_LT(no_l2 / base, 0.95);
+    EXPECT_LT(catch2 / base, 1.02); // no magic recovery
+}
+
+TEST(Integration, CatchNeverTanksABaselineWorkload)
+{
+    // CATCH on the three-level baseline must not regress any of these
+    // representative workloads by more than a few percent.
+    for (const char *wl : {"hmmer", "mcf", "milc", "tpcc", "omnetpp",
+                           "hplinpack", "sysmark-excel"}) {
+        double base = ipcOf(baselineSkx(), wl);
+        double c = ipcOf(withCatch(baselineSkx()), wl);
+        EXPECT_GT(c / base, 0.96) << wl;
+    }
+}
+
+TEST(Integration, ServerCodeMissesRecoveredByTactCode)
+{
+    // Server workloads lose front-end cycles without the L2; TACT-Code
+    // must claw a large share back.
+    SimConfig no_l2 = noL2(baselineSkx(), 9728);
+    SimConfig code_only = no_l2;
+    code_only.criticality.enabled = true;
+    code_only.tact.code = true;
+    SimResult plain = runWorkload(no_l2, "tpcc", kInstr, kWarm);
+    SimResult with_code = runWorkload(code_only, "tpcc", kInstr, kWarm);
+    EXPECT_LT(with_code.frontend.codeStallCycles,
+              plain.frontend.codeStallCycles);
+    EXPECT_GE(with_code.ipc, plain.ipc);
+}
+
+TEST(Integration, TactTimelinessMostlySavesLlcLatency)
+{
+    // Fig 11's shape: most useful TACT prefetches save most of the LLC
+    // latency.
+    SimResult r = runWorkload(withCatch(noL2(baselineSkx(), 9728)),
+                              "hmmer", kInstr, kWarm);
+    EXPECT_GT(r.hier.tactUsefulHits, 100u);
+    EXPECT_GT(r.timelinessAtLeast10, 0.70);
+}
+
+TEST(Integration, CriticalTableStaysSmall)
+{
+    // Section VI-D2: 32 tracked PCs suffice; the detector must settle on
+    // a handful of saturated PCs, not churn.
+    SimResult r = runWorkload(withCatch(baselineSkx()), "hmmer", kInstr,
+                              kWarm);
+    EXPECT_GT(r.activeCriticalPcs, 0u);
+    EXPECT_LE(r.activeCriticalPcs, 32u);
+}
+
+TEST(Integration, DemotingNonCriticalL2HitsIsNearlyFree)
+{
+    // Fig 4's key asymmetry on an L2-heavy workload.
+    SimConfig all = baselineSkx();
+    all.oracle.demote = DemoteMode::L2ToLlcAll;
+    SimConfig noncrit = baselineSkx();
+    noncrit.oracle.demote = DemoteMode::L2ToLlcNonCrit;
+    noncrit.criticality.enabled = true;
+    double base = ipcOf(baselineSkx(), "hmmer");
+    double d_all = ipcOf(all, "hmmer");
+    double d_nc = ipcOf(noncrit, "hmmer");
+    EXPECT_LT(d_all / base, 0.95);       // demoting everything hurts
+    EXPECT_GT(d_nc, d_all);              // criticality softens the blow
+}
+
+TEST(Integration, InclusiveBaselineAlsoBenefits)
+{
+    // Fig 17: CATCH helps the 256KB-L2 inclusive hierarchy too.
+    double base = ipcOf(baselineClient(), "hmmer");
+    double c = ipcOf(withCatch(baselineClient()), "hmmer");
+    EXPECT_GT(c / base, 1.0);
+}
+
+TEST(Integration, EnergyCountersConsistent)
+{
+    SimResult r = runWorkload(withCatch(noL2(baselineSkx(), 9728)),
+                              "milc", kInstr, kWarm);
+    EXPECT_GT(r.energy.cacheDynamic, 0.0);
+    EXPECT_GT(r.energy.staticLeakage, 0.0);
+    EXPECT_GT(r.hier.ringTransfers, 0u);
+}
+
+} // namespace
+} // namespace catchsim

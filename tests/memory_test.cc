@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the sparse functional memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/functional_memory.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+TEST(FunctionalMemory, UntouchedReadsZero)
+{
+    FunctionalMemory mem;
+    EXPECT_EQ(mem.read(0x1000), 0u);
+    EXPECT_EQ(mem.pagesAllocated(), 0u); // const read must not allocate
+}
+
+TEST(FunctionalMemory, ReadAfterWrite)
+{
+    FunctionalMemory mem;
+    mem.write(0x1000, 0xdeadbeef);
+    EXPECT_EQ(mem.read(0x1000), 0xdeadbeefu);
+}
+
+TEST(FunctionalMemory, UnalignedAccessHitsContainingWord)
+{
+    FunctionalMemory mem;
+    mem.write(0x1000, 42);
+    EXPECT_EQ(mem.read(0x1003), 42u); // same 8-byte word
+    EXPECT_EQ(mem.read(0x1008), 0u);  // next word
+}
+
+TEST(FunctionalMemory, SparsePages)
+{
+    FunctionalMemory mem;
+    mem.write(0x0, 1);
+    mem.write(0x100000000ULL, 2);
+    EXPECT_EQ(mem.pagesAllocated(), 2u);
+    EXPECT_EQ(mem.read(0x0), 1u);
+    EXPECT_EQ(mem.read(0x100000000ULL), 2u);
+}
+
+TEST(FunctionalMemory, ManyWordsInOnePage)
+{
+    FunctionalMemory mem;
+    for (Addr a = 0; a < 4096; a += 8)
+        mem.write(a, a + 7);
+    EXPECT_EQ(mem.pagesAllocated(), 1u);
+    for (Addr a = 0; a < 4096; a += 8)
+        EXPECT_EQ(mem.read(a), a + 7);
+}
+
+TEST(FunctionalMemory, OverwriteSticks)
+{
+    FunctionalMemory mem;
+    mem.write(0x40, 1);
+    mem.write(0x40, 2);
+    EXPECT_EQ(mem.read(0x40), 2u);
+}
+
+} // namespace
+} // namespace catchsim

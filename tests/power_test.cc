@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the energy and area models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+#include "sim/configs.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+TEST(Power, CacheEnergyGrowsWithCapacity)
+{
+    EnergyParams p;
+    CacheGeometry small{256 * 1024, 8, 12};
+    CacheGeometry big{8 * 1024 * 1024, 16, 40};
+    EXPECT_LT(cacheAccessEnergyNj(p, small, Level::LLC),
+              cacheAccessEnergyNj(p, big, Level::LLC));
+}
+
+TEST(Power, ReferencePointsMatch)
+{
+    EnergyParams p;
+    EXPECT_NEAR(cacheAccessEnergyNj(p, CacheGeometry{32 * 1024, 8, 5},
+                                    Level::L1),
+                p.l1AccessNj, 1e-9);
+    EXPECT_NEAR(cacheAccessEnergyNj(p, CacheGeometry{1024 * 1024, 16, 15},
+                                    Level::L2),
+                p.l2AccessNj, 1e-9);
+}
+
+TEST(Power, EnergyComponentsAllPositive)
+{
+    EnergyParams p;
+    SimConfig cfg = baselineSkx();
+    DramStats dram;
+    dram.reads = 1000;
+    dram.writes = 100;
+    dram.activates = 600;
+    EnergyBreakdown e = computeEnergy(p, cfg, 1000000, 500000, 2000000,
+                                      300000, 50000, 8000, dram);
+    EXPECT_GT(e.coreDynamic, 0);
+    EXPECT_GT(e.cacheDynamic, 0);
+    EXPECT_GT(e.interconnect, 0);
+    EXPECT_GT(e.dramDynamic, 0);
+    EXPECT_GT(e.staticLeakage, 0);
+    EXPECT_GT(e.total(), e.coreDynamic);
+}
+
+TEST(Power, MoreTrafficMoreEnergy)
+{
+    EnergyParams p;
+    SimConfig cfg = baselineSkx();
+    DramStats dram;
+    EnergyBreakdown lo = computeEnergy(p, cfg, 1000, 1000, 100, 10, 10,
+                                       10, dram);
+    EnergyBreakdown hi = computeEnergy(p, cfg, 1000, 1000, 100000, 10000,
+                                       10000, 10000, dram);
+    EXPECT_GT(hi.total(), lo.total());
+}
+
+TEST(Area, RemovingL2ShrinksCacheArea)
+{
+    AreaParams p;
+    SimConfig base = baselineSkx();
+    SimConfig two = noL2(base, 6656);
+    double a3 = cacheAreaMm2(p, base, 4);
+    double a2 = cacheAreaMm2(p, two, 4);
+    // The paper: the no-L2 + 6.5 MB configuration is ~30% smaller in
+    // cache area than 4x1MB L2 + 5.5 MB LLC.
+    double shrink = 1.0 - a2 / a3;
+    EXPECT_GT(shrink, 0.20);
+    EXPECT_LT(shrink, 0.45);
+}
+
+TEST(Area, IsoAreaConfigurationsMatch)
+{
+    AreaParams p;
+    SimConfig base = baselineSkx();
+    SimConfig iso = noL2(base, 9728); // 9.5 MB
+    double a3 = chipAreaMm2(p, base, 4);
+    double a2 = chipAreaMm2(p, iso, 4);
+    EXPECT_NEAR(a2 / a3, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace catchsim

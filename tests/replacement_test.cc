@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the replacement policies, including cross-policy properties
+ * (parameterised over all four kinds).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+#include "common/rng.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    auto p = makeReplacement(ReplKind::Lru, 1);
+    p->reset(1, 4);
+    for (uint32_t w = 0; w < 4; ++w)
+        p->onFill(0, w);
+    p->onHit(0, 0);
+    p->onHit(0, 2);
+    EXPECT_EQ(p->victim(0), 1u);
+}
+
+TEST(Srrip, HitPromotes)
+{
+    auto p = makeReplacement(ReplKind::Srrip, 1);
+    p->reset(1, 4);
+    for (uint32_t w = 0; w < 4; ++w)
+        p->onFill(0, w);
+    p->onHit(0, 3);
+    // Way 3 has RRPV 0; some other way must be evicted.
+    EXPECT_NE(p->victim(0), 3u);
+}
+
+TEST(TreePlru, RecentIsProtected)
+{
+    auto p = makeReplacement(ReplKind::TreePlru, 1);
+    p->reset(1, 8);
+    for (uint32_t w = 0; w < 8; ++w)
+        p->onFill(0, w);
+    p->onHit(0, 5);
+    EXPECT_NE(p->victim(0), 5u);
+}
+
+TEST(Random, IsDeterministicPerSeed)
+{
+    auto p1 = makeReplacement(ReplKind::Random, 99);
+    auto p2 = makeReplacement(ReplKind::Random, 99);
+    p1->reset(1, 8);
+    p2->reset(1, 8);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(p1->victim(0), p2->victim(0));
+}
+
+TEST(ReplKind, Names)
+{
+    EXPECT_STREQ(replKindName(ReplKind::Lru), "lru");
+    EXPECT_STREQ(replKindName(ReplKind::Srrip), "srrip");
+}
+
+class AllPolicies : public ::testing::TestWithParam<ReplKind>
+{
+};
+
+TEST_P(AllPolicies, VictimAlwaysInRange)
+{
+    auto p = makeReplacement(GetParam(), 3);
+    const uint32_t sets = 16, ways = 11; // non-power-of-two ways
+    p->reset(sets, ways);
+    Rng rng(17);
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t set = static_cast<uint32_t>(rng.below(sets));
+        switch (rng.below(3)) {
+          case 0:
+            p->onHit(set, static_cast<uint32_t>(rng.below(ways)));
+            break;
+          case 1:
+            p->onFill(set, static_cast<uint32_t>(rng.below(ways)));
+            break;
+          default:
+            EXPECT_LT(p->victim(set), ways);
+        }
+    }
+}
+
+TEST_P(AllPolicies, MruNeverImmediateVictimIn2Way)
+{
+    if (GetParam() == ReplKind::Random)
+        GTEST_SKIP() << "random has no recency guarantee";
+    auto p = makeReplacement(GetParam(), 3);
+    p->reset(1, 2);
+    p->onFill(0, 0);
+    p->onFill(0, 1);
+    for (int i = 0; i < 100; ++i) {
+        uint32_t touched = static_cast<uint32_t>(i % 2);
+        p->onHit(0, touched);
+        EXPECT_NE(p->victim(0), touched);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllPolicies,
+                         ::testing::Values(ReplKind::Lru, ReplKind::Srrip,
+                                           ReplKind::TreePlru,
+                                           ReplKind::Random));
+
+} // namespace
+} // namespace catchsim

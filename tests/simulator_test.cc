@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the single-thread simulator driver and the MP simulator:
+ * determinism, warmup accounting, config plumbing, weighted speedup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/configs.hh"
+#include "sim/experiment.hh"
+#include "sim/mp_simulator.hh"
+#include "sim/simulator.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+constexpr uint64_t kInstr = 40000;
+constexpr uint64_t kWarm = 10000;
+
+TEST(Simulator, RunsAndCounts)
+{
+    SimResult r = runWorkload(baselineSkx(), "hmmer", kInstr, kWarm);
+    EXPECT_EQ(r.core.instrs, kInstr);
+    EXPECT_GT(r.ipc, 0.05);
+    EXPECT_LT(r.ipc, 4.0);
+    EXPECT_GT(r.hier.loads, 1000u);
+    EXPECT_EQ(r.workload, "hmmer");
+    EXPECT_GT(r.energy.total(), 0.0);
+}
+
+TEST(Simulator, Deterministic)
+{
+    SimResult a = runWorkload(baselineSkx(), "mcf", kInstr, kWarm);
+    SimResult b = runWorkload(baselineSkx(), "mcf", kInstr, kWarm);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.hier.loadHits[0], b.hier.loadHits[0]);
+    EXPECT_EQ(a.dram.reads, b.dram.reads);
+}
+
+TEST(Simulator, WarmupExcludedFromStats)
+{
+    SimResult r = runWorkload(baselineSkx(), "hmmer", kInstr, kWarm);
+    // Measured loads must correspond to the measured window only.
+    EXPECT_LT(r.hier.loads, kInstr);
+    EXPECT_GT(r.core.cycles, 0u);
+}
+
+TEST(Simulator, CatchConfigActivatesMachinery)
+{
+    SimConfig cfg = withCatch(baselineSkx());
+    SimResult r = runWorkload(cfg, "hmmer", kInstr, kWarm);
+    EXPECT_GT(r.ddg.walks, 0u);
+    EXPECT_GT(r.criticalTable.recordings, 0u);
+    EXPECT_GT(r.hier.tactPrefetches, 0u);
+}
+
+TEST(Simulator, BaselineHasNoTactActivity)
+{
+    SimResult r = runWorkload(baselineSkx(), "hmmer", kInstr, kWarm);
+    EXPECT_EQ(r.hier.tactPrefetches, 0u);
+    EXPECT_EQ(r.ddg.walks, 0u);
+}
+
+TEST(Simulator, NoL2ConfigHasNoL2Stats)
+{
+    SimResult r = runWorkload(noL2(baselineSkx(), 6656), "hmmer", kInstr,
+                              kWarm);
+    EXPECT_FALSE(r.hasL2);
+    EXPECT_EQ(r.hier.loadHits[static_cast<int>(Level::L2)], 0u);
+}
+
+TEST(Simulator, CriticalityAloneDoesNotChangeTiming)
+{
+    // The detector observes retirement; it must never perturb the run.
+    SimConfig plain = baselineSkx();
+    SimConfig watch = baselineSkx();
+    watch.criticality.enabled = true;
+    SimResult a = runWorkload(plain, "mcf", kInstr, kWarm);
+    SimResult b = runWorkload(watch, "mcf", kInstr, kWarm);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+}
+
+TEST(Simulator, HitFractionsSumToOne)
+{
+    SimResult r = runWorkload(baselineSkx(), "omnetpp", kInstr, kWarm);
+    double total = 0;
+    for (int l = 0; l < 4; ++l)
+        total += r.hier.loadHitFraction(static_cast<Level>(l));
+    // Forwarded loads never reach the hierarchy, so <= 1.
+    EXPECT_NEAR(total, 1.0, 0.02);
+}
+
+TEST(Experiment, CategoryGeomeans)
+{
+    ExperimentEnv env;
+    env.names = {"hmmer", "milc"};
+    env.instrs = 20000;
+    env.warmup = 5000;
+    auto base = runSuite(baselineSkx(), env);
+    auto test = runSuite(noL2(baselineSkx(), 6656), env);
+    auto rows = categoryGeomeans(base, test);
+    ASSERT_GE(rows.size(), 3u); // FSPEC, ISPEC, GeoMean
+    EXPECT_EQ(rows.back().first, "GeoMean");
+    EXPECT_GT(rows.back().second, 0.3);
+    EXPECT_LT(rows.back().second, 1.2);
+}
+
+TEST(MpSimulator, WeightedSpeedupNearCoreCount)
+{
+    // Four copies of a compute-bound workload barely contend: weighted
+    // speedup must be close to 4 (the number of cores).
+    SimConfig cfg = baselineSkx();
+    MpMix mix{"rate4.hplinpack",
+              {"hplinpack", "hplinpack", "hplinpack", "hplinpack"}};
+    SimResult solo = runWorkload(cfg, "hplinpack", 20000, 5000);
+    MpSimulator mp(cfg);
+    MpResult r = mp.run(mix, 20000, 5000,
+                        {solo.ipc, solo.ipc, solo.ipc, solo.ipc});
+    EXPECT_GT(r.weightedSpeedup, 3.2);
+    EXPECT_LT(r.weightedSpeedup, 4.2);
+}
+
+TEST(MpSimulator, MemoryBoundMixesContend)
+{
+    // Four memory-bound copies share DRAM: weighted speedup < solo x4.
+    SimConfig cfg = baselineSkx();
+    MpMix mix{"rate4.mcf", {"mcf", "mcf", "mcf", "mcf"}};
+    SimResult solo = runWorkload(cfg, "mcf", 20000, 5000);
+    MpSimulator mp(cfg);
+    MpResult r = mp.run(mix, 20000, 5000,
+                        {solo.ipc, solo.ipc, solo.ipc, solo.ipc});
+    EXPECT_LT(r.weightedSpeedup, 4.0);
+    EXPECT_GT(r.weightedSpeedup, 1.0);
+}
+
+} // namespace
+} // namespace catchsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Smoke test: every workload in the 70-entry suite must simulate cleanly
+ * under the full CATCH configuration (detector + all four TACT
+ * prefetchers) and produce a sane IPC. This catches kernel/machinery
+ * interactions that unit tests cannot (e.g. a kernel emitting register
+ * patterns the feeder mis-handles).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/configs.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+class SuiteSmoke : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteSmoke, RunsUnderFullCatch)
+{
+    SimConfig cfg = withCatch(noL2(baselineSkx(), 9728));
+    SimResult r = runWorkload(cfg, GetParam(), 12000, 4000);
+    EXPECT_EQ(r.core.instrs, 12000u);
+    EXPECT_GT(r.ipc, 0.01) << GetParam();
+    EXPECT_LT(r.ipc, 4.2) << GetParam();
+    // Load accounting must balance.
+    uint64_t served = 0;
+    for (int l = 0; l < 4; ++l)
+        served += r.hier.loadHits[l];
+    EXPECT_EQ(served, r.hier.loads) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SuiteSmoke,
+                         ::testing::ValuesIn(stSuiteNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n)
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
+                         });
+
+} // namespace
+} // namespace catchsim

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the TACT components: trigger cache, cross learner,
+ * deep-self distance logic, feeder identification/relation learning and
+ * code runahead.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/functional_memory.hh"
+#include "trace/workload.hh"
+
+#include "tact/tact_code.hh"
+#include "tact/tact_cross.hh"
+#include "tact/tact_feeder.hh"
+#include "tact/tact_self.hh"
+#include "tact/trigger_cache.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+TactConfig
+defaultTact()
+{
+    TactConfig cfg;
+    cfg.cross = cfg.deepSelf = cfg.feeder = cfg.code = true;
+    return cfg;
+}
+
+// ------------------------- TriggerCache --------------------------
+
+TEST(TriggerCache, RecordsFirstFourPcs)
+{
+    TriggerCache tc(defaultTact());
+    for (Addr pc = 0; pc < 6; ++pc)
+        tc.onLoad(0x400000 + pc * 4, 0x10000 + pc * 8);
+    auto cands = tc.candidates(0x10000);
+    ASSERT_EQ(cands.size(), 4u);
+    EXPECT_EQ(cands[0], 0x400000u); // oldest first
+    EXPECT_EQ(cands[3], 0x40000cu);
+}
+
+TEST(TriggerCache, DeduplicatesPcs)
+{
+    TriggerCache tc(defaultTact());
+    for (int i = 0; i < 10; ++i)
+        tc.onLoad(0x400000, 0x10000 + i * 8);
+    EXPECT_EQ(tc.candidates(0x10000).size(), 1u);
+}
+
+TEST(TriggerCache, MissingPageIsEmpty)
+{
+    TriggerCache tc(defaultTact());
+    EXPECT_TRUE(tc.candidates(0x7000000).empty());
+}
+
+// --------------------------- TactCross ---------------------------
+
+TEST(TactCross, LearnsStableDeltaAndFires)
+{
+    std::vector<Addr> issued;
+    TactCross cross(defaultTact(),
+                    [&](Addr a, Cycle) { issued.push_back(a); });
+    const Addr trig = 0x400010, targ = 0x400020;
+    // Trigger at X, target at X+0x100, same 4 KB page, advancing.
+    for (int i = 0; i < 64; ++i) {
+        Addr base = 0x100000 + (i % 8) * 0x200;
+        cross.onLoad(trig, base, i * 10, false);
+        cross.onLoad(targ, base + 0x100, i * 10 + 5, true);
+    }
+    ASSERT_FALSE(issued.empty());
+    // Fired prefetches are trigger address + 0x100.
+    for (size_t i = 0; i < issued.size(); ++i)
+        EXPECT_EQ(issued[i] & 0x1ff, 0x100u);
+}
+
+TEST(TactCross, UnstableDeltaNeverFires)
+{
+    std::vector<Addr> issued;
+    TactCross cross(defaultTact(),
+                    [&](Addr a, Cycle) { issued.push_back(a); });
+    Rng rng(12);
+    for (int i = 0; i < 256; ++i) {
+        Addr base = 0x100000;
+        cross.onLoad(0x400010, base + rng.below(32) * 64, i, false);
+        cross.onLoad(0x400020, base + rng.below(32) * 64, i, true);
+    }
+    EXPECT_TRUE(issued.empty());
+}
+
+TEST(TactCross, DropTargetStopsFiring)
+{
+    std::vector<Addr> issued;
+    TactCross cross(defaultTact(),
+                    [&](Addr a, Cycle) { issued.push_back(a); });
+    for (int i = 0; i < 64; ++i) {
+        Addr base = 0x100000 + (i % 8) * 0x200;
+        cross.onLoad(0x400010, base, i, false);
+        cross.onLoad(0x400020, base + 0x80, i, true);
+    }
+    ASSERT_FALSE(issued.empty());
+    cross.dropTarget(0x400020);
+    size_t n = issued.size();
+    for (int i = 0; i < 16; ++i)
+        cross.onLoad(0x400010, 0x100000 + i * 0x200, 1000 + i, false);
+    EXPECT_EQ(issued.size(), n);
+}
+
+// --------------------------- TactSelf ----------------------------
+
+TEST(TactSelf, DeepPrefetchAtDistance)
+{
+    TactConfig cfg = defaultTact();
+    std::vector<Addr> issued;
+    TactSelf self(
+        cfg,
+        [](Addr, int64_t *stride) {
+            *stride = 64;
+            return true;
+        },
+        [&](Addr a, Cycle) { issued.push_back(a); });
+    Addr a = 0x200000;
+    for (int i = 0; i < 200; ++i, a += 64)
+        self.onCriticalLoad(0x400010, a, i * 10);
+    ASSERT_FALSE(issued.empty());
+    // Deep prefetches land well beyond distance 1.
+    Addr last_pf = issued.back();
+    Addr last_access = a - 64;
+    EXPECT_GT(last_pf, last_access + 64);
+    EXPECT_LE(last_pf, last_access + 64 * cfg.deepMaxDistance);
+}
+
+TEST(TactSelf, NoStrideNoPrefetch)
+{
+    std::vector<Addr> issued;
+    TactSelf self(
+        defaultTact(),
+        [](Addr, int64_t *) { return false; },
+        [&](Addr a, Cycle) { issued.push_back(a); });
+    for (int i = 0; i < 100; ++i)
+        self.onCriticalLoad(0x400010, 0x200000 + i * 64, i);
+    EXPECT_TRUE(issued.empty());
+}
+
+TEST(TactSelf, ShortRunsShrinkSafeLength)
+{
+    // Stride breaks every 3 instances: the learner must throttle deep
+    // prefetching (the paper's "safe length" guard).
+    Addr cur = 0x200000;
+    std::vector<int64_t> distances; // in lines ahead of the access
+    TactSelf self(
+        defaultTact(),
+        [](Addr, int64_t *stride) {
+            *stride = 64;
+            return true;
+        },
+        [&](Addr a, Cycle) {
+            distances.push_back((static_cast<int64_t>(a) -
+                                 static_cast<int64_t>(cur)) /
+                                64);
+        });
+    for (int i = 0; i < 300; ++i) {
+        self.onCriticalLoad(0x400010, cur, i);
+        cur += (i % 3 == 2) ? 1 << 20 : 64; // break the run every 3rd
+    }
+    // Any issued prefetches must be at conservative distances compared
+    // to the 16-line maximum.
+    for (int64_t d : distances)
+        EXPECT_LE(d, 8);
+}
+
+// -------------------------- TactFeeder ---------------------------
+
+TEST(TactFeeder, IdentifiesFeederLearnsRelationAndChases)
+{
+    TactConfig cfg = defaultTact();
+    cfg.feederDepth = 4;
+    std::vector<Addr> issued;
+    FunctionalMemory mem;
+    // Feeder stream: addr 0x100000 + i*8 holds pointer values
+    // 0x50000000 + i*128; target reads value + 16.
+    for (int i = 0; i < 600; ++i)
+        mem.write(0x100000 + i * 8, 0x50000000 + i * 128);
+    TactFeeder feeder(
+        cfg, 16,
+        [](Addr, int64_t *stride) {
+            *stride = 8;
+            return true;
+        },
+        [&](Addr a, Cycle now) {
+            issued.push_back(a);
+            return now + 20;
+        },
+        [](Addr, Cycle now) { return now + 5; },
+        [&](Addr a) { return mem.read(a); });
+
+    for (int i = 0; i < 64; ++i) {
+        Addr f_addr = 0x100000 + i * 8;
+        uint64_t value = mem.read(f_addr);
+        // Program order: feeder load retires, then target load.
+        MicroOp fld;
+        fld.pc = 0x400010;
+        fld.cls = OpClass::Load;
+        fld.dst = r1;
+        fld.memAddr = f_addr;
+        fld.value = value;
+        feeder.onRetire(fld);
+        feeder.onLoadComplete(0x400010, f_addr, value, i * 10);
+
+        MicroOp tld;
+        tld.pc = 0x400020;
+        tld.cls = OpClass::Load;
+        tld.dst = r2;
+        tld.src[0] = r1;
+        tld.memAddr = value + 16;
+        feeder.onCriticalLoad(tld, i * 10 + 3);
+        feeder.onRetire(tld);
+    }
+    ASSERT_FALSE(issued.empty());
+    // Chained target prefetches: pointer value + 16 for future feeder
+    // instances.
+    bool chased = false;
+    for (Addr a : issued)
+        chased |= (a >= 0x50000000 && (a & 0x7f) == 16);
+    EXPECT_TRUE(chased);
+    EXPECT_GT(feeder.feederRunaheads(), 0u);
+}
+
+TEST(TactFeeder, SelfFeedingChaseIsExhausted)
+{
+    TactConfig cfg = defaultTact();
+    std::vector<Addr> issued;
+    TactFeeder feeder(
+        cfg, 16, [](Addr, int64_t *) { return false; },
+        [&](Addr a, Cycle now) {
+            issued.push_back(a);
+            return now;
+        },
+        [](Addr, Cycle now) { return now; }, [](Addr) { return 0ULL; });
+    for (int i = 0; i < 32; ++i) {
+        MicroOp ld;
+        ld.pc = 0x400010;
+        ld.cls = OpClass::Load;
+        ld.dst = r1;
+        ld.src[0] = r1; // p = *p
+        ld.memAddr = 0x100000 + i * 64;
+        feeder.onRetire(ld);
+        feeder.onCriticalLoad(ld, i);
+    }
+    EXPECT_TRUE(issued.empty());
+}
+
+TEST(TactFeeder, RegisterTrackingPropagatesThroughAlu)
+{
+    // load -> alu -> critical load: the feeder is the original load.
+    TactConfig cfg = defaultTact();
+    std::vector<Addr> issued;
+    FunctionalMemory mem;
+    for (int i = 0; i < 600; ++i)
+        mem.write(0x100000 + i * 8, 0x50000000 + i * 64);
+    TactFeeder feeder(
+        cfg, 16,
+        [](Addr, int64_t *stride) {
+            *stride = 8;
+            return true;
+        },
+        [&](Addr a, Cycle now) {
+            issued.push_back(a);
+            return now;
+        },
+        [](Addr, Cycle now) { return now; },
+        [&](Addr a) { return mem.read(a); });
+    for (int i = 0; i < 64; ++i) {
+        Addr f_addr = 0x100000 + i * 8;
+        uint64_t v = mem.read(f_addr);
+        MicroOp fld;
+        fld.pc = 0x400010;
+        fld.cls = OpClass::Load;
+        fld.dst = r1;
+        fld.memAddr = f_addr;
+        feeder.onRetire(fld);
+        feeder.onLoadComplete(0x400010, f_addr, v, i);
+        MicroOp alu;
+        alu.pc = 0x400014;
+        alu.cls = OpClass::Alu;
+        alu.dst = r3;
+        alu.src[0] = r1;
+        feeder.onRetire(alu);
+        MicroOp tld;
+        tld.pc = 0x400020;
+        tld.cls = OpClass::Load;
+        tld.dst = r2;
+        tld.src[0] = r3; // via the ALU
+        tld.memAddr = v; // scale 1, base 0
+        feeder.onCriticalLoad(tld, i);
+        feeder.onRetire(tld);
+    }
+    EXPECT_FALSE(issued.empty());
+}
+
+// --------------------------- TactCode ----------------------------
+
+TEST(TactCode, PrefetchesUpcomingLines)
+{
+    TactConfig cfg = defaultTact();
+    std::vector<Addr> lines;
+    TactCode code(
+        cfg, [&](Addr line, Cycle) { lines.push_back(line); },
+        [](const MicroOp &) { return false; });
+    std::vector<MicroOp> ops(64);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        ops[i].pc = 0x400000 + i * 32; // a new line every other op
+        ops[i].cls = OpClass::Alu;
+    }
+    code.onCodeStall(ops.data(), ops.size(), 0, 100);
+    ASSERT_FALSE(lines.empty());
+    EXPECT_LE(lines.size(), cfg.codeRunaheadLines);
+    for (Addr l : lines) {
+        EXPECT_EQ(l % 64, 0u);
+        EXPECT_GT(l, lineAddr(ops[0].pc));
+    }
+}
+
+TEST(TactCode, StopsAtMispredictedBranch)
+{
+    TactConfig cfg = defaultTact();
+    std::vector<Addr> lines;
+    TactCode code(
+        cfg, [&](Addr line, Cycle) { lines.push_back(line); },
+        [](const MicroOp &op) { return op.isBranch(); });
+    std::vector<MicroOp> ops(64);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        ops[i].pc = 0x400000 + i * 64;
+        ops[i].cls = i == 2 ? OpClass::Branch : OpClass::Alu;
+    }
+    code.onCodeStall(ops.data(), ops.size(), 0, 100);
+    EXPECT_LE(lines.size(), 2u);
+}
+
+} // namespace
+} // namespace catchsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Round-trip tests for the binary trace serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "trace/suite.hh"
+#include "trace/trace_io.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+TEST(TraceIo, RoundTripPreservesOpsAndMemory)
+{
+    auto wl = makeWorkload("mcf");
+    Trace orig = wl->generate(5000);
+    const std::string path = "/tmp/catchsim_roundtrip.trace";
+    ASSERT_TRUE(saveTrace(orig, path));
+    Trace back = loadTrace(path);
+    ASSERT_EQ(back.ops.size(), orig.ops.size());
+    for (size_t i = 0; i < orig.ops.size(); ++i) {
+        EXPECT_EQ(back.ops[i].pc, orig.ops[i].pc);
+        EXPECT_EQ(back.ops[i].cls, orig.ops[i].cls);
+        EXPECT_EQ(back.ops[i].memAddr, orig.ops[i].memAddr);
+        EXPECT_EQ(back.ops[i].value, orig.ops[i].value);
+        EXPECT_EQ(back.ops[i].taken, orig.ops[i].taken);
+        EXPECT_EQ(back.ops[i].dst, orig.ops[i].dst);
+    }
+    // Every referenced memory word survives (the feeder's view).
+    for (const auto &op : orig.ops)
+        if (op.isLoad())
+            EXPECT_EQ(back.mem->read(op.memAddr),
+                      orig.mem->read(op.memAddr));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileYieldsEmptyTrace)
+{
+    Trace t = loadTrace("/tmp/definitely/not/here.trace");
+    EXPECT_TRUE(t.ops.empty());
+}
+
+TEST(TraceIo, CorruptHeaderRejected)
+{
+    const std::string path = "/tmp/catchsim_bad.trace";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOTATRACE", f);
+    std::fclose(f);
+    Trace t = loadTrace(path);
+    EXPECT_TRUE(t.ops.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFileRejected)
+{
+    auto wl = makeWorkload("hmmer");
+    Trace orig = wl->generate(2000);
+    const std::string path = "/tmp/catchsim_trunc.trace";
+    ASSERT_TRUE(saveTrace(orig, path));
+    // Truncate to half.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    Trace t = loadTrace(path);
+    EXPECT_TRUE(t.ops.empty());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace catchsim

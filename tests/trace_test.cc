@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the trace layer: emitter semantics, workload determinism and
+ * suite-wide structural properties (parameterised over every workload in
+ * the 70-entry ST list).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/suite.hh"
+#include "trace/workload.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+TEST(Emitter, StopsAtLimit)
+{
+    FunctionalMemory mem;
+    std::vector<MicroOp> ops;
+    Emitter em(mem, ops, 10);
+    for (int i = 0; i < 100; ++i)
+        em.alu(r0, {r0});
+    EXPECT_EQ(ops.size(), 10u);
+    EXPECT_TRUE(em.done());
+}
+
+TEST(Emitter, PcAdvancesByFour)
+{
+    FunctionalMemory mem;
+    std::vector<MicroOp> ops;
+    Emitter em(mem, ops, 10);
+    em.setPc(0x400000);
+    em.alu(r1, {});
+    em.alu(r2, {r1});
+    EXPECT_EQ(ops[0].pc, 0x400000u);
+    EXPECT_EQ(ops[1].pc, 0x400004u);
+}
+
+TEST(Emitter, LoadReturnsFunctionalValue)
+{
+    FunctionalMemory mem;
+    mem.write(0x10000, 77);
+    std::vector<MicroOp> ops;
+    Emitter em(mem, ops, 10);
+    uint64_t v = em.load(r1, {r0}, 0x10000);
+    EXPECT_EQ(v, 77u);
+    EXPECT_EQ(ops[0].value, 77u);
+    EXPECT_EQ(ops[0].memAddr, 0x10000u);
+    EXPECT_EQ(ops[0].dst, r1);
+    EXPECT_EQ(ops[0].src[0], r0);
+}
+
+TEST(Emitter, StoreWritesFunctionalMemory)
+{
+    FunctionalMemory mem;
+    std::vector<MicroOp> ops;
+    Emitter em(mem, ops, 10);
+    em.store({r1}, 0x2000, 99);
+    EXPECT_EQ(mem.read(0x2000), 99u);
+    EXPECT_TRUE(ops[0].isStore());
+}
+
+TEST(Emitter, TakenBranchMovesPc)
+{
+    FunctionalMemory mem;
+    std::vector<MicroOp> ops;
+    Emitter em(mem, ops, 10);
+    em.setPc(0x400100);
+    em.branch(true, 0x400000);
+    em.alu(r1, {});
+    EXPECT_EQ(ops[1].pc, 0x400000u);
+    EXPECT_EQ(ops[0].nextPc(), 0x400000u);
+}
+
+TEST(Emitter, NotTakenBranchFallsThrough)
+{
+    FunctionalMemory mem;
+    std::vector<MicroOp> ops;
+    Emitter em(mem, ops, 10);
+    em.setPc(0x400100);
+    em.branch(false, 0x400000);
+    em.alu(r1, {});
+    EXPECT_EQ(ops[1].pc, 0x400104u);
+}
+
+TEST(Suite, SeventyWorkloads)
+{
+    EXPECT_EQ(stSuiteNames().size(), 70u);
+}
+
+TEST(Suite, QuickListIsSubset)
+{
+    auto all = stSuiteNames();
+    std::set<std::string> names(all.begin(), all.end());
+    for (const auto &q : stQuickNames())
+        EXPECT_TRUE(names.count(q)) << q;
+}
+
+TEST(Suite, MpMixesAreValid)
+{
+    auto mixes = mpMixes();
+    EXPECT_EQ(mixes.size(), 60u);
+    auto all = stSuiteNames();
+    std::set<std::string> names(all.begin(), all.end());
+    for (const auto &m : mixes)
+        for (const auto &w : m.workloads)
+            EXPECT_TRUE(names.count(w)) << m.name << ": " << w;
+}
+
+TEST(Suite, UnknownWorkloadDies)
+{
+    EXPECT_DEATH(makeWorkload("no-such-workload"), "unknown workload");
+}
+
+TEST(Workload, GenerationIsDeterministic)
+{
+    auto w1 = makeWorkload("mcf");
+    auto w2 = makeWorkload("mcf");
+    Trace t1 = w1->generate(5000);
+    Trace t2 = w2->generate(5000);
+    ASSERT_EQ(t1.ops.size(), t2.ops.size());
+    for (size_t i = 0; i < t1.ops.size(); ++i) {
+        EXPECT_EQ(t1.ops[i].pc, t2.ops[i].pc);
+        EXPECT_EQ(t1.ops[i].memAddr, t2.ops[i].memAddr);
+        EXPECT_EQ(t1.ops[i].value, t2.ops[i].value);
+    }
+}
+
+// ------------------------------------------------------------------
+// Property tests over every workload in the suite.
+// ------------------------------------------------------------------
+
+class SuiteProperty : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteProperty, TraceIsWellFormed)
+{
+    auto wl = makeWorkload(GetParam());
+    Trace trace = wl->generate(20000);
+    ASSERT_EQ(trace.ops.size(), 20000u);
+
+    uint64_t loads = 0, branches = 0;
+    std::set<Addr> pcs;
+    for (size_t i = 0; i < trace.ops.size(); ++i) {
+        const MicroOp &op = trace.ops[i];
+        pcs.insert(op.pc);
+        EXPECT_EQ(op.pc % 4, 0u);
+        if (op.isLoad()) {
+            ++loads;
+            EXPECT_NE(op.memAddr, 0u);
+            EXPECT_GE(op.dst, 0);
+        }
+        if (op.isBranch()) {
+            ++branches;
+            if (op.taken)
+                EXPECT_NE(op.target, 0u);
+        }
+        for (int8_t s : op.src)
+            EXPECT_LT(s, 16);
+        EXPECT_LT(op.dst, 16);
+    }
+    // Every kernel must exercise loads and control flow.
+    EXPECT_GT(loads, 100u) << GetParam(); // server kernels are code-heavy
+    EXPECT_GT(branches, 100u) << GetParam();
+    // Stable PCs: the static footprint must be much smaller than the
+    // dynamic stream (PC-indexed hardware relies on this).
+    EXPECT_LT(pcs.size(), trace.ops.size() / 3) << GetParam();
+}
+
+class PointerWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PointerWorkloads, LoadValuesMatchFinalMemory)
+{
+    // The feeder reads chased pointers from the final functional-memory
+    // image; for the pointer-structured kernels (whose structures are
+    // written only during setup), the image must agree with the values
+    // the loads observed. Kernels that overwrite their own inputs
+    // (butterfly, streams) legitimately diverge and are not tested.
+    auto wl = makeWorkload(GetParam());
+    Trace trace = wl->generate(10000);
+    uint64_t loads = 0, matched = 0;
+    for (const auto &op : trace.ops) {
+        if (!op.isLoad())
+            continue;
+        ++loads;
+        matched += trace.mem->read(op.memAddr) == op.value;
+    }
+    EXPECT_GT(matched, loads * 3 / 4) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Pointerish, PointerWorkloads,
+                         ::testing::Values("mcf", "omnetpp", "xalancbmk",
+                                           "bioinformatics", "namd",
+                                           "sysmark-excel", "browser"));
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SuiteProperty,
+                         ::testing::ValuesIn(stSuiteNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n)
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
+                         });
+
+} // namespace
+} // namespace catchsim

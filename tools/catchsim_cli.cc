@@ -1,0 +1,195 @@
+/**
+ * @file
+ * catchsim command-line driver: run any suite workload on any named or
+ * hand-tuned configuration and print a full report. This is the tool a
+ * downstream user reaches for before writing code against the library.
+ *
+ * Usage:
+ *   catchsim [options] <workload> [workload...]
+ *
+ * Options:
+ *   --config=skx|client         base configuration (default skx)
+ *   --no-l2=<llc_kb>            remove the L2, set the LLC size in KB
+ *   --catch                     enable criticality detection + all TACT
+ *   --criticality               enable only the detector
+ *   --detector=heuristic        heuristic detection instead of the DDG
+ *   --tact=cross,deep,feeder,code   enable specific TACT components
+ *   --instr=<n>                 measured instructions   (default 300000)
+ *   --warmup=<n>                warmup instructions     (default 100000)
+ *   --llc-add=<cycles>          LLC latency adder
+ *   --no-prefetchers            disable the baseline prefetchers
+ *   --list                      list all suite workloads and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/configs.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+
+using namespace catchsim;
+
+namespace
+{
+
+void
+printReport(const SimResult &r)
+{
+    std::printf("\n=== %s on %s ===\n", r.workload.c_str(),
+                r.config.c_str());
+    std::printf("IPC                : %.3f  (%llu instrs, %llu cycles)\n",
+                r.ipc, static_cast<unsigned long long>(r.core.instrs),
+                static_cast<unsigned long long>(r.core.cycles));
+    std::printf("loads served       : L1 %.1f%%  L2 %.1f%%  LLC %.1f%%  "
+                "Mem %.1f%%  (fwd %llu)\n",
+                100 * r.hier.loadHitFraction(Level::L1),
+                100 * r.hier.loadHitFraction(Level::L2),
+                100 * r.hier.loadHitFraction(Level::LLC),
+                100 * r.hier.loadHitFraction(Level::Mem),
+                static_cast<unsigned long long>(r.core.forwardedLoads));
+    std::printf("avg load latency   : %.1f cycles\n",
+                r.hier.loads ? static_cast<double>(
+                                   r.hier.totalLoadLatency) /
+                                   r.hier.loads
+                             : 0.0);
+    std::printf("branches           : %.2f%% mispredicted\n",
+                100 * r.core.branch.mispredictRate());
+    std::printf("front-end          : %llu code-stall cycles\n",
+                static_cast<unsigned long long>(
+                    r.frontend.codeStallCycles));
+    std::printf("DRAM               : %llu reads (avg %.0f cyc), "
+                "%llu writes, %.0f%% row hits\n",
+                static_cast<unsigned long long>(r.dram.reads),
+                r.dram.avgReadLatency(),
+                static_cast<unsigned long long>(r.dram.writes),
+                100 * r.dram.rowHitRate());
+    if (r.ddg.walks) {
+        std::printf("criticality        : %llu walks, %llu critical "
+                    "loads, %u active PCs\n",
+                    static_cast<unsigned long long>(r.ddg.walks),
+                    static_cast<unsigned long long>(
+                        r.ddg.criticalLoadsFound),
+                    r.activeCriticalPcs);
+    }
+    if (r.hier.tactPrefetches) {
+        std::printf("TACT               : %llu prefetches (cross %llu, "
+                    "deep %llu, feeder %llu, code-lines %llu)\n",
+                    static_cast<unsigned long long>(
+                        r.hier.tactPrefetches),
+                    static_cast<unsigned long long>(r.tact.crossIssued),
+                    static_cast<unsigned long long>(r.tact.deepIssued),
+                    static_cast<unsigned long long>(r.tact.feederIssued),
+                    static_cast<unsigned long long>(r.tact.codeLines));
+        std::printf("TACT timeliness    : %.0f%% save >=80%% of LLC "
+                    "latency\n",
+                    100 * r.timelinessAtLeast80);
+    }
+    std::printf("energy             : %.3f mJ (core %.2f, cache %.2f, "
+                "ring %.2f, DRAM %.2f, static %.2f)\n",
+                r.energy.total(), r.energy.coreDynamic,
+                r.energy.cacheDynamic, r.energy.interconnect,
+                r.energy.dramDynamic, r.energy.staticLeakage);
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: catchsim [--config=skx|client] [--no-l2=KB] "
+                 "[--catch] [--criticality]\n"
+                 "                [--detector=heuristic]\n"
+                 "                [--tact=cross,deep,feeder,code] "
+                 "[--instr=N] [--warmup=N]\n"
+                 "                [--llc-add=N] [--no-prefetchers] "
+                 "[--list] <workload>...\n");
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig cfg = baselineSkx();
+    bool client = false;
+    int64_t no_l2_kb = -1;
+    uint64_t instrs = 300000, warmup = 100000;
+    std::vector<std::string> workloads;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg]() {
+            return arg.substr(arg.find('=') + 1);
+        };
+        if (arg == "--list") {
+            for (const auto &n : stSuiteNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        } else if (arg.rfind("--config=", 0) == 0) {
+            client = value() == "client";
+        } else if (arg.rfind("--no-l2=", 0) == 0) {
+            no_l2_kb = std::strtoll(value().c_str(), nullptr, 10);
+        } else if (arg == "--catch") {
+            cfg.enableCatch();
+        } else if (arg == "--criticality") {
+            cfg.criticality.enabled = true;
+        } else if (arg == "--detector=heuristic") {
+            cfg.criticality.kind = DetectorKind::Heuristic;
+        } else if (arg.rfind("--tact=", 0) == 0) {
+            cfg.criticality.enabled = true;
+            std::string list = value();
+            cfg.tact.cross = list.find("cross") != std::string::npos;
+            cfg.tact.deepSelf = list.find("deep") != std::string::npos;
+            cfg.tact.feeder = list.find("feeder") != std::string::npos;
+            cfg.tact.code = list.find("code") != std::string::npos;
+        } else if (arg.rfind("--instr=", 0) == 0) {
+            instrs = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--warmup=", 0) == 0) {
+            warmup = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--llc-add=", 0) == 0) {
+            cfg.oracle.latAddLlc = static_cast<uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--no-prefetchers") {
+            cfg.l1StridePrefetcher = false;
+            cfg.l2StreamPrefetcher = false;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+        } else {
+            workloads.push_back(arg);
+        }
+    }
+    if (workloads.empty())
+        usage();
+
+    // Assemble base + overlays in the right order.
+    DetectorKind detector = cfg.criticality.kind;
+    bool want_catch = cfg.criticality.enabled;
+    TactConfig tact = cfg.tact;
+    OracleConfig oracle = cfg.oracle;
+    bool no_pf = !cfg.l1StridePrefetcher;
+    cfg = client ? baselineClient() : baselineSkx();
+    if (no_l2_kb > 0)
+        cfg = noL2(cfg, static_cast<uint64_t>(no_l2_kb));
+    cfg.criticality.enabled = want_catch;
+    cfg.criticality.kind = detector;
+    cfg.tact = tact;
+    cfg.oracle = oracle;
+    if (no_pf) {
+        cfg.l1StridePrefetcher = false;
+        cfg.l2StreamPrefetcher = false;
+    }
+    if (cfg.tact.any())
+        cfg.name += "+tact";
+    else if (cfg.criticality.enabled)
+        cfg.name += "+crit";
+
+    for (const auto &wl : workloads)
+        printReport(runWorkload(cfg, wl, instrs, warmup));
+    return 0;
+}
