@@ -12,63 +12,32 @@
 
 #include "bench/bench_common.hh"
 #include "sim/mp_simulator.hh"
+#include "sim/parallel_runner.hh"
 
 using namespace catchsim;
 
 namespace
 {
 
-/** Memoised solo IPCs per (config, workload). */
-class SoloCache
-{
-  public:
-    SoloCache(const SimConfig &cfg, uint64_t instrs, uint64_t warmup)
-        : cfg_(cfg), instrs_(instrs), warmup_(warmup)
-    {
-    }
-
-    double
-    ipc(const std::string &wl)
-    {
-        auto it = cache_.find(wl);
-        if (it != cache_.end())
-            return it->second;
-        double v = runWorkload(cfg_, wl, instrs_, warmup_).ipc;
-        cache_[wl] = v;
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
-        return v;
-    }
-
-  private:
-    SimConfig cfg_;
-    uint64_t instrs_;
-    uint64_t warmup_;
-    std::map<std::string, double> cache_;
-};
-
 /**
  * Weighted speedup with a COMMON denominator: every configuration's MP
  * IPCs are normalised by the baseline configuration's solo IPCs, so the
  * metric is comparable across configurations (as in the paper's Fig 14).
+ * Mixes run in parallel (CATCH_JOBS); results are mix-order stable.
  */
 double
 meanWeightedSpeedup(const SimConfig &cfg, const std::vector<MpMix> &mixes,
-                    uint64_t instrs, uint64_t warmup, SoloCache &solo)
+                    uint64_t instrs, uint64_t warmup,
+                    const std::map<std::string, double> &solo,
+                    unsigned jobs)
 {
-    MpSimulator sim(cfg);
-    double total = 0;
     std::fprintf(stderr, "[%s] ", cfg.name.c_str());
-    for (const auto &mix : mixes) {
-        std::array<double, 4> alone{};
-        for (int i = 0; i < 4; ++i)
-            alone[i] = solo.ipc(mix.workloads[i]);
-        MpResult r = sim.run(mix, instrs, warmup, alone);
+    auto results =
+        runMixesParallel(cfg, mixes, instrs, warmup, solo, jobs);
+    std::fprintf(stderr, "%zu mixes\n", results.size());
+    double total = 0;
+    for (const MpResult &r : results)
         total += r.weightedSpeedup;
-        std::fprintf(stderr, "*");
-        std::fflush(stderr);
-    }
-    std::fprintf(stderr, "\n");
     return total / static_cast<double>(mixes.size());
 }
 
@@ -89,16 +58,21 @@ main()
     uint64_t instrs = env.instrs / 2;
     uint64_t warmup = env.warmup / 2;
 
-    SoloCache solo(baselineSkx(), instrs, warmup);
+    std::fprintf(stderr, "[solo IPCs] ");
+    auto solo = soloIpcsParallel(baselineSkx(), all_mixes, instrs, warmup,
+                                 env.jobs);
+    std::fprintf(stderr, "%zu workloads\n", solo.size());
     double base = meanWeightedSpeedup(baselineSkx(), all_mixes, instrs,
-                                      warmup, solo);
-    double no_l2 = meanWeightedSpeedup(noL2(baselineSkx(), 9728),
-                                       all_mixes, instrs, warmup, solo);
+                                      warmup, solo, env.jobs);
+    double no_l2 =
+        meanWeightedSpeedup(noL2(baselineSkx(), 9728), all_mixes, instrs,
+                            warmup, solo, env.jobs);
     double no_l2_catch =
         meanWeightedSpeedup(withCatch(noL2(baselineSkx(), 9728)),
-                            all_mixes, instrs, warmup, solo);
-    double catch3 = meanWeightedSpeedup(withCatch(baselineSkx()),
-                                        all_mixes, instrs, warmup, solo);
+                            all_mixes, instrs, warmup, solo, env.jobs);
+    double catch3 =
+        meanWeightedSpeedup(withCatch(baselineSkx()), all_mixes, instrs,
+                            warmup, solo, env.jobs);
 
     TablePrinter table({"config", "weighted speedup", "vs baseline",
                         "paper"});

@@ -69,6 +69,14 @@ CacheHierarchy::fillL2(CoreId core, Addr addr, bool dirty, Cycle ready_at,
                        FillSource src, Cycle now)
 {
     CATCHSIM_ASSERT(cfg_.hasL2, "fillL2 without an L2");
+    // Exclusive LLC: a line entering the L2 must leave the LLC. The
+    // demand paths invalidate before calling us; this catches the
+    // writeback path, where an L1 victim re-enters an L2 that evicted
+    // the line (to the LLC) while the L1 still held it. The incoming
+    // data is the newest version, so the LLC copy is simply dropped
+    // (its dirty bit merges in case the L2 copy aged dirty-out).
+    if (cfg_.inclusion == InclusionPolicy::Exclusive)
+        dirty |= llc_->invalidate(addr);
     Cache::Victim victim = l2_[core]->fill(addr, dirty, ready_at, src);
     if (!victim.valid)
         return;
@@ -155,6 +163,11 @@ CacheHierarchy::streamObserve(CoreId core, Addr addr, Cycle now)
                 ++stats_.ringTransfers;
                 ++stats_.memTransfers;
                 uint64_t mlat = dram_.read(line, now + latLlc());
+                // Inclusive LLC: an L2 fill from memory must also fill
+                // the LLC or inclusion breaks.
+                if (cfg_.inclusion == InclusionPolicy::Inclusive)
+                    fillLlc(line, false, now + latLlc() + mlat,
+                            FillSource::StreamPf, now);
                 fillL2(core, line, false, now + latLlc() + mlat,
                        FillSource::StreamPf, now);
             }
@@ -471,6 +484,21 @@ CacheHierarchy::inL2OrLlc(CoreId core, Addr addr) const
     if (cfg_.hasL2 && l2_[core]->peek(addr))
         return true;
     return llc_->peek(addr) != nullptr;
+}
+
+bool
+CacheHierarchy::residentIn(CoreId core, Addr addr, Level level) const
+{
+    switch (level) {
+      case Level::L1:
+        return l1d_[core]->peek(addr) != nullptr;
+      case Level::L2:
+        return cfg_.hasL2 && l2_[core]->peek(addr) != nullptr;
+      case Level::LLC:
+        return llc_->peek(addr) != nullptr;
+      default:
+        return false;
+    }
 }
 
 } // namespace catchsim

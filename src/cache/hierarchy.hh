@@ -136,6 +136,13 @@ class CacheHierarchy
     bool inL2OrLlc(CoreId core, Addr addr) const;
 
     /**
+     * True when @p addr's line is valid at @p level (L1 = the data
+     * side). Pure probe: no stats or recency updates. Used by the
+     * property tests to check inclusion/exclusion invariants.
+     */
+    bool residentIn(CoreId core, Addr addr, Level level) const;
+
+    /**
      * Estimated cycle at which the data of @p addr would be available to
      * core @p core if requested at @p now, with NO state change. Used by
      * the TACT feeder for its runahead address generation: the feeder

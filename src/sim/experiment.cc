@@ -1,10 +1,13 @@
 #include "sim/experiment.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "sim/parallel_runner.hh"
 #include "trace/suite.hh"
 
 namespace catchsim
@@ -20,20 +23,54 @@ ExperimentEnv::fromEnvironment()
     env.instrs = instr ? std::strtoull(instr, nullptr, 10) : 300000;
     const char *warm = std::getenv("CATCH_WARMUP");
     env.warmup = warm ? std::strtoull(warm, nullptr, 10) : 100000;
+    env.jobs = suiteJobs();
+    const char *json = std::getenv("CATCH_JSON");
+    env.jsonDir = json ? json : "";
     return env;
 }
+
+namespace
+{
+
+/**
+ * <jsonDir>/<config-name>.json, with filesystem-hostile characters
+ * flattened and a numeric suffix when a bench reuses a config name.
+ * Bench mains are single-threaded, so a plain static map suffices.
+ */
+std::string
+jsonExportPath(const std::string &dir, const std::string &cfg_name)
+{
+    std::string stem;
+    for (char c : cfg_name)
+        stem += (isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '.' || c == '_')
+                    ? c
+                    : '_';
+    static std::map<std::string, int> uses;
+    int n = ++uses[stem];
+    if (n > 1)
+        stem += "-" + std::to_string(n);
+    return dir + "/" + stem + ".json";
+}
+
+} // namespace
 
 std::vector<SimResult>
 runSuite(const SimConfig &cfg, const ExperimentEnv &env)
 {
-    std::vector<SimResult> results;
     std::fprintf(stderr, "[%s] ", cfg.name.c_str());
-    for (const auto &name : env.names) {
-        results.push_back(runWorkload(cfg, name, env.instrs, env.warmup));
-        std::fprintf(stderr, ".");
-        std::fflush(stderr);
-    }
+    auto results = runWorkloadsParallel(
+        cfg, env.names, env.instrs, env.warmup, env.jobs,
+        [](const SimResult &) {
+            std::fprintf(stderr, ".");
+            std::fflush(stderr);
+        });
     std::fprintf(stderr, "\n");
+    if (!env.jsonDir.empty()) {
+        std::string path = jsonExportPath(env.jsonDir, cfg.name);
+        if (!writeSuiteJson(path, cfg, env, results))
+            warn("failed to write suite JSON to ", path);
+    }
     return results;
 }
 

@@ -7,6 +7,11 @@
  *   CATCH_FULL=1     run the full 70-workload suite (default: quick list)
  *   CATCH_INSTR=N    measured instructions per run (default 300000)
  *   CATCH_WARMUP=N   warmup instructions per run (default 100000)
+ *   CATCH_JOBS=N     parallel simulation jobs (default: hardware
+ *                    concurrency; 1 restores the serial path). Results
+ *                    are bitwise-identical for any job count.
+ *   CATCH_JSON=DIR   also write one machine-readable JSON file per
+ *                    runSuite() call into DIR (see writeSuiteJson)
  */
 
 #ifndef CATCHSIM_SIM_EXPERIMENT_HH_
@@ -28,13 +33,28 @@ struct ExperimentEnv
     std::vector<std::string> names;
     uint64_t instrs;
     uint64_t warmup;
+    /** Simulation jobs; CATCH_JOBS (default: hardware concurrency). */
+    unsigned jobs = 1;
+    /** Directory for per-suite JSON exports; empty disables them. */
+    std::string jsonDir;
 
     static ExperimentEnv fromEnvironment();
 };
 
-/** Runs one config across the suite; prints one progress dot per run. */
+/**
+ * Runs one config across the suite on env.jobs threads; prints one
+ * progress dot per run. results[i] belongs to env.names[i] and is
+ * bitwise-identical regardless of the job count. When env.jsonDir is
+ * set, also writes <jsonDir>/<config-name>.json (a "-2", "-3", ...
+ * suffix disambiguates repeated config names within one process).
+ */
 std::vector<SimResult> runSuite(const SimConfig &cfg,
                                 const ExperimentEnv &env);
+
+/** Writes a suite's results as one JSON document; false on I/O error. */
+bool writeSuiteJson(const std::string &path, const SimConfig &cfg,
+                    const ExperimentEnv &env,
+                    const std::vector<SimResult> &results);
 
 /**
  * Per-workload speedups of @p test over @p base (paired by index) and

@@ -1,0 +1,145 @@
+#include "sim/parallel_runner.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace catchsim
+{
+
+unsigned
+suiteJobs()
+{
+    if (const char *env = std::getenv("CATCH_JOBS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        warn("CATCH_JOBS='", env, "' is not a positive integer; ",
+             "falling back to hardware concurrency");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+double
+workloadCostEstimate(const std::string &name)
+{
+    // Trace setup cost scales with the kernel's memory footprint and
+    // simulation cost with its miss rate; both correlate with category.
+    // Server OLTP/Java kernels build tens-of-MB working sets, HPC and
+    // FSPEC stream through multi-MB arrays, ISPEC/client stay small.
+    auto wl = makeWorkload(name);
+    double base;
+    switch (wl->category()) {
+      case Category::Server: base = 8.0; break;
+      case Category::Hpc:    base = 3.0; break;
+      case Category::Fspec:  base = 2.0; break;
+      case Category::Client: base = 1.5; break;
+      default:               base = 1.0; break;
+    }
+    return base;
+}
+
+void
+runTasksLongestFirst(std::vector<std::function<void()>> tasks,
+                     const std::vector<double> &cost, unsigned jobs)
+{
+    CATCHSIM_ASSERT(cost.size() == tasks.size(),
+                    "cost/task vector size mismatch");
+    if (jobs <= 1 || tasks.size() <= 1) {
+        for (auto &t : tasks)
+            t();
+        return;
+    }
+    std::vector<size_t> order(tasks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&cost](size_t a, size_t b) {
+                         return cost[a] > cost[b];
+                     });
+    std::vector<std::function<void()>> sorted;
+    sorted.reserve(tasks.size());
+    for (size_t i : order)
+        sorted.push_back(std::move(tasks[i]));
+    ThreadPool pool(std::min<size_t>(jobs, sorted.size()));
+    pool.runAll(std::move(sorted));
+}
+
+std::vector<SimResult>
+runWorkloadsParallel(const SimConfig &cfg,
+                     const std::vector<std::string> &names,
+                     uint64_t instrs, uint64_t warmup, unsigned jobs,
+                     const std::function<void(const SimResult &)> &progress)
+{
+    std::vector<SimResult> results(names.size());
+    std::vector<std::function<void()>> tasks;
+    std::vector<double> cost;
+    tasks.reserve(names.size());
+    cost.reserve(names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        tasks.push_back([&, i] {
+            // Fully private run: own workload (re-seeded from its suite
+            // entry), own Simulator, own results slot.
+            results[i] = runWorkload(cfg, names[i], instrs, warmup);
+            if (progress)
+                progress(results[i]);
+        });
+        cost.push_back(workloadCostEstimate(names[i]));
+    }
+    runTasksLongestFirst(std::move(tasks), cost, jobs);
+    return results;
+}
+
+std::map<std::string, double>
+soloIpcsParallel(const SimConfig &cfg, const std::vector<MpMix> &mixes,
+                 uint64_t instrs, uint64_t warmup, unsigned jobs)
+{
+    std::set<std::string> distinct;
+    for (const auto &mix : mixes)
+        for (const auto &w : mix.workloads)
+            distinct.insert(w);
+    std::vector<std::string> names(distinct.begin(), distinct.end());
+    auto results =
+        runWorkloadsParallel(cfg, names, instrs, warmup, jobs);
+    std::map<std::string, double> solo;
+    for (size_t i = 0; i < names.size(); ++i)
+        solo[names[i]] = results[i].ipc;
+    return solo;
+}
+
+std::vector<MpResult>
+runMixesParallel(const SimConfig &cfg, const std::vector<MpMix> &mixes,
+                 uint64_t instrs, uint64_t warmup,
+                 const std::map<std::string, double> &solo, unsigned jobs)
+{
+    std::vector<MpResult> results(mixes.size());
+    std::vector<std::function<void()>> tasks;
+    std::vector<double> cost;
+    tasks.reserve(mixes.size());
+    cost.reserve(mixes.size());
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        std::array<double, 4> alone{};
+        double mix_cost = 0;
+        for (int c = 0; c < 4; ++c) {
+            auto it = solo.find(mixes[i].workloads[c]);
+            CATCHSIM_ASSERT(it != solo.end(), "missing solo IPC for ",
+                            mixes[i].workloads[c]);
+            alone[c] = it->second;
+            mix_cost += workloadCostEstimate(mixes[i].workloads[c]);
+        }
+        tasks.push_back([&, i, alone] {
+            MpSimulator sim(cfg);
+            results[i] = sim.run(mixes[i], instrs, warmup, alone);
+        });
+        cost.push_back(mix_cost);
+    }
+    runTasksLongestFirst(std::move(tasks), cost, jobs);
+    return results;
+}
+
+} // namespace catchsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Parallel suite execution with determinism guarantees.
+ *
+ * Every (SimConfig, workload) simulation is independent: each run owns
+ * its Simulator, its trace (generated from the workload's own seed) and
+ * a pre-assigned slot in the results vector, so the output is
+ * bitwise-identical and order-stable for any job count. Workloads are
+ * dispatched longest-estimated-first (LPT) to minimise makespan.
+ *
+ * The job count comes from CATCH_JOBS (default: hardware concurrency;
+ * 1 restores the exact serial behaviour).
+ */
+
+#ifndef CATCHSIM_SIM_PARALLEL_RUNNER_HH_
+#define CATCHSIM_SIM_PARALLEL_RUNNER_HH_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/mp_simulator.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+
+namespace catchsim
+{
+
+/** CATCH_JOBS env knob; default hardware concurrency, minimum 1. */
+unsigned suiteJobs();
+
+/**
+ * Relative wall-clock cost estimate for one workload run, used to order
+ * dispatch longest-first. Server/HPC kernels carry large footprints
+ * (trace setup + DRAM-heavy simulation) and dominate the makespan.
+ */
+double workloadCostEstimate(const std::string &name);
+
+/**
+ * Runs @p tasks on @p jobs threads, dispatching in descending @p cost
+ * order. Each task must write only to its own pre-assigned output.
+ * @p jobs <= 1 runs serially, in index order, on the calling thread.
+ */
+void runTasksLongestFirst(std::vector<std::function<void()>> tasks,
+                          const std::vector<double> &cost, unsigned jobs);
+
+/**
+ * Parallel equivalent of the serial workload loop: results[i] is the
+ * run of @p names[i], independent of @p jobs. @p progress (optional) is
+ * invoked on the calling thread's behalf from workers as runs finish;
+ * it must be thread-safe (the suite runners pass a stderr dot printer).
+ */
+std::vector<SimResult>
+runWorkloadsParallel(const SimConfig &cfg,
+                     const std::vector<std::string> &names,
+                     uint64_t instrs, uint64_t warmup, unsigned jobs,
+                     const std::function<void(const SimResult &)>
+                         &progress = nullptr);
+
+/**
+ * Solo IPCs of every distinct workload appearing in @p mixes on
+ * @p cfg, computed in parallel. The map replaces the serial memoised
+ * SoloCache the MP benches used.
+ */
+std::map<std::string, double>
+soloIpcsParallel(const SimConfig &cfg, const std::vector<MpMix> &mixes,
+                 uint64_t instrs, uint64_t warmup, unsigned jobs);
+
+/**
+ * Runs every mix on @p cfg in parallel; results[i] corresponds to
+ * mixes[i] regardless of job count. @p solo must cover every workload
+ * named by @p mixes (see soloIpcsParallel).
+ */
+std::vector<MpResult>
+runMixesParallel(const SimConfig &cfg, const std::vector<MpMix> &mixes,
+                 uint64_t instrs, uint64_t warmup,
+                 const std::map<std::string, double> &solo, unsigned jobs);
+
+} // namespace catchsim
+
+#endif // CATCHSIM_SIM_PARALLEL_RUNNER_HH_

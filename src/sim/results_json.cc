@@ -1,0 +1,227 @@
+/**
+ * @file
+ * JSON export of suite results: SimResult::toJson() plus the suite-level
+ * writer the bench binaries use to emit machine-readable per-workload
+ * stats next to their stdout tables (CATCH_JSON env knob).
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+namespace catchsim
+{
+
+namespace
+{
+
+/**
+ * Tiny append-only JSON builder. Field order is fixed by call order so
+ * exports diff cleanly run-to-run; doubles use %.17g (round-trippable).
+ */
+class JsonWriter
+{
+  public:
+    void
+    open()
+    {
+        out_ += '{';
+        first_ = true;
+    }
+
+    void
+    close()
+    {
+        out_ += '}';
+        first_ = false;
+    }
+
+    void
+    key(const char *name)
+    {
+        if (!first_)
+            out_ += ',';
+        first_ = false;
+        out_ += '"';
+        out_ += name;
+        out_ += "\":";
+    }
+
+    void
+    field(const char *name, uint64_t v)
+    {
+        key(name);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+        out_ += buf;
+    }
+
+    void
+    field(const char *name, double v)
+    {
+        key(name);
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+    }
+
+    void
+    field(const char *name, const std::string &v)
+    {
+        key(name);
+        out_ += '"';
+        for (char c : v) {
+            if (c == '"' || c == '\\')
+                out_ += '\\';
+            out_ += c;
+        }
+        out_ += '"';
+    }
+
+    void
+    object(const char *name)
+    {
+        key(name);
+        open();
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    std::string out_;
+    bool first_ = true;
+};
+
+void
+cacheJson(JsonWriter &w, const char *name, const CacheStats &s)
+{
+    w.object(name);
+    w.field("accesses", s.demandAccesses);
+    w.field("hits", s.demandHits);
+    w.field("hit_rate", s.hitRate());
+    w.field("fills", s.fills);
+    w.field("evictions", s.evictions);
+    w.field("dirty_evictions", s.dirtyEvictions);
+    w.field("invalidations", s.invalidations);
+    w.field("read_ops", s.readOps);
+    w.field("write_ops", s.writeOps);
+    w.close();
+}
+
+} // namespace
+
+std::string
+SimResult::toJson() const
+{
+    JsonWriter w;
+    w.open();
+    w.field("workload", workload);
+    w.field("config", config);
+    w.field("category", std::string(categoryName(category)));
+    w.field("ipc", ipc);
+
+    w.object("core");
+    w.field("instrs", core.instrs);
+    w.field("cycles", core.cycles);
+    w.field("loads", core.loads);
+    w.field("stores", core.stores);
+    w.field("forwarded_loads", core.forwardedLoads);
+    w.field("branches", core.branch.branches);
+    w.field("branch_mispredicts", core.branch.mispredicts);
+    w.close();
+
+    w.object("hierarchy");
+    w.field("loads", hier.loads);
+    w.field("load_hits_l1", hier.loadHits[0]);
+    w.field("load_hits_l2", hier.loadHits[1]);
+    w.field("load_hits_llc", hier.loadHits[2]);
+    w.field("load_hits_mem", hier.loadHits[3]);
+    w.field("total_load_latency", hier.totalLoadLatency);
+    w.field("store_accesses", hier.storeAccesses);
+    w.field("store_l1_misses", hier.storeL1Misses);
+    w.field("code_fetches", hier.codeFetches);
+    w.field("ring_transfers", hier.ringTransfers);
+    w.field("mem_transfers", hier.memTransfers);
+    w.field("stride_pf_issued", hier.stridePfIssued);
+    w.field("stream_pf_issued", hier.streamPfIssued);
+    w.close();
+
+    cacheJson(w, "l1d", l1d);
+    cacheJson(w, "l1i", l1i);
+    if (hasL2)
+        cacheJson(w, "l2", l2);
+    cacheJson(w, "llc", llc);
+
+    w.object("dram");
+    w.field("reads", dram.reads);
+    w.field("writes", dram.writes);
+    w.field("activates", dram.activates);
+    w.field("row_hits", dram.rowHits);
+    w.field("row_misses", dram.rowMisses);
+    w.field("avg_read_latency", dram.avgReadLatency());
+    w.close();
+
+    w.object("frontend");
+    w.field("line_fetches", frontend.lineFetches);
+    w.field("code_stall_cycles", frontend.codeStallCycles);
+    w.field("redirects", frontend.redirects);
+    w.close();
+
+    w.object("criticality");
+    w.field("ddg_walks", ddg.walks);
+    w.field("critical_loads_found", ddg.criticalLoadsFound);
+    w.field("table_recordings", criticalTable.recordings);
+    w.field("table_evictions", criticalTable.evictions);
+    w.field("active_critical_pcs", uint64_t(activeCriticalPcs));
+    w.close();
+
+    w.object("tact");
+    w.field("prefetches", hier.tactPrefetches);
+    w.field("cross_issued", tact.crossIssued);
+    w.field("deep_issued", tact.deepIssued);
+    w.field("feeder_issued", tact.feederIssued);
+    w.field("code_lines", tact.codeLines);
+    w.field("useful_hits", hier.tactUsefulHits);
+    w.field("from_llc_fraction", tactFromLlcFraction);
+    w.field("timeliness_ge80", timelinessAtLeast80);
+    w.field("timeliness_ge10", timelinessAtLeast10);
+    w.close();
+
+    w.object("energy_mj");
+    w.field("core_dynamic", energy.coreDynamic);
+    w.field("cache_dynamic", energy.cacheDynamic);
+    w.field("interconnect", energy.interconnect);
+    w.field("dram_dynamic", energy.dramDynamic);
+    w.field("static_leakage", energy.staticLeakage);
+    w.field("total", energy.total());
+    w.close();
+
+    w.close();
+    return w.str();
+}
+
+bool
+writeSuiteJson(const std::string &path, const SimConfig &cfg,
+               const ExperimentEnv &env,
+               const std::vector<SimResult> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f,
+                 "{\"config\":\"%s\",\"instrs\":%" PRIu64
+                 ",\"warmup\":%" PRIu64 ",\"results\":[\n",
+                 cfg.name.c_str(), env.instrs, env.warmup);
+    for (size_t i = 0; i < results.size(); ++i)
+        std::fprintf(f, "%s%s\n", results[i].toJson().c_str(),
+                     i + 1 < results.size() ? "," : "");
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace catchsim

@@ -54,6 +54,9 @@ struct SimResult
     double tactFromLlcFraction = 0;
 
     EnergyBreakdown energy;
+
+    /** Machine-readable form of every counter above (one JSON object). */
+    std::string toJson() const;
 };
 
 /** Runs one workload on one machine configuration. */

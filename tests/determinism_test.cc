@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bitwise reproducibility regression tests: the same (SimConfig,
+ * workload, seed) must yield identical stats on every run — every
+ * counter and every double, across representative kernel families
+ * (pointer-chasing, streaming, branchy), both baseline and full-CATCH
+ * configs, and for the MP simulator. Any nondeterminism here (an
+ * unseeded RNG, iteration over pointer-keyed containers, uninitialised
+ * state) would silently invalidate every paper figure and break the
+ * parallel runner's determinism contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/configs.hh"
+#include "sim/mp_simulator.hh"
+#include "sim/simulator.hh"
+#include "sim_result_compare.hh"
+#include "trace/suite.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+constexpr uint64_t kInstr = 35000;
+constexpr uint64_t kWarm = 10000;
+
+/** mcf = pointer chase, hpc.stream = streaming, gobmk = branchy. */
+class DeterminismByKernel : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DeterminismByKernel, BaselineRunsAreBitwiseIdentical)
+{
+    SimResult a = runWorkload(baselineSkx(), GetParam(), kInstr, kWarm);
+    SimResult b = runWorkload(baselineSkx(), GetParam(), kInstr, kWarm);
+    expectBitwiseEqual(a, b);
+}
+
+TEST_P(DeterminismByKernel, FullCatchRunsAreBitwiseIdentical)
+{
+    // CATCH wires in the detector, the critical table and all four TACT
+    // components — far more state that could go nondeterministic.
+    SimConfig cfg = withCatch(noL2(baselineSkx(), 9728));
+    SimResult a = runWorkload(cfg, GetParam(), kInstr, kWarm);
+    SimResult b = runWorkload(cfg, GetParam(), kInstr, kWarm);
+    expectBitwiseEqual(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(RepresentativeKernels, DeterminismByKernel,
+                         ::testing::Values("mcf", "hpc.stream", "gobmk"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n)
+                                 if (!isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(Determinism, DifferentSeedVariantsDiffer)
+{
+    // Sanity check that the comparison has teeth: the "-2" suite
+    // variants reseed the same kernel and must NOT reproduce the base
+    // workload's counters.
+    SimResult a = runWorkload(baselineSkx(), "mcf", kInstr, kWarm);
+    SimResult b = runWorkload(baselineSkx(), "mcf-2", kInstr, kWarm);
+    EXPECT_NE(a.core.cycles, b.core.cycles);
+}
+
+TEST(Determinism, MpRunsAreBitwiseIdentical)
+{
+    MpMix mix{"det.mix", {"mcf", "hpc.stream", "gobmk", "hmmer"}};
+    std::array<double, 4> alone{};
+    for (int c = 0; c < 4; ++c)
+        alone[c] = runWorkload(baselineSkx(), mix.workloads[c], kInstr,
+                               kWarm)
+                       .ipc;
+    MpSimulator sim_a(baselineSkx());
+    MpSimulator sim_b(baselineSkx());
+    MpResult a = sim_a.run(mix, kInstr, kWarm, alone);
+    MpResult b = sim_b.run(mix, kInstr, kWarm, alone);
+    EXPECT_EQ(a.weightedSpeedup, b.weightedSpeedup);
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(a.ipc[c], b.ipc[c]) << "core " << c;
+}
+
+TEST(Determinism, JsonExportIsStable)
+{
+    // The JSON document is byte-stable too (fixed field order, %.17g
+    // doubles), so exports can be diffed across runs and machines.
+    SimResult a = runWorkload(withCatch(baselineSkx()), "omnetpp",
+                              kInstr, kWarm);
+    SimResult b = runWorkload(withCatch(baselineSkx()), "omnetpp",
+                              kInstr, kWarm);
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_FALSE(a.toJson().empty());
+}
+
+} // namespace
+} // namespace catchsim

@@ -154,6 +154,67 @@ INSTANTIATE_TEST_SUITE_P(Policies, HierarchyInvariants,
                              }
                          });
 
+/**
+ * Exclusive-LLC structural invariant: no line is simultaneously valid
+ * in the L2 and the LLC. Checked by probing the whole address pool
+ * after (and periodically during) seeded random traffic, across
+ * several seeds.
+ */
+TEST(HierarchyExclusive, NoLineValidInBothL2AndLlc)
+{
+    for (uint64_t seed : {7u, 1234u, 998877u}) {
+        SimConfig cfg = tinyConfig(InclusionPolicy::Exclusive);
+        Driver d(cfg);
+        d.rng = Rng(seed);
+        auto probe_all = [&](Cycle t) {
+            for (Addr a = 0; a < 4096; ++a) {
+                Addr addr = a * 64;
+                EXPECT_FALSE(d.h.residentIn(0, addr, Level::L2) &&
+                             d.h.residentIn(0, addr, Level::LLC))
+                    << "duplicated line " << std::hex << addr
+                    << " (seed " << std::dec << seed << ", t " << t
+                    << ")";
+            }
+        };
+        for (Cycle t = 0; t < 40000; ++t) {
+            d.step(t * 7);
+            if (t % 10000 == 9999)
+                probe_all(t);
+        }
+        probe_all(40000);
+    }
+}
+
+/**
+ * Inclusive-LLC structural invariant: every L2-resident line is also
+ * LLC-resident (L2 contents are a subset of the LLC), under the same
+ * randomized traffic.
+ */
+TEST(HierarchyInclusive, L2IsSubsetOfLlc)
+{
+    for (uint64_t seed : {7u, 1234u, 998877u}) {
+        SimConfig cfg = tinyConfig(InclusionPolicy::Inclusive);
+        Driver d(cfg);
+        d.rng = Rng(seed);
+        auto probe_all = [&](Cycle t) {
+            for (Addr a = 0; a < 4096; ++a) {
+                Addr addr = a * 64;
+                EXPECT_FALSE(d.h.residentIn(0, addr, Level::L2) &&
+                             !d.h.residentIn(0, addr, Level::LLC))
+                    << "inclusion hole at " << std::hex << addr
+                    << " (seed " << std::dec << seed << ", t " << t
+                    << ")";
+            }
+        };
+        for (Cycle t = 0; t < 40000; ++t) {
+            d.step(t * 7);
+            if (t % 10000 == 9999)
+                probe_all(t);
+        }
+        probe_all(40000);
+    }
+}
+
 /** Exclusive-specific: an L2 hit must not also be LLC-resident after
  *  the hierarchy settles (no silent duplication). */
 TEST(HierarchyExclusive, NoSteadyStateDuplication)

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bitwise SimResult comparison shared by the determinism and parallel
+ * runner tests. The stats structs are plain aggregates of uint64_t /
+ * double fields with no padding, so memcmp over fully-written values is
+ * an exact "every counter identical" check; doubles additionally go
+ * through toJson()'s %.17g round-trip for a readable failure message.
+ */
+
+#ifndef CATCHSIM_TESTS_SIM_RESULT_COMPARE_HH_
+#define CATCHSIM_TESTS_SIM_RESULT_COMPARE_HH_
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/simulator.hh"
+
+namespace catchsim
+{
+
+template <typename Stats>
+::testing::AssertionResult
+statsBitwiseEqual(const char *what, const Stats &a, const Stats &b)
+{
+    static_assert(std::is_trivially_copyable_v<Stats>);
+    if (std::memcmp(&a, &b, sizeof(Stats)) == 0)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << what << " counters differ between runs";
+}
+
+inline void
+expectBitwiseEqual(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.category, b.category);
+    EXPECT_EQ(a.hasL2, b.hasL2);
+    EXPECT_TRUE(statsBitwiseEqual("core", a.core, b.core));
+    EXPECT_TRUE(statsBitwiseEqual("hierarchy", a.hier, b.hier));
+    EXPECT_TRUE(statsBitwiseEqual("l1d", a.l1d, b.l1d));
+    EXPECT_TRUE(statsBitwiseEqual("l1i", a.l1i, b.l1i));
+    if (a.hasL2)
+        EXPECT_TRUE(statsBitwiseEqual("l2", a.l2, b.l2));
+    EXPECT_TRUE(statsBitwiseEqual("llc", a.llc, b.llc));
+    EXPECT_TRUE(statsBitwiseEqual("dram", a.dram, b.dram));
+    EXPECT_TRUE(statsBitwiseEqual("frontend", a.frontend, b.frontend));
+    EXPECT_TRUE(statsBitwiseEqual("ddg", a.ddg, b.ddg));
+    EXPECT_TRUE(statsBitwiseEqual("critical_table", a.criticalTable,
+                                  b.criticalTable));
+    EXPECT_EQ(a.activeCriticalPcs, b.activeCriticalPcs);
+    EXPECT_TRUE(statsBitwiseEqual("tact", a.tact, b.tact));
+    EXPECT_TRUE(statsBitwiseEqual("energy", a.energy, b.energy));
+
+    // Bitwise-equal doubles, reported readably.
+    EXPECT_EQ(a.toJson(), b.toJson()) << a.workload;
+}
+
+} // namespace catchsim
+
+#endif // CATCHSIM_TESTS_SIM_RESULT_COMPARE_HH_

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hh"
@@ -301,6 +302,117 @@ TEST(TactFeeder, RegisterTrackingPropagatesThroughAlu)
         feeder.onRetire(tld);
     }
     EXPECT_FALSE(issued.empty());
+}
+
+// ----------------- TactSelf boundary behaviour -------------------
+
+TEST(TactSelf, DeepDistanceIsClampedAtSixteenLines)
+{
+    // Paper guards: safe run length learned up to 32, prefetch distance
+    // clamped to deepMaxDistance (16 lines). Drive a long perfect
+    // stride so the safe length saturates at its cap, and verify every
+    // issued distance stays within (1, 16] with the clamp actually
+    // reached.
+    TactConfig cfg = defaultTact();
+    ASSERT_EQ(cfg.deepMaxDistance, 16u);
+    ASSERT_EQ(cfg.safeLengthCap, 32u);
+    Addr cur = 0x300000;
+    std::vector<int64_t> distances;
+    TactSelf self(
+        cfg,
+        [](Addr, int64_t *stride) {
+            *stride = 64;
+            return true;
+        },
+        [&](Addr a, Cycle) {
+            distances.push_back((static_cast<int64_t>(a) -
+                                 static_cast<int64_t>(cur)) /
+                                64);
+        });
+    // > 40 wraparounds of the 32-instance cap: plenty for safeLength to
+    // climb from its initial 4 to the cap.
+    for (int i = 0; i < 32 * 45; ++i, cur += 64)
+        self.onCriticalLoad(0x400010, cur, i);
+    ASSERT_FALSE(distances.empty());
+    int64_t max_d = 0;
+    for (int64_t d : distances) {
+        EXPECT_GT(d, 1) << "distance 1 is the baseline prefetcher's job";
+        EXPECT_LE(d, 16) << "deepMaxDistance clamp violated";
+        max_d = std::max(max_d, d);
+    }
+    // The clamp must actually engage: with the safe length at 32, the
+    // headroom exceeds 16 for much of each run.
+    EXPECT_EQ(max_d, 16);
+    // The run-length guard throttles: near each cap wraparound the
+    // remaining headroom dips below 2, so not every instance issues.
+    EXPECT_LT(distances.size(), static_cast<size_t>(32 * 45));
+}
+
+TEST(TactSelf, RunBreakAtSafeLengthBoundaryKeepsDistancesSafe)
+{
+    // Runs that break after exactly safeLength instances are the
+    // boundary the guard learns: issued distances must never outrun
+    // the observed run length.
+    TactConfig cfg = defaultTact();
+    Addr cur = 0x300000;
+    std::vector<int64_t> distances;
+    TactSelf self(
+        cfg,
+        [](Addr, int64_t *stride) {
+            *stride = 64;
+            return true;
+        },
+        [&](Addr a, Cycle) {
+            distances.push_back((static_cast<int64_t>(a) -
+                                 static_cast<int64_t>(cur)) /
+                                64);
+        });
+    for (int i = 0; i < 400; ++i) {
+        self.onCriticalLoad(0x400010, cur, i);
+        cur += (i % 8 == 7) ? 1 << 20 : 64; // break every 8th instance
+    }
+    for (int64_t d : distances)
+        EXPECT_LE(d, 8) << "prefetch ran past the learned run length";
+}
+
+// --------------- TriggerCache pressure behaviour -----------------
+
+TEST(TriggerCache, FifthDistinctPcOnPageIsNotRecorded)
+{
+    // A 4 KB page that sees more than four distinct load PCs keeps only
+    // its first four (first-touch order is the paper's trigger
+    // heuristic); later PCs must neither displace them nor grow the
+    // candidate list.
+    TriggerCache tc(defaultTact());
+    for (Addr pc = 0; pc < 12; ++pc)
+        tc.onLoad(0x400000 + pc * 4, 0x20000 + pc * 16);
+    auto cands = tc.candidates(0x20000);
+    ASSERT_EQ(cands.size(), 4u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(cands[i], 0x400000u + i * 4) << "slot " << i;
+}
+
+TEST(TriggerCache, CapacityPressureEvictsColdPages)
+{
+    // 64 entries total (8 sets x 8 ways): touching many more distinct
+    // pages than that must LRU-evict the earliest, while a page kept
+    // hot retains its (full, first-four) PC set.
+    TactConfig cfg = defaultTact();
+    ASSERT_EQ(cfg.triggerCacheSets * cfg.triggerCacheWays, 64u);
+    TriggerCache tc(cfg);
+    const Addr hot = 0x1000000;
+    for (Addr pc = 0; pc < 6; ++pc) // > 4 distinct PCs on the hot page
+        tc.onLoad(0x400000 + pc * 4, hot + pc * 8);
+    for (int p = 0; p < 256; ++p) {
+        tc.onLoad(0x500000, 0x2000000 + static_cast<Addr>(p) * 4096);
+        tc.onLoad(0x400000, hot + p); // keep the hot page recent
+    }
+    EXPECT_TRUE(tc.candidates(0x2000000).empty())
+        << "cold page survived 255 later insertions";
+    auto cands = tc.candidates(hot);
+    ASSERT_EQ(cands.size(), 4u) << "hot page lost under pressure";
+    EXPECT_EQ(cands[0], 0x400000u);
+    EXPECT_EQ(cands[3], 0x40000cu);
 }
 
 // --------------------------- TactCode ----------------------------

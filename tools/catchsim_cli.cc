@@ -18,7 +18,13 @@
  *   --warmup=<n>                warmup instructions     (default 100000)
  *   --llc-add=<cycles>          LLC latency adder
  *   --no-prefetchers            disable the baseline prefetchers
+ *   --jobs=<n>                  parallel simulations (default CATCH_JOBS
+ *                               or hardware concurrency; 1 = serial)
+ *   --json=<file>               also write results as a JSON document
  *   --list                      list all suite workloads and exit
+ *
+ * Reports print in command-line order regardless of --jobs; results are
+ * bitwise-identical for any job count.
  */
 
 #include <cstdio>
@@ -29,6 +35,8 @@
 
 #include "common/logging.hh"
 #include "sim/configs.hh"
+#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "sim/simulator.hh"
 #include "trace/suite.hh"
 
@@ -106,7 +114,8 @@ usage()
                  "                [--tact=cross,deep,feeder,code] "
                  "[--instr=N] [--warmup=N]\n"
                  "                [--llc-add=N] [--no-prefetchers] "
-                 "[--list] <workload>...\n");
+                 "[--jobs=N] [--json=FILE]\n"
+                 "                [--list] <workload>...\n");
     std::exit(1);
 }
 
@@ -119,6 +128,8 @@ main(int argc, char **argv)
     bool client = false;
     int64_t no_l2_kb = -1;
     uint64_t instrs = 300000, warmup = 100000;
+    unsigned jobs = suiteJobs();
+    std::string json_path;
     std::vector<std::string> workloads;
 
     for (int i = 1; i < argc; ++i) {
@@ -157,6 +168,11 @@ main(int argc, char **argv)
         } else if (arg == "--no-prefetchers") {
             cfg.l1StridePrefetcher = false;
             cfg.l2StreamPrefetcher = false;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            long v = std::strtol(value().c_str(), nullptr, 10);
+            jobs = v >= 1 ? static_cast<unsigned>(v) : 1;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = value();
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();
@@ -189,7 +205,18 @@ main(int argc, char **argv)
     else if (cfg.criticality.enabled)
         cfg.name += "+crit";
 
-    for (const auto &wl : workloads)
-        printReport(runWorkload(cfg, wl, instrs, warmup));
+    auto results =
+        runWorkloadsParallel(cfg, workloads, instrs, warmup, jobs);
+    for (const auto &r : results)
+        printReport(r);
+    if (!json_path.empty()) {
+        ExperimentEnv env;
+        env.names = workloads;
+        env.instrs = instrs;
+        env.warmup = warmup;
+        if (!writeSuiteJson(json_path, cfg, env, results))
+            CATCHSIM_FATAL("cannot write JSON to '", json_path, "'");
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
     return 0;
 }
