@@ -7,10 +7,10 @@
  * (default 10 for the quick mode; set 60 for the full set).
  */
 
-#include <cstdlib>
 #include <map>
 
 #include "bench/bench_common.hh"
+#include "common/env.hh"
 #include "sim/mp_simulator.hh"
 #include "sim/parallel_runner.hh"
 
@@ -48,8 +48,7 @@ main()
 {
     banner("Figure 14", "4-way multi-programmed weighted speedup");
     ExperimentEnv env = ExperimentEnv::fromEnvironment();
-    const char *mix_env = std::getenv("CATCH_MP_MIXES");
-    size_t num_mixes = mix_env ? std::strtoull(mix_env, nullptr, 10) : 10;
+    size_t num_mixes = envU64("CATCH_MP_MIXES", 10);
 
     auto all_mixes = mpMixes();
     if (num_mixes < all_mixes.size())

@@ -1,0 +1,76 @@
+# Analysis-gate build options for catchsim.
+#
+# CATCH_SANITIZE selects compiler sanitizers for the whole tree. It is a
+# comma- or semicolon-separated list drawn from:
+#
+#   address    AddressSanitizer (heap/stack/global overflows, UAF, leaks)
+#   undefined  UndefinedBehaviorSanitizer (recover disabled: any UB aborts)
+#   thread     ThreadSanitizer (data races; incompatible with address)
+#   leak       standalone LeakSanitizer (implied by address on Linux)
+#
+# Typical invocations:
+#   cmake -B build-asan  -S . -DCATCH_SANITIZE=address,undefined
+#   cmake -B build-tsan  -S . -DCATCH_SANITIZE=thread
+#
+# Runtime suppression files live under tools/sanitizers/ and are wired up
+# via the usual *SAN_OPTIONS environment variables (see docs/ANALYSIS.md).
+#
+# CATCH_WERROR promotes -Wall -Wextra diagnostics to errors. CI builds
+# with it ON; it defaults OFF so exploratory local builds are not blocked
+# by a new compiler's warnings.
+
+set(CATCH_SANITIZE "" CACHE STRING
+    "Sanitizers to enable: comma-separated subset of address;undefined;thread;leak")
+option(CATCH_WERROR "Treat compiler warnings as errors" OFF)
+
+# Normalise the user-facing comma syntax into a CMake list.
+string(REPLACE "," ";" _catch_sanitizers "${CATCH_SANITIZE}")
+
+set(_catch_san_flags "")
+set(_catch_has_address FALSE)
+set(_catch_has_thread FALSE)
+
+foreach(_san IN LISTS _catch_sanitizers)
+    string(STRIP "${_san}" _san)
+    string(TOLOWER "${_san}" _san)
+    if(_san STREQUAL "")
+        continue()
+    elseif(_san STREQUAL "address")
+        list(APPEND _catch_san_flags -fsanitize=address
+             -fno-omit-frame-pointer)
+        set(_catch_has_address TRUE)
+    elseif(_san STREQUAL "undefined")
+        # -fno-sanitize-recover turns every UB report into a hard failure
+        # so ctest notices; float-divide-by-zero is defined behaviour we
+        # rely on nowhere, so keep the default check set.
+        list(APPEND _catch_san_flags -fsanitize=undefined
+             -fno-sanitize-recover=all)
+    elseif(_san STREQUAL "thread")
+        list(APPEND _catch_san_flags -fsanitize=thread
+             -fno-omit-frame-pointer)
+        set(_catch_has_thread TRUE)
+    elseif(_san STREQUAL "leak")
+        list(APPEND _catch_san_flags -fsanitize=leak)
+    else()
+        message(FATAL_ERROR
+            "CATCH_SANITIZE: unknown sanitizer '${_san}' "
+            "(expected address, undefined, thread, or leak)")
+    endif()
+endforeach()
+
+if(_catch_has_address AND _catch_has_thread)
+    message(FATAL_ERROR
+        "CATCH_SANITIZE: address and thread sanitizers are mutually "
+        "exclusive; build them in separate trees")
+endif()
+
+if(_catch_san_flags)
+    list(REMOVE_DUPLICATES _catch_san_flags)
+    add_compile_options(${_catch_san_flags})
+    add_link_options(${_catch_san_flags})
+    message(STATUS "catchsim sanitizers: ${CATCH_SANITIZE}")
+endif()
+
+if(CATCH_WERROR)
+    add_compile_options(-Werror)
+endif()

@@ -11,6 +11,41 @@
 namespace catchsim
 {
 
+/**
+ * Wrapping address subtraction interpreted as signed — the 64-bit
+ * subtractor a stride detector would be in hardware. Computing this as
+ * int64 subtraction is UB on pointer-valued garbage (UBSan-caught);
+ * unsigned wraparound plus the C++20 modular narrowing is the defined
+ * spelling of the same two's-complement result.
+ */
+constexpr int64_t
+addrDelta(uint64_t a, uint64_t b)
+{
+    return static_cast<int64_t>(a - b);
+}
+
+/** Wrapping add of a signed offset to an address (hardware adder). */
+constexpr uint64_t
+addrOffset(uint64_t base, int64_t delta)
+{
+    return base + static_cast<uint64_t>(delta);
+}
+
+/** Wrapping base + stride*count (a runahead prefetcher's AGU). */
+constexpr uint64_t
+addrStride(uint64_t base, int64_t stride, uint64_t count)
+{
+    return base + static_cast<uint64_t>(stride) * count;
+}
+
+/** Wrapping scale*value+base address computation (shift-and-add AGU). */
+constexpr uint64_t
+addrScaled(int64_t scale, uint64_t value, int64_t base)
+{
+    return static_cast<uint64_t>(scale) * value +
+           static_cast<uint64_t>(base);
+}
+
 /** True iff @p v is a power of two (0 is not). */
 constexpr bool
 isPowerOfTwo(uint64_t v)

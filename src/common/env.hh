@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The single audited gateway for process-environment configuration
+ * (CATCH_* knobs). Direct std::getenv calls are banned elsewhere in the
+ * tree (enforced by tools/lint/catch_lint.py): the environment is not a
+ * synchronised resource, so every read must funnel through here, where
+ * the single-threaded-startup contract is stated once and checked by
+ * review instead of being re-derived at each call site.
+ *
+ * Contract: call these helpers only before the first ThreadPool is
+ * constructed (bench/CLI mains and ExperimentEnv::fromEnvironment all
+ * read their knobs up front). setenv after threads exist is undefined
+ * behaviour regardless of these helpers.
+ */
+
+#ifndef CATCHSIM_COMMON_ENV_HH_
+#define CATCHSIM_COMMON_ENV_HH_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace catchsim
+{
+
+/** Raw lookup; prefer the typed helpers below. Empty-unset aware. */
+inline const char *
+envRaw(const char *name)
+{
+    // Single-threaded-startup contract documented above.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    return std::getenv(name);
+}
+
+/** String knob, or @p fallback when unset. */
+inline std::string
+envString(const char *name, const std::string &fallback = "")
+{
+    const char *v = envRaw(name);
+    return v ? std::string(v) : fallback;
+}
+
+/** Unsigned integer knob, or @p fallback when unset/unparsable. */
+inline uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *v = envRaw(name);
+    if (!v || !v[0])
+        return fallback;
+    char *end = nullptr;
+    uint64_t parsed = std::strtoull(v, &end, 10);
+    return (end && *end == '\0') ? parsed : fallback;
+}
+
+/** Boolean knob: set-and-first-char-'1' is true (repo convention). */
+inline bool
+envFlag(const char *name)
+{
+    const char *v = envRaw(name);
+    return v && v[0] == '1';
+}
+
+} // namespace catchsim
+
+#endif // CATCHSIM_COMMON_ENV_HH_

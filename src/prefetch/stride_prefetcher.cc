@@ -25,8 +25,7 @@ StridePrefetcher::observe(Addr pc, Addr addr)
         return std::nullopt;
     }
 
-    int64_t stride = static_cast<int64_t>(addr) -
-                     static_cast<int64_t>(e.lastAddr);
+    int64_t stride = addrDelta(addr, e.lastAddr);
     e.lastAddr = addr;
     if (stride == 0)
         return std::nullopt;
@@ -40,7 +39,7 @@ StridePrefetcher::observe(Addr pc, Addr addr)
     if (!e.conf.saturated())
         return std::nullopt;
     ++issued_;
-    return static_cast<Addr>(static_cast<int64_t>(addr) + e.stride);
+    return addrOffset(addr, e.stride);
 }
 
 bool

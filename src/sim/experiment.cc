@@ -2,9 +2,9 @@
 
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "sim/parallel_runner.hh"
@@ -17,15 +17,11 @@ ExperimentEnv
 ExperimentEnv::fromEnvironment()
 {
     ExperimentEnv env;
-    const char *full = std::getenv("CATCH_FULL");
-    env.names = (full && full[0] == '1') ? stSuiteNames() : stQuickNames();
-    const char *instr = std::getenv("CATCH_INSTR");
-    env.instrs = instr ? std::strtoull(instr, nullptr, 10) : 300000;
-    const char *warm = std::getenv("CATCH_WARMUP");
-    env.warmup = warm ? std::strtoull(warm, nullptr, 10) : 100000;
+    env.names = envFlag("CATCH_FULL") ? stSuiteNames() : stQuickNames();
+    env.instrs = envU64("CATCH_INSTR", 300000);
+    env.warmup = envU64("CATCH_WARMUP", 100000);
     env.jobs = suiteJobs();
-    const char *json = std::getenv("CATCH_JSON");
-    env.jsonDir = json ? json : "";
+    env.jsonDir = envString("CATCH_JSON");
     return env;
 }
 
@@ -94,7 +90,7 @@ categoryGeomeans(const std::vector<SimResult> &base,
                               Category::Hpc, Category::Ispec,
                               Category::Server};
     for (Category c : order)
-        if (buckets.count(c))
+        if (buckets.contains(c))
             out.emplace_back(categoryName(c), geomean(buckets[c]));
     out.emplace_back("GeoMean", geomean(all));
     return out;

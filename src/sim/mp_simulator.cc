@@ -26,6 +26,8 @@ MpSimulator::run(const MpMix &mix, uint64_t instrs_per_core,
 
     std::vector<Trace> traces;
     std::vector<std::unique_ptr<Workload>> workloads;
+    traces.reserve(mix.workloads.size());
+    workloads.reserve(mix.workloads.size());
     for (const auto &name : mix.workloads) {
         workloads.push_back(makeWorkload(name));
         traces.push_back(workloads.back()->generate(total));

@@ -6,6 +6,7 @@
 #include <set>
 #include <thread>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 
@@ -15,7 +16,7 @@ namespace catchsim
 unsigned
 suiteJobs()
 {
-    if (const char *env = std::getenv("CATCH_JOBS")) {
+    if (const char *env = envRaw("CATCH_JOBS")) {
         long v = std::strtol(env, nullptr, 10);
         if (v >= 1)
             return static_cast<unsigned>(v);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/bitutil.hh"
+
 namespace catchsim
 {
 
@@ -62,8 +64,7 @@ TactCross::train(TargetState &st, Addr target_pc, Addr addr)
         return;
 
     ++st.instances;
-    int64_t delta = static_cast<int64_t>(addr) -
-                    static_cast<int64_t>(lit->second);
+    int64_t delta = addrDelta(addr, lit->second);
     // Cross deltas are expected to stay within a 4 KB page (the paper
     // observes >85% do); larger deltas never train.
     if (delta > -static_cast<int64_t>(kPageBytes) &&
@@ -103,9 +104,7 @@ TactCross::onLoad(Addr pc, Addr addr, Cycle now, bool is_critical_target)
             if (tit == targets_.end() || !tit->second.learned)
                 continue;
             ++issued_;
-            issue_(static_cast<Addr>(static_cast<int64_t>(addr) +
-                                     tit->second.delta),
-                   now);
+            issue_(addrOffset(addr, tit->second.delta), now);
         }
     }
 

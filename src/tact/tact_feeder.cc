@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/bitutil.hh"
+
 namespace catchsim
 {
 
@@ -68,8 +70,7 @@ TactFeeder::learnRelation(TargetState &st, uint64_t feeder_value,
     if (st.learned || st.exhausted)
         return;
     int64_t scale = kScales[st.scaleIdx];
-    int64_t base = static_cast<int64_t>(target_addr) -
-                   scale * static_cast<int64_t>(feeder_value);
+    int64_t base = addrDelta(target_addr, addrScaled(scale, feeder_value, 0));
     if (st.haveBase && base == st.lastBase) {
         if (st.baseConf.increment() >= st.baseConf.max()) {
             st.learned = true;
@@ -124,7 +125,7 @@ TactFeeder::onCriticalLoad(const MicroOp &op, Cycle now)
             if (st.feederConf.increment() >= st.feederConf.max()) {
                 st.feederConfirmed = true;
                 if (feeders_.size() < 32 ||
-                    feeders_.count(feeder_pc)) {
+                    feeders_.contains(feeder_pc)) {
                     feeders_[feeder_pc].targets.push_back(op.pc);
                 } else {
                     st.exhausted = true; // feeder table full
@@ -174,8 +175,7 @@ TactFeeder::onLoadComplete(Addr pc, Addr addr, uint64_t value, Cycle now)
     const uint32_t depths[2] = {cfg_.feederDepth,
                                 std::max(1u, cfg_.feederDepth / 2)};
     for (uint32_t k : depths) {
-        Addr f_addr = static_cast<Addr>(
-            static_cast<int64_t>(addr) + stride * static_cast<int64_t>(k));
+        Addr f_addr = addrStride(addr, stride, k);
         // Probe, don't move, the feeder line: only the availability time
         // of its data matters, and pulling the feeder's own stream into
         // the L1 would race the baseline prefetchers.
@@ -186,8 +186,7 @@ TactFeeder::onLoadComplete(Addr pc, Addr addr, uint64_t value, Cycle now)
             if (tit == targets_.end() || !tit->second.learned)
                 continue;
             const TargetState &st = tit->second;
-            Addr t_addr = static_cast<Addr>(
-                st.scale * static_cast<int64_t>(f_value) + st.base);
+            Addr t_addr = addrScaled(st.scale, f_value, st.base);
             ++issued_;
             issue_(t_addr, data_at);
         }

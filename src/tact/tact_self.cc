@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/bitutil.hh"
+
 namespace catchsim
 {
 
@@ -19,8 +21,7 @@ TactSelf::onCriticalLoad(Addr pc, Addr addr, Cycle now)
 
     TargetState &st = targets_[pc];
     if (st.haveLast) {
-        int64_t observed = static_cast<int64_t>(addr) -
-                           static_cast<int64_t>(st.lastAddr);
+        int64_t observed = addrDelta(addr, st.lastAddr);
         if (observed == stride) {
             if (++st.currentRun >= cfg_.safeLengthCap) {
                 // Wraparound: a long, healthy run; grow the safe length.
@@ -55,9 +56,7 @@ TactSelf::onCriticalLoad(Addr pc, Addr addr, Cycle now)
     if (distance <= 1)
         return; // distance 1 is already covered by the baseline stride pf
     ++issued_;
-    issue_(static_cast<Addr>(static_cast<int64_t>(addr) +
-                             stride * static_cast<int64_t>(distance)),
-           now);
+    issue_(addrStride(addr, stride, distance), now);
 }
 
 } // namespace catchsim

@@ -64,6 +64,7 @@ saveTrace(const Trace &trace, const std::string &path)
     std::vector<Addr> pages;
     {
         // Collect distinct pages (small sets; a sort+unique suffices).
+        pages.reserve(trace.ops.size());
         for (const MicroOp &op : trace.ops)
             if (op.isLoad() || op.isStore())
                 pages.push_back(pageAddr(op.memAddr));

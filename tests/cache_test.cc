@@ -138,8 +138,9 @@ TEST(CacheProperty, NoDuplicateLines)
     for (int i = 0; i < 64; ++i) {
         Addr a = static_cast<Addr>(i) * 64;
         Cache::Victim v = c.fill(a, false, 0, FillSource::Demand);
-        if (v.valid)
+        if (v.valid) {
             EXPECT_NE(v.addr, a);
+        }
     }
 }
 

@@ -10,7 +10,9 @@
 #include <set>
 
 #include "common/bitutil.hh"
+#include "common/env.hh"
 #include "common/issue_calendar.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/sat_counter.hh"
 #include "common/sim_config.hh"
@@ -211,6 +213,36 @@ TEST(SimConfig, EnableCatchTurnsEverythingOn)
     EXPECT_TRUE(cfg.tact.cross && cfg.tact.deepSelf && cfg.tact.feeder &&
                 cfg.tact.code);
     cfg.validate();
+}
+
+TEST(Logging, ConcatFormatsHeterogeneousArguments)
+{
+    EXPECT_EQ(detail::concat("jobs=", 8, ", frac=", 0.5), "jobs=8, frac=0.5");
+}
+
+TEST(Logging, WarnAndInformNeverStopTheRun)
+{
+    warn("common_test: expected warning, ignore (", 42, ")");
+    inform("common_test: expected inform, ignore");
+}
+
+TEST(Env, TypedHelpersParseAndFallBack)
+{
+    // Single-threaded here, per the env.hh startup contract.
+    ::setenv("CATCH_LINT_TEST_KNOB", "230", 1);
+    EXPECT_EQ(envU64("CATCH_LINT_TEST_KNOB", 7), 230u);
+    EXPECT_EQ(envString("CATCH_LINT_TEST_KNOB"), "230");
+    EXPECT_FALSE(envFlag("CATCH_LINT_TEST_KNOB")) << "flag means '1...'";
+
+    ::setenv("CATCH_LINT_TEST_KNOB", "12junk", 1);
+    EXPECT_EQ(envU64("CATCH_LINT_TEST_KNOB", 7), 7u) << "strict parse";
+    ::setenv("CATCH_LINT_TEST_KNOB", "1", 1);
+    EXPECT_TRUE(envFlag("CATCH_LINT_TEST_KNOB"));
+
+    ::unsetenv("CATCH_LINT_TEST_KNOB");
+    EXPECT_EQ(envU64("CATCH_LINT_TEST_KNOB", 7), 7u);
+    EXPECT_EQ(envString("CATCH_LINT_TEST_KNOB", "dflt"), "dflt");
+    EXPECT_FALSE(envFlag("CATCH_LINT_TEST_KNOB"));
 }
 
 } // namespace

@@ -1,0 +1,2 @@
+#include "widget.hh"
+namespace fx { int widget() { return 1; } }

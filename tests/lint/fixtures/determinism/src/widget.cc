@@ -1,0 +1,11 @@
+#include "widget.hh"
+#include <cstdlib>
+#include <chrono>
+namespace fx {
+int widget()
+{
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return std::rand();
+}
+}

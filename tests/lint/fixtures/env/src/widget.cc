@@ -1,0 +1,3 @@
+#include "widget.hh"
+#include <cstdlib>
+namespace fx { int widget() { return std::getenv("X") != nullptr; } }

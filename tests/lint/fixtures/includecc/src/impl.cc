@@ -1,0 +1,1 @@
+namespace fx { int impl() { return 9; } }

@@ -1,0 +1,3 @@
+#include "widget.hh"
+#include "impl.cc"
+namespace fx { int widget() { return impl(); } }

@@ -1,0 +1,3 @@
+#include "widget.hh"
+#include "../src/impl.cc"
+int main() { return 0; }

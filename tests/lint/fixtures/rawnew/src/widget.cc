@@ -1,0 +1,10 @@
+#include "widget.hh"
+namespace fx {
+int widget()
+{
+    int *p = new int(3);
+    int v = *p;
+    delete p;
+    return v;
+}
+}

@@ -1,0 +1,18 @@
+#include "widget.hh"
+struct W {
+    void open() {}
+    void close() {}
+    void field(const char *, int) {}
+};
+namespace fx {
+int widget()
+{
+    W w;
+    w.open();
+    w.field("hits", 1);
+    w.field("misses", 2);
+    w.field("hits", 3);
+    w.close();
+    return 0;
+}
+}

@@ -1,0 +1,22 @@
+#include "widget.hh"
+struct W {
+    void open() {}
+    void close() {}
+    void object(const char *) {}
+    void field(const char *, int) {}
+};
+namespace fx {
+int widget()
+{
+    W w;
+    w.open();
+    w.object("l1");
+    w.field("hits", 1);
+    w.close();
+    w.object("l2");
+    w.field("hits", 2);
+    w.close();
+    w.close();
+    return 0;
+}
+}

@@ -1,0 +1,8 @@
+#include "widget.hh"
+#include <cstdlib>
+namespace fx {
+int widget()
+{
+    return std::rand(); // catch-lint: allow(determinism)
+}
+}

@@ -96,6 +96,31 @@ TEST(ThreadPool, ReusableAcrossBatches)
     }
 }
 
+TEST(ThreadPool, SixteenWorkerStressIsRaceFree)
+{
+    // Companion to the TSan CI job (which runs this binary with 16
+    // workers instrumented): oversubscribed pool, repeated imbalanced
+    // batches, every task writing its own pre-assigned slot. Any
+    // lost-wakeup or double-execution bug shows up as a hit count != 1.
+    ThreadPool pool(16);
+    for (int round = 0; round < 20; ++round) {
+        constexpr int kTasks = 256;
+        std::vector<std::atomic<int>> hits(kTasks);
+        std::vector<ThreadPool::Task> tasks;
+        tasks.reserve(kTasks);
+        for (int i = 0; i < kTasks; ++i)
+            tasks.push_back([&hits, i] {
+                for (volatile int spin = (i % 7) * 50; spin > 0;)
+                    spin = spin - 1; // uneven weights force stealing
+                ++hits[i];
+            });
+        pool.runAll(std::move(tasks));
+        for (int i = 0; i < kTasks; ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "round " << round << " task " << i;
+    }
+}
+
 // --------------------- Determinism under jobs --------------------
 
 /** The core guarantee: job count never changes any result bit. */
@@ -114,6 +139,23 @@ TEST(ParallelRunner, JobCountDoesNotChangeResults)
     for (size_t i = 0; i < names.size(); ++i) {
         EXPECT_EQ(serial[i].workload, names[i]) << "order not stable";
         expectBitwiseEqual(serial[i], parallel[i]);
+    }
+}
+
+/** jobs=16 (beyond any CI core count) must still be bit-identical. */
+TEST(ParallelRunner, SixteenJobsBitwiseEqualsSerial)
+{
+    const std::vector<std::string> names = {"mcf", "omnetpp", "tpcc"};
+    SimConfig cfg = withCatch(baselineSkx());
+    auto serial =
+        runWorkloadsParallel(cfg, names, kInstr, kWarm, /*jobs=*/1);
+    auto wide =
+        runWorkloadsParallel(cfg, names, kInstr, kWarm, /*jobs=*/16);
+    ASSERT_EQ(serial.size(), names.size());
+    ASSERT_EQ(wide.size(), names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(wide[i].workload, names[i]) << "order not stable";
+        expectBitwiseEqual(serial[i], wide[i]);
     }
 }
 

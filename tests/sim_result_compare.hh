@@ -41,8 +41,9 @@ expectBitwiseEqual(const SimResult &a, const SimResult &b)
     EXPECT_TRUE(statsBitwiseEqual("hierarchy", a.hier, b.hier));
     EXPECT_TRUE(statsBitwiseEqual("l1d", a.l1d, b.l1d));
     EXPECT_TRUE(statsBitwiseEqual("l1i", a.l1i, b.l1i));
-    if (a.hasL2)
+    if (a.hasL2) {
         EXPECT_TRUE(statsBitwiseEqual("l2", a.l2, b.l2));
+    }
     EXPECT_TRUE(statsBitwiseEqual("llc", a.llc, b.llc));
     EXPECT_TRUE(statsBitwiseEqual("dram", a.dram, b.dram));
     EXPECT_TRUE(statsBitwiseEqual("frontend", a.frontend, b.frontend));

@@ -34,10 +34,12 @@ TEST(TraceIo, RoundTripPreservesOpsAndMemory)
         EXPECT_EQ(back.ops[i].dst, orig.ops[i].dst);
     }
     // Every referenced memory word survives (the feeder's view).
-    for (const auto &op : orig.ops)
-        if (op.isLoad())
+    for (const auto &op : orig.ops) {
+        if (op.isLoad()) {
             EXPECT_EQ(back.mem->read(op.memAddr),
                       orig.mem->read(op.memAddr));
+        }
+    }
     std::remove(path.c_str());
 }
 

@@ -10,6 +10,8 @@
 #include <map>
 #include <set>
 
+#include "trace/emitter.hh"
+#include "trace/kernels/kernels.hh"
 #include "trace/suite.hh"
 #include "trace/workload.hh"
 
@@ -27,6 +29,45 @@ TEST(Emitter, StopsAtLimit)
         em.alu(r0, {r0});
     EXPECT_EQ(ops.size(), 10u);
     EXPECT_TRUE(em.done());
+}
+
+TEST(Emitter, RecordsDataflowValuesAndPcs)
+{
+    FunctionalMemory mem;
+    std::vector<MicroOp> ops;
+    Emitter em(mem, ops, 8);
+    mem.write(0x1000, 42);
+
+    em.setPc(0x400000);
+    uint64_t loaded = em.load(r1, {}, 0x1000);
+    em.alu(r2, {r1});
+    em.store({r1, r2}, 0x1008, 7);
+    em.branch(true, 0x400000, {r2});
+
+    EXPECT_EQ(loaded, 42u);
+    ASSERT_EQ(ops.size(), 4u);
+    EXPECT_TRUE(ops[0].isLoad());
+    EXPECT_EQ(ops[0].pc, 0x400000u);
+    EXPECT_EQ(ops[0].value, 42u);
+    EXPECT_EQ(ops[0].dst, r1);
+    EXPECT_EQ(ops[1].src[0], r1);
+    EXPECT_TRUE(ops[2].isStore());
+    EXPECT_EQ(mem.read(0x1008), 7u) << "stores reach functional memory";
+    EXPECT_TRUE(ops[3].isBranch());
+    EXPECT_TRUE(ops[3].taken);
+    EXPECT_EQ(ops[3].target, 0x400000u);
+}
+
+TEST(Kernels, DirectConstructionGeneratesFullTrace)
+{
+    StreamTriadLike triad("triad-direct", Category::Hpc, 7, 4096, 2);
+    Trace t = triad.generate(5000);
+    EXPECT_EQ(triad.name(), "triad-direct");
+    EXPECT_GE(t.ops.size(), 5000u);
+    size_t loads = 0;
+    for (const MicroOp &op : t.ops)
+        loads += op.isLoad();
+    EXPECT_GT(loads, 0u);
 }
 
 TEST(Emitter, PcAdvancesByFour)
@@ -158,8 +199,9 @@ TEST_P(SuiteProperty, TraceIsWellFormed)
         }
         if (op.isBranch()) {
             ++branches;
-            if (op.taken)
+            if (op.taken) {
                 EXPECT_NE(op.target, 0u);
+            }
         }
         for (int8_t s : op.src)
             EXPECT_LT(s, 16);

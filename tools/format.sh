@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# clang-format driver for the catchsim analysis gate.
+#
+# The formatted scope is tools/format_scope.txt — files are added as
+# other work (tidy sweeps, refactors) touches them, so the tree
+# converges on .clang-format without a single whole-repo churn commit.
+#
+# Usage:
+#   tools/format.sh            rewrite the scoped files in place
+#   tools/format.sh --check    exit 1 if any scoped file needs changes
+#   tools/format.sh [--check] FILES...   operate on FILES instead
+#
+# Exits 0 with a notice when clang-format is unavailable: the gate is
+# enforced by the CI format-check job, which always installs it.
+set -u
+
+MODE=fix
+FILES=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --check) MODE=check; shift ;;
+        -h|--help) sed -n '2,13p' "$0"; exit 0 ;;
+        *) FILES+=("$1"); shift ;;
+    esac
+done
+
+cd "$(dirname "$0")/.." || exit 2
+
+CF=${CLANG_FORMAT:-}
+if [ -z "$CF" ]; then
+    for cand in clang-format clang-format-19 clang-format-18 \
+                clang-format-17 clang-format-16 clang-format-15 \
+                clang-format-14; do
+        if command -v "$cand" > /dev/null 2>&1; then
+            CF=$cand
+            break
+        fi
+    done
+fi
+if [ -z "$CF" ]; then
+    echo "format.sh: clang-format not found; skipping (CI enforces the" \
+         "format gate — install clang-format to run it locally)" >&2
+    exit 0
+fi
+
+if [ ${#FILES[@]} -eq 0 ]; then
+    while IFS= read -r line; do
+        line=${line%%#*}
+        line=$(echo "$line" | xargs)
+        [ -z "$line" ] && continue
+        if [ ! -f "$line" ]; then
+            echo "format.sh: scoped file missing: $line" >&2
+            exit 2
+        fi
+        FILES+=("$line")
+    done < tools/format_scope.txt
+fi
+if [ ${#FILES[@]} -eq 0 ]; then
+    echo "format.sh: nothing in scope" >&2
+    exit 0
+fi
+
+if [ "$MODE" = check ]; then
+    "$CF" --dry-run --Werror "${FILES[@]}"
+    rc=$?
+    if [ $rc -ne 0 ]; then
+        echo "format.sh: files above need \`tools/format.sh\`" >&2
+    fi
+    exit $rc
+fi
+"$CF" -i "${FILES[@]}"

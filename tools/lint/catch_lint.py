@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""catchsim-specific lint rules that generic tools cannot express.
+
+The simulator's headline guarantees are bitwise determinism (any job
+count, any machine) and paper-faithful bookkeeping. Both are easy to
+break with one careless line — an unseeded RNG, a wall-clock read, a
+stat emitted twice — that compiles fine and passes a lucky test run.
+This linter enforces the repo contracts statically:
+
+  determinism   no std::rand/srand/random_device, and no wall-clock or
+                steady-clock reads, anywhere in src/. All randomness
+                must flow through the seeded catchsim::Rng; simulated
+                time is the only time.
+  env-gateway   no direct std::getenv outside src/common/env.hh. The
+                environment is not synchronised; reads funnel through
+                the audited single-threaded-startup gateway.
+  raw-new-delete no `new`/`delete` expressions in src/ outside the
+                allow-list (`= delete` declarations are fine). Owning
+                allocations use std::make_unique / containers.
+  test-coverage every *.cc under src/ is referenced by the test suite:
+                some file in tests/ includes the header it implements
+                (same-stem .hh, else a same-directory .hh it includes).
+                Untestable files need a waiver with a reason.
+  stats-once    JSON stat keys are registered exactly once per object
+                scope (tracks JsonWriter open/close/field/object call
+                sequences), so exports never silently shadow a counter.
+  include-cc    no `#include "*.cc"` anywhere; translation units are
+                composed by the build system, not textual inclusion.
+
+Waivers:
+  inline        append `// catch-lint: allow(<rule>)` to the line
+  file-level    add `<rule> <repo-relative-path>  # reason` to
+                tools/lint/waivers.txt
+
+Exit status: 0 clean, 1 findings, 2 setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SRC_EXTS = {".cc", ".hh", ".cpp", ".hpp", ".h"}
+LINT_TOPS = ("src", "tests", "bench", "tools", "examples")
+
+INLINE_WAIVER_RE = re.compile(r"catch-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+DETERMINISM_BANNED = [
+    (re.compile(r"\bstd::rand\b|[^_\w]s?rand\s*\("), "libc rand/srand"),
+    (re.compile(r"\brandom_device\b"), "std::random_device (unseeded entropy)"),
+    (re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)\b"),
+     "wall-clock/monotonic clock read"),
+    (re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\s*\("),
+     "libc time read"),
+    (re.compile(r"[^_\w]time\s*\(\s*(NULL|nullptr|0)\s*\)"), "time()"),
+]
+
+GETENV_RE = re.compile(r"\b(?:std::)?getenv\s*\(")
+NEW_RE = re.compile(r"[^_\w]new\s+[A-Za-z_:<(]")
+DELETE_RE = re.compile(r"[^_\w]delete(\s*\[\s*\])?\s+[A-Za-z_:(*]")
+INCLUDE_CC_RE = re.compile(r'#\s*include\s*["<][^">]*\.cc[">]')
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+WRITER_CALL_RE = re.compile(
+    r"""[.\->]\s*(open|close|object|field|key)\s*\(\s*(?:"([^"]*)")?"""
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comment and string-literal contents, preserving line
+    structure and the quotes themselves, so regexes never match inside
+    either. Inline lint waivers are extracted before this runs."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "str":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; bail to code
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "chr":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append(c)
+            elif c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[tuple[Path, int, str, str]] = []
+        self.file_waivers: set[tuple[str, str]] = set()
+        self.new_delete_allow: set[str] = set()
+        self._load_waivers()
+
+    # -- waiver loading ------------------------------------------------
+
+    def _load_waivers(self) -> None:
+        wf = self.root / "tools" / "lint" / "waivers.txt"
+        if wf.is_file():
+            for raw in wf.read_text().splitlines():
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split()
+                if len(parts) != 2:
+                    print(f"catch_lint: malformed waiver line: {raw!r}",
+                          file=sys.stderr)
+                    sys.exit(2)
+                self.file_waivers.add((parts[0], parts[1]))
+        af = self.root / "tools" / "lint" / "allow_raw_new.txt"
+        if af.is_file():
+            for raw in af.read_text().splitlines():
+                line = raw.split("#", 1)[0].strip()
+                if line:
+                    self.new_delete_allow.add(line)
+
+    def waived(self, rule: str, rel: str, inline: dict[int, set[str]],
+               lineno: int) -> bool:
+        if (rule, rel) in self.file_waivers:
+            return True
+        return rule in inline.get(lineno, set())
+
+    def report(self, path: Path, lineno: int, rule: str, msg: str) -> None:
+        self.findings.append((path, lineno, rule, msg))
+
+    # -- helpers -------------------------------------------------------
+
+    def rel(self, path: Path) -> str:
+        return path.relative_to(self.root).as_posix()
+
+    def iter_sources(self, *tops: str):
+        fixtures = self.root / "tests" / "lint" / "fixtures"
+        for top in tops:
+            base = self.root / top
+            if not base.is_dir():
+                continue
+            for p in sorted(base.rglob("*")):
+                if p.suffix not in SRC_EXTS or not p.is_file():
+                    continue
+                # The linter's own test fixtures contain deliberate
+                # violations; they are linted by their own --root runs.
+                if fixtures in p.parents:
+                    continue
+                yield p
+
+    @staticmethod
+    def inline_waivers(text: str) -> dict[int, set[str]]:
+        waivers: dict[int, set[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), 1):
+            m = INLINE_WAIVER_RE.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",")}
+                waivers.setdefault(lineno, set()).update(rules)
+        return waivers
+
+    # -- rules ---------------------------------------------------------
+
+    def check_line_rules(self) -> None:
+        for path in self.iter_sources(*LINT_TOPS):
+            rel = self.rel(path)
+            text = path.read_text(errors="replace")
+            inline = self.inline_waivers(text)
+            code = strip_comments_and_strings(text)
+            in_src = rel.startswith("src/")
+            orig_lines = text.splitlines()
+            for lineno, line in enumerate(code.splitlines(), 1):
+                # Stripping blanks string contents; read the include
+                # path from the original once the stripped line proves
+                # the directive is real code (not inside a comment).
+                if (re.match(r'\s*#\s*include', line)
+                        and INCLUDE_CC_RE.search(orig_lines[lineno - 1])
+                        and not self.waived("include-cc", rel, inline,
+                                            lineno)):
+                    self.report(path, lineno, "include-cc",
+                                "never #include a .cc file")
+                if not in_src:
+                    continue
+                for pat, what in DETERMINISM_BANNED:
+                    if pat.search(line) and not self.waived(
+                            "determinism", rel, inline, lineno):
+                        self.report(
+                            path, lineno, "determinism",
+                            f"{what} breaks bitwise reproducibility; "
+                            "use the seeded catchsim::Rng / simulated "
+                            "time")
+                if (GETENV_RE.search(line)
+                        and rel != "src/common/env.hh"
+                        and not self.waived("env-gateway", rel, inline,
+                                            lineno)):
+                    self.report(path, lineno, "env-gateway",
+                                "read CATCH_* knobs via common/env.hh, "
+                                "not raw std::getenv")
+                if rel not in self.new_delete_allow:
+                    stripped = line
+                    if (NEW_RE.search(f" {stripped}")
+                            and "= delete" not in stripped
+                            and not self.waived("raw-new-delete", rel,
+                                                inline, lineno)):
+                        self.report(path, lineno, "raw-new-delete",
+                                    "raw new expression; use "
+                                    "std::make_unique or a container")
+                    no_deleted_fn = re.sub(r"=\s*delete", "", stripped)
+                    if (DELETE_RE.search(f" {no_deleted_fn}")
+                            and not self.waived("raw-new-delete", rel,
+                                                inline, lineno)):
+                        self.report(path, lineno, "raw-new-delete",
+                                    "raw delete expression; owning "
+                                    "pointers must be smart pointers")
+
+    def check_stats_once(self) -> None:
+        """JSON stat registration: within one writer object scope a key
+        may appear only once. Tracks `.open()`, `.close()`,
+        `.object("k")`, `.field("k", ...)` call sequences per file."""
+        for path in self.iter_sources("src"):
+            rel = self.rel(path)
+            text = path.read_text(errors="replace")
+            inline = self.inline_waivers(text)
+            code = strip_comments_and_strings(text)
+            # Call sites only: require an object expression before the
+            # dot so the JsonWriter class definition itself is ignored.
+            stack: list[set[str]] = []
+            orig_lines = text.splitlines()
+            for lineno, line in enumerate(code.splitlines(), 1):
+                for m in WRITER_CALL_RE.finditer(line):
+                    call = m.group(1)
+                    # Stripping blanks string contents but preserves
+                    # offsets; recover the real key from the original.
+                    om = WRITER_CALL_RE.match(
+                        orig_lines[lineno - 1], m.start())
+                    key = om.group(2) if om else m.group(2)
+                    if call == "open":
+                        stack.append(set())
+                    elif call == "close":
+                        if stack:
+                            stack.pop()
+                    elif call in ("object", "field", "key"):
+                        if key is None:
+                            continue
+                        if not stack:
+                            stack.append(set())
+                        if key in stack[-1]:
+                            if not self.waived("stats-once", rel, inline,
+                                               lineno):
+                                self.report(
+                                    path, lineno, "stats-once",
+                                    f'stat "{key}" registered twice in '
+                                    "the same JSON object scope")
+                        else:
+                            stack[-1].add(key)
+                        if call == "object":
+                            stack.append(set())
+
+    def check_test_coverage(self) -> None:
+        src = self.root / "src"
+        tests = self.root / "tests"
+        if not src.is_dir() or not tests.is_dir():
+            return
+        test_includes: set[str] = set()
+        for t in self.iter_sources("tests"):
+            for m in INCLUDE_RE.finditer(t.read_text(errors="replace")):
+                test_includes.add(m.group(1))
+        for cc in sorted(src.rglob("*.cc")):
+            rel = self.rel(cc)
+            if ("test-coverage", rel) in self.file_waivers:
+                continue
+            candidates = set()
+            hh = cc.with_suffix(".hh")
+            if hh.is_file():
+                candidates.add(hh.relative_to(src).as_posix())
+            else:
+                # Implementation-only TU: any same-directory header it
+                # includes counts as its public surface.
+                for m in INCLUDE_RE.finditer(
+                        cc.read_text(errors="replace")):
+                    inc = m.group(1)
+                    if (src / inc).is_file() and Path(inc).parent == \
+                            cc.parent.relative_to(src):
+                        candidates.add(inc)
+            if not candidates & test_includes:
+                self.report(
+                    cc, 1, "test-coverage",
+                    "no test includes "
+                    + (", ".join(sorted(candidates)) or "any header")
+                    + " — add a test or a waiver with a reason in "
+                    "tools/lint/waivers.txt")
+
+    # -- driver --------------------------------------------------------
+
+    def run(self) -> int:
+        self.check_line_rules()
+        self.check_stats_once()
+        self.check_test_coverage()
+        for path, lineno, rule, msg in sorted(
+                self.findings, key=lambda f: (str(f[0]), f[1])):
+            print(f"{self.rel(path)}:{lineno}: [{rule}] {msg}")
+        if self.findings:
+            print(f"catch_lint: {len(self.findings)} finding(s)",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parents[2],
+                    help="repo root to lint (default: this checkout)")
+    args = ap.parse_args()
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"catch_lint: {root} has no src/ directory", file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# clang-tidy driver for the catchsim analysis gate.
+#
+# Runs the checked-in .clang-tidy baseline (warnings-as-errors) over the
+# compile database, in parallel, and exits non-zero on any finding.
+# Results are cached per (tool version, .clang-tidy content, file
+# content): a file whose key matches a previous clean run is skipped, so
+# re-runs on an unchanged tree are near-instant — CI persists the cache
+# directory across commits.
+#
+# Usage:
+#   tools/run_tidy.sh [-p BUILD_DIR] [--cache-dir DIR] [-j N] [FILES...]
+#
+#   BUILD_DIR    directory holding compile_commands.json (default: build)
+#   FILES        restrict the run to specific sources (default: every
+#                first-party .cc in the compile database)
+#
+# Exit codes: 0 clean, 1 findings, 2 usage/setup error. When clang-tidy
+# is not installed the script prints a notice and exits 0: the gate is
+# enforced by CI (which always has the tool); a local machine without it
+# must not fail the build.
+set -u
+
+BUILD_DIR=build
+CACHE_DIR="${CATCH_TIDY_CACHE:-}"
+JOBS=$(nproc 2> /dev/null || echo 4)
+FILES=()
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -p) BUILD_DIR="$2"; shift 2 ;;
+        --cache-dir) CACHE_DIR="$2"; shift 2 ;;
+        -j) JOBS="$2"; shift 2 ;;
+        -h|--help) sed -n '2,21p' "$0"; exit 0 ;;
+        *) FILES+=("$1"); shift ;;
+    esac
+done
+
+cd "$(dirname "$0")/.." || exit 2
+
+TIDY=${CLANG_TIDY:-}
+if [ -z "$TIDY" ]; then
+    for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+        if command -v "$cand" > /dev/null 2>&1; then
+            TIDY=$cand
+            break
+        fi
+    done
+fi
+if [ -z "$TIDY" ]; then
+    echo "run_tidy.sh: clang-tidy not found; skipping (CI enforces the" \
+         "tidy gate — install clang-tidy to run it locally)" >&2
+    exit 0
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+if [ ! -f "$DB" ]; then
+    echo "run_tidy.sh: $DB not found; configure first:" >&2
+    echo "  cmake -B $BUILD_DIR -S ." >&2
+    exit 2
+fi
+
+# Default scope: every first-party source in the compile database.
+if [ ${#FILES[@]} -eq 0 ]; then
+    while IFS= read -r f; do
+        FILES+=("$f")
+    done < <(python3 - "$DB" <<'EOF'
+import json, sys
+seen = set()
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if f in seen:
+        continue
+    seen.add(f)
+    for top in ("/src/", "/tests/", "/tools/", "/bench/", "/examples/"):
+        if top in f:
+            print(f)
+            break
+EOF
+)
+fi
+if [ ${#FILES[@]} -eq 0 ]; then
+    echo "run_tidy.sh: no sources found in $DB" >&2
+    exit 2
+fi
+
+tidy_version=$("$TIDY" --version 2> /dev/null | tr -d '\n')
+config_hash=$(cksum < .clang-tidy | cut -d' ' -f1)
+
+# Partition into cached-clean and to-check.
+TO_CHECK=()
+SKIPPED=0
+for f in "${FILES[@]}"; do
+    if [ -n "$CACHE_DIR" ]; then
+        mkdir -p "$CACHE_DIR"
+        key=$( (echo "$tidy_version $config_hash"; cat "$f") | cksum \
+              | cut -d' ' -f1)
+        marker="$CACHE_DIR/$(basename "$f").$key.ok"
+        if [ -f "$marker" ]; then
+            SKIPPED=$((SKIPPED + 1))
+            continue
+        fi
+        TO_CHECK+=("$marker|$f")
+    else
+        TO_CHECK+=("|$f")
+    fi
+done
+
+check_one() {
+    local marker=${1%%|*}
+    local f=${1#*|}
+    if "$TIDY" -p "$BUILD_DIR" --quiet "$f"; then
+        [ -n "$marker" ] && touch "$marker"
+        return 0
+    fi
+    return 1
+}
+
+FAIL=0
+if [ ${#TO_CHECK[@]} -gt 0 ]; then
+    running=0
+    pids=()
+    for item in "${TO_CHECK[@]}"; do
+        check_one "$item" &
+        pids+=($!)
+        running=$((running + 1))
+        if [ "$running" -ge "$JOBS" ]; then
+            wait "${pids[0]}" || FAIL=1
+            pids=("${pids[@]:1}")
+            running=$((running - 1))
+        fi
+    done
+    for pid in "${pids[@]}"; do
+        wait "$pid" || FAIL=1
+    done
+fi
+
+echo "run_tidy.sh: checked ${#TO_CHECK[@]} file(s), $SKIPPED cached-clean" >&2
+if [ $FAIL -ne 0 ]; then
+    echo "run_tidy.sh: clang-tidy findings above — the tree must stay" \
+         "at zero warnings (see docs/ANALYSIS.md)" >&2
+    exit 1
+fi
+exit 0
