@@ -8,7 +8,9 @@ namespace catchsim
 CacheHierarchy::CacheHierarchy(const SimConfig &cfg)
     : cfg_(cfg), dram_(cfg.dram)
 {
-    cfg_.validate();
+    auto valid = cfg_.validate();
+    CATCHSIM_ASSERT(valid.ok(), "invalid config reached the hierarchy: ",
+                    valid.ok() ? "" : valid.error().message);
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         l1i_.push_back(std::make_unique<Cache>(
             "l1i" + std::to_string(c), cfg.l1i, ReplKind::Lru, cfg.seed));

@@ -195,7 +195,8 @@ makeReplacement(ReplKind kind, uint64_t seed)
       case ReplKind::TreePlru: return std::make_unique<TreePlruPolicy>();
       case ReplKind::Random: return std::make_unique<RandomPolicy>(seed);
     }
-    CATCHSIM_PANIC("unreachable replacement kind");
+    CATCHSIM_ASSERT(false, "unreachable replacement kind");
+    return nullptr;
 }
 
 } // namespace catchsim

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Minimal JSON support shared by the results exporter and the suite
+ * journal: an append-only writer with deterministic field order, and a
+ * small recursive-descent reader for the subset the writer emits
+ * (objects, arrays, strings, numbers, booleans, null).
+ *
+ * Round-trip contract: u64 counters are written as decimal integers and
+ * parsed back exactly; doubles are written with %.17g, which is enough
+ * digits to reproduce the bit pattern on read-back. The journal's
+ * skip-finished-runs logic rests on this.
+ */
+
+#ifndef CATCHSIM_COMMON_JSON_HH_
+#define CATCHSIM_COMMON_JSON_HH_
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace catchsim
+{
+
+/**
+ * Tiny append-only JSON builder. Field order is fixed by call order so
+ * exports diff cleanly run-to-run; doubles use %.17g (round-trippable).
+ */
+class JsonWriter
+{
+  public:
+    void
+    open()
+    {
+        out_ += '{';
+        first_ = true;
+    }
+
+    void
+    close()
+    {
+        out_ += '}';
+        first_ = false;
+    }
+
+    void
+    key(const char *name)
+    {
+        if (!first_)
+            out_ += ',';
+        first_ = false;
+        out_ += '"';
+        out_ += name;
+        out_ += "\":";
+    }
+
+    void
+    field(const char *name, uint64_t v)
+    {
+        key(name);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+        out_ += buf;
+    }
+
+    void
+    field(const char *name, double v)
+    {
+        key(name);
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+    }
+
+    void
+    field(const char *name, const std::string &v)
+    {
+        key(name);
+        out_ += '"';
+        for (char c : v) {
+            if (c == '"' || c == '\\')
+                out_ += '\\';
+            out_ += c;
+        }
+        out_ += '"';
+    }
+
+    void
+    field(const char *name, bool v)
+    {
+        key(name);
+        out_ += v ? "true" : "false";
+    }
+
+    /** Fixed-size counter array, e.g. per-level hit counts. */
+    void
+    fieldArray(const char *name, const uint64_t *v, size_t n)
+    {
+        key(name);
+        out_ += '[';
+        for (size_t i = 0; i < n; ++i) {
+            if (i)
+                out_ += ',';
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%" PRIu64, v[i]);
+            out_ += buf;
+        }
+        out_ += ']';
+    }
+
+    void
+    object(const char *name)
+    {
+        key(name);
+        open();
+    }
+
+    /** Splices an already-serialised JSON document as a member. */
+    void
+    rawField(const char *name, const std::string &json)
+    {
+        key(name);
+        out_ += json;
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    std::string out_;
+    bool first_ = true;
+};
+
+/**
+ * Parsed JSON value. Integer-looking tokens (no '.', 'e' or sign) are
+ * kept as exact u64 alongside the double view, so counters survive the
+ * round trip bit-for-bit even above 2^53.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    bool asBool() const { return b_; }
+    uint64_t asU64() const { return u64_; }
+    uint32_t asU32() const { return static_cast<uint32_t>(u64_); }
+    double asDouble() const { return isInt_ ? static_cast<double>(u64_) : d_; }
+    const std::string &asString() const { return str_; }
+
+    /** Object member by name; nullptr when absent or not an object. */
+    const JsonValue *member(const std::string &name) const;
+    /** Array element by index; nullptr when out of range / not array. */
+    const JsonValue *at(size_t i) const;
+    size_t size() const { return items_.size(); }
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool b_ = false;
+    bool isInt_ = false;
+    uint64_t u64_ = 0;
+    double d_ = 0;
+    std::string str_;
+    std::vector<std::pair<std::string, JsonValue>> members_; // objects
+    std::vector<JsonValue> items_;                           // arrays
+};
+
+/**
+ * Parses one complete JSON document. Trailing garbage, truncation and
+ * malformed syntax all return a trace-corrupt SimError naming the
+ * offset, never UB — the journal loader depends on half-written last
+ * records being rejected cleanly.
+ */
+Expected<JsonValue> parseJson(const std::string &text);
+
+} // namespace catchsim
+
+#endif // CATCHSIM_COMMON_JSON_HH_

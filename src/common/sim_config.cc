@@ -1,7 +1,6 @@
 #include "common/sim_config.hh"
 
 #include "common/bitutil.hh"
-#include "common/logging.hh"
 
 namespace catchsim
 {
@@ -31,42 +30,57 @@ SimConfig::removeL2(uint64_t llc_bytes)
 namespace
 {
 
-void
+Expected<void>
 checkGeometry(const char *name, const CacheGeometry &g)
 {
     if (g.sizeBytes % (kLineBytes * g.ways) != 0)
-        CATCHSIM_FATAL(name, ": size not divisible into ways*lines");
+        return simError(ErrorCategory::Config, name,
+                        ": size not divisible into ways*lines");
     if (!isPowerOfTwo(g.numSets()))
-        CATCHSIM_FATAL(name, ": number of sets (", g.numSets(),
-                       ") must be a power of two");
+        return simError(ErrorCategory::Config, name,
+                        ": number of sets (", g.numSets(),
+                        ") must be a power of two");
     if (g.latency == 0)
-        CATCHSIM_FATAL(name, ": zero latency");
+        return simError(ErrorCategory::Config, name, ": zero latency");
+    return {};
 }
 
 } // namespace
 
-void
+Expected<void>
 SimConfig::validate() const
 {
     if (width == 0 || robSize < 2 * width)
-        CATCHSIM_FATAL("core width/ROB configuration is degenerate");
+        return simError(ErrorCategory::Config,
+                        "core width/ROB configuration is degenerate");
     if (numArchRegs < 4 || numArchRegs > 64)
-        CATCHSIM_FATAL("numArchRegs out of supported range");
-    checkGeometry("l1i", l1i);
-    checkGeometry("l1d", l1d);
+        return simError(ErrorCategory::Config,
+                        "numArchRegs out of supported range");
+    if (auto e = checkGeometry("l1i", l1i); !e.ok())
+        return e;
+    if (auto e = checkGeometry("l1d", l1d); !e.ok())
+        return e;
     if (hasL2)
-        checkGeometry("l2", l2);
-    checkGeometry("llc", llc);
+        if (auto e = checkGeometry("l2", l2); !e.ok())
+            return e;
+    if (auto e = checkGeometry("llc", llc); !e.ok())
+        return e;
     if (!hasL2 && inclusion == InclusionPolicy::Exclusive)
-        CATCHSIM_FATAL("exclusive LLC requires an L2 to be exclusive of");
+        return simError(ErrorCategory::Config,
+                        "exclusive LLC requires an L2 to be exclusive of");
     if (numCores == 0 || numCores > 16)
-        CATCHSIM_FATAL("numCores out of supported range");
+        return simError(ErrorCategory::Config,
+                        "numCores out of supported range");
     if (criticality.graphFactor < criticality.walkFactor)
-        CATCHSIM_FATAL("DDG buffer must be at least as deep as the walk");
+        return simError(ErrorCategory::Config,
+                        "DDG buffer must be at least as deep as the walk");
     if (tact.any() && !criticality.enabled)
-        CATCHSIM_FATAL("TACT prefetchers require criticality detection");
+        return simError(ErrorCategory::Config,
+                        "TACT prefetchers require criticality detection");
     if (!isPowerOfTwo(dram.channels) || !isPowerOfTwo(dram.banksPerRank))
-        CATCHSIM_FATAL("DRAM channels/banks must be powers of two");
+        return simError(ErrorCategory::Config,
+                        "DRAM channels/banks must be powers of two");
+    return {};
 }
 
 } // namespace catchsim

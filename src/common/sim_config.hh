@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/error.hh"
 #include "common/types.hh"
 
 namespace catchsim
@@ -192,8 +193,9 @@ struct SimConfig
     /** Removes the L2 and sets @p llc_bytes as the (NINE) LLC capacity. */
     void removeL2(uint64_t llc_bytes);
 
-    /** Validates invariants; calls fatal() on user error. */
-    void validate() const;
+    /** Validates invariants; a config SimError describes the first
+     *  violation. Library code never terminates on a bad config. */
+    Expected<void> validate() const;
 };
 
 } // namespace catchsim

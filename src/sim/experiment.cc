@@ -7,6 +7,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "sim/journal.hh"
 #include "sim/parallel_runner.hh"
 #include "trace/suite.hh"
 
@@ -22,6 +23,8 @@ ExperimentEnv::fromEnvironment()
     env.warmup = envU64("CATCH_WARMUP", 100000);
     env.jobs = suiteJobs();
     env.jsonDir = envString("CATCH_JSON");
+    env.journalDir = envString("CATCH_JOURNAL");
+    env.isolation = IsolationOptions::fromEnvironment();
     return env;
 }
 
@@ -51,21 +54,75 @@ jsonExportPath(const std::string &dir, const std::string &cfg_name)
 
 } // namespace
 
-std::vector<SimResult>
-runSuite(const SimConfig &cfg, const ExperimentEnv &env)
+std::vector<RunOutcome>
+runSuiteIsolated(const SimConfig &cfg, const ExperimentEnv &env)
 {
+    IsolationOptions opts = env.isolation;
+    std::unique_ptr<SuiteJournal> journal;
+    if (!env.journalDir.empty()) {
+        auto j = SuiteJournal::open(env.journalDir);
+        if (j.ok()) {
+            journal = std::move(j).value();
+            opts.journal = journal.get();
+        } else {
+            warn("journal disabled: ", j.error().message);
+        }
+    }
+
     std::fprintf(stderr, "[%s] ", cfg.name.c_str());
-    auto results = runWorkloadsParallel(
-        cfg, env.names, env.instrs, env.warmup, env.jobs,
-        [](const SimResult &) {
-            std::fprintf(stderr, ".");
+    auto outcomes = runWorkloadsIsolated(
+        cfg, env.names, env.instrs, env.warmup, env.jobs, opts,
+        [](const RunOutcome &o) {
+            char mark = '.';
+            if (o.resumed)
+                mark = 's';
+            else if (o.status == RunStatus::Retried)
+                mark = 'r';
+            else if (o.status == RunStatus::Failed)
+                mark = 'F';
+            else if (o.status == RunStatus::TimedOut)
+                mark = 'T';
+            std::fprintf(stderr, "%c", mark);
             std::fflush(stderr);
         });
     std::fprintf(stderr, "\n");
+
+    CampaignSummary sum = summarizeOutcomes(outcomes);
+    if (!sum.allOk() || sum.retried || sum.resumed)
+        inform("campaign '", cfg.name, "': ", sum.ok, " ok, ",
+               sum.retried, " retried, ", sum.failed, " failed, ",
+               sum.timedOut, " timed out, ", sum.resumed, " resumed");
+    for (const auto &o : outcomes)
+        if (!o.ok())
+            warn("run '", o.workload, "' on '", o.config, "' ",
+                 runStatusName(o.status), " after ", o.attempts,
+                 " attempt(s) (",
+                 errorCategoryName(o.failure->error.category), "): ",
+                 o.failure->error.message);
+
     if (!env.jsonDir.empty()) {
         std::string path = jsonExportPath(env.jsonDir, cfg.name);
-        if (!writeSuiteJson(path, cfg, env, results))
-            warn("failed to write suite JSON to ", path);
+        auto written = writeSuiteJson(path, cfg, env, outcomes);
+        if (!written.ok())
+            warn("failed to write suite JSON to ", path, ": ",
+                 written.error().message);
+    }
+    return outcomes;
+}
+
+std::vector<SimResult>
+runSuite(const SimConfig &cfg, const ExperimentEnv &env)
+{
+    auto outcomes = runSuiteIsolated(cfg, env);
+    std::vector<SimResult> results(outcomes.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok()) {
+            results[i] = std::move(outcomes[i].result);
+        } else {
+            // runSuiteIsolated already warned with the full error.
+            results[i].workload = outcomes[i].workload;
+            results[i].config = outcomes[i].config;
+        }
     }
     return results;
 }

@@ -12,6 +12,11 @@
  *                    are bitwise-identical for any job count.
  *   CATCH_JSON=DIR   also write one machine-readable JSON file per
  *                    runSuite() call into DIR (see writeSuiteJson)
+ *   CATCH_JOURNAL=DIR  checkpoint finished runs to DIR/journal.jsonl
+ *                    and resume them on restart (see sim/journal.hh)
+ *   CATCH_MAX_ATTEMPTS / CATCH_BACKOFF_MS / CATCH_MAX_CYCLES /
+ *   CATCH_STALL_WINDOW  fault-containment knobs (see IsolationOptions
+ *                    and RunBudget)
  */
 
 #ifndef CATCHSIM_SIM_EXPERIMENT_HH_
@@ -21,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/parallel_runner.hh"
 #include "sim/simulator.hh"
 #include "trace/workload.hh"
 
@@ -37,24 +43,56 @@ struct ExperimentEnv
     unsigned jobs = 1;
     /** Directory for per-suite JSON exports; empty disables them. */
     std::string jsonDir;
+    /** Directory for the resume journal; empty disables it. */
+    std::string journalDir;
+    /** Fault-containment knobs (watchdog budget, retries, backoff). */
+    IsolationOptions isolation;
 
     static ExperimentEnv fromEnvironment();
 };
 
 /**
- * Runs one config across the suite on env.jobs threads; prints one
- * progress dot per run. results[i] belongs to env.names[i] and is
- * bitwise-identical regardless of the job count. When env.jsonDir is
- * set, also writes <jsonDir>/<config-name>.json (a "-2", "-3", ...
- * suffix disambiguates repeated config names within one process).
+ * Fault-contained suite run on env.jobs threads: outcomes[i] belongs to
+ * env.names[i] and is bitwise-identical regardless of the job count;
+ * failed runs occupy their own slots as structured failures instead of
+ * aborting the campaign. Prints one progress mark per run ('.' ok,
+ * 'r' retried, 'F' failed, 'T' timed out, 's' resumed from journal),
+ * a campaign summary when anything was abnormal, and one warning per
+ * failure. When env.journalDir is set, finished runs checkpoint to the
+ * journal and a restarted campaign re-executes only unfinished ones.
+ * When env.jsonDir is set, writes <jsonDir>/<config-name>.json with
+ * per-run status and the campaign summary (a "-2", "-3", ... suffix
+ * disambiguates repeated config names within one process).
+ */
+std::vector<RunOutcome> runSuiteIsolated(const SimConfig &cfg,
+                                         const ExperimentEnv &env);
+
+/**
+ * Results-only wrapper over runSuiteIsolated for benches that tabulate
+ * SimResults directly: failed runs leave a default-initialised
+ * SimResult (workload/config set) in their slot after warning.
  */
 std::vector<SimResult> runSuite(const SimConfig &cfg,
                                 const ExperimentEnv &env);
 
-/** Writes a suite's results as one JSON document; false on I/O error. */
-bool writeSuiteJson(const std::string &path, const SimConfig &cfg,
-                    const ExperimentEnv &env,
-                    const std::vector<SimResult> &results);
+/**
+ * Writes a suite's results as one JSON document (atomically, via a
+ * .tmp rename); the error names the path and cause.
+ */
+Expected<void> writeSuiteJson(const std::string &path,
+                              const SimConfig &cfg,
+                              const ExperimentEnv &env,
+                              const std::vector<SimResult> &results);
+
+/**
+ * Outcome-aware export: each entry carries status/attempts/resumed and
+ * either the full result or the structured error, preceded by a
+ * campaign summary object.
+ */
+Expected<void> writeSuiteJson(const std::string &path,
+                              const SimConfig &cfg,
+                              const ExperimentEnv &env,
+                              const std::vector<RunOutcome> &outcomes);
 
 /**
  * Per-workload speedups of @p test over @p base (paired by index) and

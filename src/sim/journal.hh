@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Journaled checkpoint/resume for suite campaigns.
+ *
+ * A campaign run with --journal <dir> (CATCH_JOURNAL) appends one JSON
+ * line per finished run to <dir>/journal.jsonl as workers complete.
+ * Re-running the same campaign against the same directory replays the
+ * journaled successful results without re-executing them — only failed,
+ * timed-out and never-started runs execute again. Failure records are
+ * journaled too (for post-mortems) but never satisfy a resume lookup.
+ *
+ * Records are keyed on (config, workload, instrs, warmup); the replayed
+ * SimResult round-trips bitwise (see common/json.hh), so a resumed
+ * campaign's outputs are identical to an uninterrupted one. A half-
+ * written last line — the normal residue of a killed process — fails to
+ * parse and is skipped with a warning, never corrupting the resume.
+ */
+
+#ifndef CATCHSIM_SIM_JOURNAL_HH_
+#define CATCHSIM_SIM_JOURNAL_HH_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "sim/parallel_runner.hh"
+
+namespace catchsim
+{
+
+class SuiteJournal
+{
+  public:
+    ~SuiteJournal();
+    SuiteJournal(const SuiteJournal &) = delete;
+    SuiteJournal &operator=(const SuiteJournal &) = delete;
+
+    /**
+     * Creates @p dir if needed, loads any resumable records from
+     * <dir>/journal.jsonl, and opens it for appending. An unwritable
+     * directory is a config SimError.
+     */
+    static Expected<std::unique_ptr<SuiteJournal>>
+    open(const std::string &dir);
+
+    const std::string &path() const { return path_; }
+
+    /** Successful records loaded at open (candidates for replay). */
+    size_t resumableCount() const { return entries_.size(); }
+
+    /**
+     * The journaled successful result of an identical earlier run, or
+     * nullptr. Called during campaign planning (single-threaded); the
+     * loaded set is immutable after open(). @p status (optional)
+     * receives the journaled Ok/Retried status.
+     */
+    const SimResult *find(const std::string &config,
+                          const std::string &workload, uint64_t instrs,
+                          uint64_t warmup,
+                          RunStatus *status = nullptr) const;
+
+    /**
+     * Appends one finished outcome as a single flushed JSON line.
+     * Thread-safe; journal write errors warn but never fail the run
+     * they record.
+     */
+    void append(const RunOutcome &out, uint64_t instrs, uint64_t warmup);
+
+  private:
+    SuiteJournal() = default;
+
+    struct Entry
+    {
+        std::string config;
+        std::string workload;
+        uint64_t instrs = 0;
+        uint64_t warmup = 0;
+        RunStatus status = RunStatus::Ok;
+        SimResult result;
+    };
+
+    /** Parses one journal line; nullopt (with a warning) on defects. */
+    static std::optional<Entry> parseRecord(const std::string &line,
+                                            const std::string &path,
+                                            size_t lineno);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::mutex mu_; ///< serialises appends; entries_ is open()-frozen
+    std::vector<Entry> entries_;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_SIM_JOURNAL_HH_

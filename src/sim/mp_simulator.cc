@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/logging.hh"
 #include "core/ooo_core.hh"
 #include "criticality/ddg.hh"
 #include "criticality/heuristic_detector.hh"
@@ -15,7 +16,9 @@ namespace catchsim
 MpSimulator::MpSimulator(const SimConfig &cfg) : cfg_(cfg)
 {
     cfg_.numCores = 4;
-    cfg_.validate();
+    auto valid = cfg_.validate();
+    CATCHSIM_ASSERT(valid.ok(), "invalid MP config: ",
+                    valid.ok() ? "" : valid.error().message);
 }
 
 MpResult

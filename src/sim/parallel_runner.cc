@@ -1,6 +1,7 @@
 #include "sim/parallel_runner.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <set>
@@ -9,6 +10,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "sim/journal.hh"
 
 namespace catchsim
 {
@@ -27,6 +29,57 @@ suiteJobs()
     return hw ? hw : 1;
 }
 
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Retried: return "retried";
+      case RunStatus::Failed: return "failed";
+      case RunStatus::TimedOut: return "timed-out";
+    }
+    return "?";
+}
+
+std::optional<RunStatus>
+runStatusFromName(const std::string &name)
+{
+    for (RunStatus s : {RunStatus::Ok, RunStatus::Retried,
+                        RunStatus::Failed, RunStatus::TimedOut})
+        if (name == runStatusName(s))
+            return s;
+    return std::nullopt;
+}
+
+CampaignSummary
+summarizeOutcomes(const std::vector<RunOutcome> &outcomes)
+{
+    CampaignSummary sum;
+    for (const auto &o : outcomes) {
+        switch (o.status) {
+          case RunStatus::Ok: ++sum.ok; break;
+          case RunStatus::Retried: ++sum.retried; break;
+          case RunStatus::Failed: ++sum.failed; break;
+          case RunStatus::TimedOut: ++sum.timedOut; break;
+        }
+        if (o.resumed)
+            ++sum.resumed;
+    }
+    return sum;
+}
+
+IsolationOptions
+IsolationOptions::fromEnvironment()
+{
+    IsolationOptions o;
+    o.budget = RunBudget::fromEnvironment();
+    o.maxAttempts = static_cast<unsigned>(
+        std::max<uint64_t>(1, envU64("CATCH_MAX_ATTEMPTS", 3)));
+    o.backoffMs =
+        static_cast<unsigned>(envU64("CATCH_BACKOFF_MS", 100));
+    return o;
+}
+
 double
 workloadCostEstimate(const std::string &name)
 {
@@ -34,16 +87,16 @@ workloadCostEstimate(const std::string &name)
     // simulation cost with its miss rate; both correlate with category.
     // Server OLTP/Java kernels build tens-of-MB working sets, HPC and
     // FSPEC stream through multi-MB arrays, ISPEC/client stay small.
-    auto wl = makeWorkload(name);
-    double base;
-    switch (wl->category()) {
-      case Category::Server: base = 8.0; break;
-      case Category::Hpc:    base = 3.0; break;
-      case Category::Fspec:  base = 2.0; break;
-      case Category::Client: base = 1.5; break;
-      default:               base = 1.0; break;
+    auto wl = findWorkload(name);
+    if (!wl.ok())
+        return 1.0; // unknown names fail fast in their own slot
+    switch (wl.value()->category()) {
+      case Category::Server: return 8.0;
+      case Category::Hpc: return 3.0;
+      case Category::Fspec: return 2.0;
+      case Category::Client: return 1.5;
+      default: return 1.0;
     }
-    return base;
 }
 
 void
@@ -71,28 +124,148 @@ runTasksLongestFirst(std::vector<std::function<void()>> tasks,
     pool.runAll(std::move(sorted));
 }
 
+namespace
+{
+
+/**
+ * One fault-contained run: retries transient errors with a bounded
+ * attempt count, converts exceptions and watchdog trips into structured
+ * failures. Runs entirely inside the worker; touches only its own
+ * RunOutcome.
+ */
+RunOutcome
+executeIsolated(const SimConfig &cfg, const std::string &name,
+                uint64_t instrs, uint64_t warmup,
+                const IsolationOptions &opts)
+{
+    RunOutcome out;
+    out.workload = name;
+    out.config = cfg.name;
+    const FaultPlan &plan =
+        opts.plan ? *opts.plan : FaultPlan::global();
+
+    unsigned attempt = 1;
+    for (;;) {
+        try {
+            auto r = runWorkloadGuarded(cfg, name, instrs, warmup,
+                                        opts.budget, plan, attempt);
+            if (r.ok()) {
+                out.result = std::move(r).value();
+                out.status =
+                    attempt > 1 ? RunStatus::Retried : RunStatus::Ok;
+                out.attempts = attempt;
+                return out;
+            }
+            SimError err = r.error();
+            if (err.transient() && attempt < opts.maxAttempts) {
+                if (opts.backoffMs) {
+                    // Pacing only: the delay is a pure function of the
+                    // attempt index and no clock value is ever read or
+                    // recorded, so results stay bitwise-deterministic.
+                    std::this_thread::sleep_for(std::chrono::milliseconds(
+                        uint64_t(opts.backoffMs) * attempt));
+                }
+                ++attempt;
+                continue;
+            }
+            out.status = err.category == ErrorCategory::BudgetExceeded
+                             ? RunStatus::TimedOut
+                             : RunStatus::Failed;
+            out.attempts = attempt;
+            out.failure = RunFailure{std::move(err), attempt};
+            return out;
+        } catch (const std::exception &e) {
+            out.status = RunStatus::Failed;
+            out.attempts = attempt;
+            out.failure =
+                RunFailure{simError(ErrorCategory::Internal,
+                                    "worker exception: ", e.what()),
+                           attempt};
+            return out;
+        } catch (...) {
+            out.status = RunStatus::Failed;
+            out.attempts = attempt;
+            out.failure =
+                RunFailure{simError(ErrorCategory::Internal,
+                                    "unknown worker exception"),
+                           attempt};
+            return out;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<RunOutcome>
+runWorkloadsIsolated(const SimConfig &cfg,
+                     const std::vector<std::string> &names,
+                     uint64_t instrs, uint64_t warmup, unsigned jobs,
+                     const IsolationOptions &opts,
+                     const std::function<void(const RunOutcome &)>
+                         &progress)
+{
+    std::vector<RunOutcome> outcomes(names.size());
+    std::vector<std::function<void()>> tasks;
+    std::vector<double> cost;
+    tasks.reserve(names.size());
+    cost.reserve(names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        // Journal replay happens here on the calling thread, before any
+        // worker starts: resumed runs never occupy a worker slot.
+        if (opts.journal) {
+            RunStatus st = RunStatus::Ok;
+            if (const SimResult *done = opts.journal->find(
+                    cfg.name, names[i], instrs, warmup, &st)) {
+                outcomes[i].workload = names[i];
+                outcomes[i].config = cfg.name;
+                outcomes[i].status = st;
+                outcomes[i].resumed = true;
+                outcomes[i].result = *done;
+                if (progress)
+                    progress(outcomes[i]);
+                continue;
+            }
+        }
+        tasks.push_back([&, i] {
+            // Fully private run: own workload (re-seeded from its suite
+            // entry), own Simulator, own outcome slot.
+            outcomes[i] = executeIsolated(cfg, names[i], instrs, warmup,
+                                          opts);
+            if (opts.journal)
+                opts.journal->append(outcomes[i], instrs, warmup);
+            if (progress)
+                progress(outcomes[i]);
+        });
+        cost.push_back(workloadCostEstimate(names[i]));
+    }
+    runTasksLongestFirst(std::move(tasks), cost, jobs);
+    return outcomes;
+}
+
 std::vector<SimResult>
 runWorkloadsParallel(const SimConfig &cfg,
                      const std::vector<std::string> &names,
                      uint64_t instrs, uint64_t warmup, unsigned jobs,
                      const std::function<void(const SimResult &)> &progress)
 {
-    std::vector<SimResult> results(names.size());
-    std::vector<std::function<void()>> tasks;
-    std::vector<double> cost;
-    tasks.reserve(names.size());
-    cost.reserve(names.size());
-    for (size_t i = 0; i < names.size(); ++i) {
-        tasks.push_back([&, i] {
-            // Fully private run: own workload (re-seeded from its suite
-            // entry), own Simulator, own results slot.
-            results[i] = runWorkload(cfg, names[i], instrs, warmup);
-            if (progress)
-                progress(results[i]);
-        });
-        cost.push_back(workloadCostEstimate(names[i]));
+    std::function<void(const RunOutcome &)> cb;
+    if (progress)
+        cb = [&progress](const RunOutcome &o) { progress(o.result); };
+    auto outcomes = runWorkloadsIsolated(cfg, names, instrs, warmup,
+                                         jobs, IsolationOptions{}, cb);
+    std::vector<SimResult> results(outcomes.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok()) {
+            results[i] = std::move(outcomes[i].result);
+        } else {
+            warn("run '", names[i], "' on '", cfg.name, "' ",
+                 runStatusName(outcomes[i].status), " (",
+                 errorCategoryName(outcomes[i].failure->error.category),
+                 "): ", outcomes[i].failure->error.message);
+            results[i].workload = names[i];
+            results[i].config = cfg.name;
+        }
     }
-    runTasksLongestFirst(std::move(tasks), cost, jobs);
     return results;
 }
 

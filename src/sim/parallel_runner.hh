@@ -1,12 +1,22 @@
 /**
  * @file
- * Parallel suite execution with determinism guarantees.
+ * Parallel suite execution with determinism and fault-containment
+ * guarantees.
  *
  * Every (SimConfig, workload) simulation is independent: each run owns
  * its Simulator, its trace (generated from the workload's own seed) and
  * a pre-assigned slot in the results vector, so the output is
  * bitwise-identical and order-stable for any job count. Workloads are
  * dispatched longest-estimated-first (LPT) to minimise makespan.
+ *
+ * runWorkloadsIsolated() adds per-run fault containment on top: a run
+ * that fails — thrown exception, corrupt trace, config error, watchdog
+ * trip — records a structured RunFailure in its own slot instead of
+ * taking the campaign down, transient IO errors retry with a bounded
+ * deterministic attempt count, and a SuiteJournal (when attached)
+ * resumes finished runs from a previous campaign. Slots of successful
+ * runs stay bitwise-identical to a fault-free campaign at any job
+ * count.
  *
  * The job count comes from CATCH_JOBS (default: hardware concurrency;
  * 1 restores the exact serial behaviour).
@@ -17,23 +27,125 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "sim/mp_simulator.hh"
+#include "sim/run_guard.hh"
 #include "sim/simulator.hh"
 #include "trace/suite.hh"
 
 namespace catchsim
 {
 
+class SuiteJournal;
+
 /** CATCH_JOBS env knob; default hardware concurrency, minimum 1. */
 unsigned suiteJobs();
+
+/** How one isolated run ended. */
+enum class RunStatus : uint8_t
+{
+    Ok,       ///< succeeded on the first attempt
+    Retried,  ///< succeeded after >= 1 transient-error retry
+    Failed,   ///< exhausted retries or hit a non-transient error
+    TimedOut, ///< watchdog budget exceeded (hang contained)
+};
+
+const char *runStatusName(RunStatus s);
+std::optional<RunStatus> runStatusFromName(const std::string &name);
+
+/** Structured record of a run that did not produce a result. */
+struct RunFailure
+{
+    SimError error;
+    unsigned attempts = 1; ///< attempts consumed, including the last
+};
+
+/** One slot of an isolated campaign: a result or a contained failure. */
+struct RunOutcome
+{
+    std::string workload;
+    std::string config;
+    RunStatus status = RunStatus::Ok;
+    unsigned attempts = 1;
+    bool resumed = false; ///< replayed from a journal, not re-executed
+    SimResult result;     ///< valid iff ok()
+    std::optional<RunFailure> failure; ///< set iff !ok()
+
+    bool
+    ok() const
+    {
+        return status == RunStatus::Ok || status == RunStatus::Retried;
+    }
+};
+
+/** Campaign-level tallies for the summary line and the JSON export. */
+struct CampaignSummary
+{
+    uint64_t ok = 0;
+    uint64_t retried = 0;
+    uint64_t failed = 0;
+    uint64_t timedOut = 0;
+    uint64_t resumed = 0; ///< subset of ok/retried replayed from journal
+
+    uint64_t total() const { return ok + retried + failed + timedOut; }
+    bool allOk() const { return failed == 0 && timedOut == 0; }
+};
+
+CampaignSummary summarizeOutcomes(const std::vector<RunOutcome> &outcomes);
+
+/**
+ * Containment knobs for runWorkloadsIsolated.
+ *
+ * Environment knobs (fromEnvironment, read at startup via env.hh):
+ *   CATCH_MAX_ATTEMPTS  attempts per run incl. retries (default 3)
+ *   CATCH_BACKOFF_MS    base retry backoff; attempt n sleeps
+ *                       n * CATCH_BACKOFF_MS ms (default 100). Purely
+ *                       a pacing aid: no wall-clock value enters any
+ *                       result, and the attempt count alone decides
+ *                       retry behaviour.
+ *   CATCH_MAX_CYCLES / CATCH_STALL_WINDOW  see RunBudget.
+ */
+struct IsolationOptions
+{
+    RunBudget budget;         ///< default: stall-window guard only
+    unsigned maxAttempts = 3; ///< total attempts for transient errors
+    unsigned backoffMs = 0;   ///< base sleep between retries (ms)
+    SuiteJournal *journal = nullptr; ///< optional resume/checkpoint
+    /// Injection plan override; null = FaultPlan::global(). Lets tests
+    /// drive the harness in-process without touching the environment.
+    const FaultPlan *plan = nullptr;
+
+    static IsolationOptions fromEnvironment();
+};
+
+/**
+ * Fault-contained parallel equivalent of the serial workload loop:
+ * outcomes[i] describes the run of @p names[i], independent of
+ * @p jobs. Worker exceptions, trace corruption, config errors and
+ * watchdog trips are recorded as structured failures in their own
+ * slots; transient IO errors retry up to opts.maxAttempts times.
+ * When opts.journal is set, runs it already holds are replayed
+ * without re-execution and fresh outcomes are appended to it.
+ * @p progress (optional) is invoked from workers as runs finish; it
+ * must be thread-safe.
+ */
+std::vector<RunOutcome>
+runWorkloadsIsolated(const SimConfig &cfg,
+                     const std::vector<std::string> &names,
+                     uint64_t instrs, uint64_t warmup, unsigned jobs,
+                     const IsolationOptions &opts = {},
+                     const std::function<void(const RunOutcome &)>
+                         &progress = nullptr);
 
 /**
  * Relative wall-clock cost estimate for one workload run, used to order
  * dispatch longest-first. Server/HPC kernels carry large footprints
  * (trace setup + DRAM-heavy simulation) and dominate the makespan.
+ * Unknown names cost 1.0 (they fail fast in their own slot).
  */
 double workloadCostEstimate(const std::string &name);
 
@@ -46,10 +158,10 @@ void runTasksLongestFirst(std::vector<std::function<void()>> tasks,
                           const std::vector<double> &cost, unsigned jobs);
 
 /**
- * Parallel equivalent of the serial workload loop: results[i] is the
- * run of @p names[i], independent of @p jobs. @p progress (optional) is
- * invoked on the calling thread's behalf from workers as runs finish;
- * it must be thread-safe (the suite runners pass a stderr dot printer).
+ * Legacy results-only wrapper over runWorkloadsIsolated: results[i] is
+ * the run of @p names[i], independent of @p jobs. Failed runs warn and
+ * leave a default-initialised SimResult (workload/config set) in their
+ * slot; callers that need structured failures use the isolated API.
  */
 std::vector<SimResult>
 runWorkloadsParallel(const SimConfig &cfg,

@@ -1,16 +1,26 @@
 /**
  * @file
- * JSON export of suite results: SimResult::toJson() plus the suite-level
- * writer the bench binaries use to emit machine-readable per-workload
- * stats next to their stdout tables (CATCH_JSON env knob).
+ * JSON export of suite results: SimResult::toJson()/fromJson() plus the
+ * suite-level writers the bench binaries and the CLI use to emit
+ * machine-readable per-workload stats next to their stdout tables
+ * (CATCH_JSON env knob).
+ *
+ * toJson() covers every counter SimResult carries and fromJson() parses
+ * it back bitwise-exactly (exact u64, %.17g doubles); the suite journal
+ * rests on this round trip. Suite documents are written atomically:
+ * the full document goes to <path>.tmp, which is renamed over <path>
+ * only after a verified complete write — a crashed export never leaves
+ * a half-written file behind.
  */
 
-#include <cinttypes>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/fault_inject.hh"
+#include "common/json.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "sim/simulator.hh"
 
 namespace catchsim
@@ -18,83 +28,6 @@ namespace catchsim
 
 namespace
 {
-
-/**
- * Tiny append-only JSON builder. Field order is fixed by call order so
- * exports diff cleanly run-to-run; doubles use %.17g (round-trippable).
- */
-class JsonWriter
-{
-  public:
-    void
-    open()
-    {
-        out_ += '{';
-        first_ = true;
-    }
-
-    void
-    close()
-    {
-        out_ += '}';
-        first_ = false;
-    }
-
-    void
-    key(const char *name)
-    {
-        if (!first_)
-            out_ += ',';
-        first_ = false;
-        out_ += '"';
-        out_ += name;
-        out_ += "\":";
-    }
-
-    void
-    field(const char *name, uint64_t v)
-    {
-        key(name);
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-        out_ += buf;
-    }
-
-    void
-    field(const char *name, double v)
-    {
-        key(name);
-        char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-        out_ += buf;
-    }
-
-    void
-    field(const char *name, const std::string &v)
-    {
-        key(name);
-        out_ += '"';
-        for (char c : v) {
-            if (c == '"' || c == '\\')
-                out_ += '\\';
-            out_ += c;
-        }
-        out_ += '"';
-    }
-
-    void
-    object(const char *name)
-    {
-        key(name);
-        open();
-    }
-
-    const std::string &str() const { return out_; }
-
-  private:
-    std::string out_;
-    bool first_ = true;
-};
 
 void
 cacheJson(JsonWriter &w, const char *name, const CacheStats &s)
@@ -107,9 +40,120 @@ cacheJson(JsonWriter &w, const char *name, const CacheStats &s)
     w.field("evictions", s.evictions);
     w.field("dirty_evictions", s.dirtyEvictions);
     w.field("invalidations", s.invalidations);
+    w.field("useless_prefetch_evictions", s.uselessPrefetchEvictions);
     w.field("read_ops", s.readOps);
     w.field("write_ops", s.writeOps);
     w.close();
+}
+
+/**
+ * Checked member access over one parsed JSON object: the first missing
+ * or wrong-kind field records a trace-corrupt SimError and every later
+ * read becomes a no-op, so parse functions read straight-line.
+ */
+class ObjectReader
+{
+  public:
+    ObjectReader(const JsonValue *obj, std::optional<SimError> &err)
+        : obj_(obj), err_(err)
+    {
+    }
+
+    ObjectReader
+    child(const char *name) const
+    {
+        return ObjectReader(fetch(name, JsonValue::Kind::Object), err_);
+    }
+
+    bool has(const char *name) const
+    {
+        return obj_ && obj_->member(name) != nullptr;
+    }
+
+    void
+    u64(const char *name, uint64_t &dst) const
+    {
+        if (const JsonValue *m = fetch(name, JsonValue::Kind::Number))
+            dst = m->asU64();
+    }
+
+    void
+    u32(const char *name, uint32_t &dst) const
+    {
+        if (const JsonValue *m = fetch(name, JsonValue::Kind::Number))
+            dst = m->asU32();
+    }
+
+    void
+    f64(const char *name, double &dst) const
+    {
+        if (const JsonValue *m = fetch(name, JsonValue::Kind::Number))
+            dst = m->asDouble();
+    }
+
+    void
+    str(const char *name, std::string &dst) const
+    {
+        if (const JsonValue *m = fetch(name, JsonValue::Kind::String))
+            dst = m->asString();
+    }
+
+    void
+    u64Array(const char *name, uint64_t *dst, size_t n) const
+    {
+        const JsonValue *m = fetch(name, JsonValue::Kind::Array);
+        if (!m)
+            return;
+        if (m->size() != n) {
+            err_ = simError(ErrorCategory::TraceCorrupt, "field '", name,
+                            "' has ", m->size(), " elements, expected ",
+                            n);
+            return;
+        }
+        for (size_t i = 0; i < n; ++i) {
+            const JsonValue *e = m->at(i);
+            if (!e || e->kind() != JsonValue::Kind::Number) {
+                err_ = simError(ErrorCategory::TraceCorrupt, "field '",
+                                name, "' element ", i,
+                                " is not a number");
+                return;
+            }
+            dst[i] = e->asU64();
+        }
+    }
+
+  private:
+    const JsonValue *
+    fetch(const char *name, JsonValue::Kind kind) const
+    {
+        if (err_ || !obj_)
+            return nullptr;
+        const JsonValue *m = obj_->member(name);
+        if (!m || m->kind() != kind) {
+            err_ = simError(ErrorCategory::TraceCorrupt,
+                            m ? "wrong-kind" : "missing", " field '",
+                            name, "' in SimResult JSON");
+            return nullptr;
+        }
+        return m;
+    }
+
+    const JsonValue *obj_;
+    std::optional<SimError> &err_;
+};
+
+void
+cacheFromJson(const ObjectReader &r, CacheStats &s)
+{
+    r.u64("accesses", s.demandAccesses);
+    r.u64("hits", s.demandHits);
+    r.u64("fills", s.fills);
+    r.u64("evictions", s.evictions);
+    r.u64("dirty_evictions", s.dirtyEvictions);
+    r.u64("invalidations", s.invalidations);
+    r.u64("useless_prefetch_evictions", s.uselessPrefetchEvictions);
+    r.u64("read_ops", s.readOps);
+    r.u64("write_ops", s.writeOps);
 }
 
 } // namespace
@@ -132,6 +176,8 @@ SimResult::toJson() const
     w.field("forwarded_loads", core.forwardedLoads);
     w.field("branches", core.branch.branches);
     w.field("branch_mispredicts", core.branch.mispredicts);
+    w.field("branch_direction_wrong", core.branch.directionWrong);
+    w.field("branch_target_wrong", core.branch.targetWrong);
     w.close();
 
     w.object("hierarchy");
@@ -141,13 +187,21 @@ SimResult::toJson() const
     w.field("load_hits_llc", hier.loadHits[2]);
     w.field("load_hits_mem", hier.loadHits[3]);
     w.field("total_load_latency", hier.totalLoadLatency);
+    w.field("total_l1_hit_latency", hier.totalL1HitLatency);
+    w.fieldArray("l1_hits_by_source", hier.l1HitsBySource, 7);
+    w.fieldArray("l1_hit_wait_by_source", hier.l1HitWaitBySource, 7);
     w.field("store_accesses", hier.storeAccesses);
     w.field("store_l1_misses", hier.storeL1Misses);
+    w.fieldArray("rfo_hits", hier.rfoHits, 4);
     w.field("code_fetches", hier.codeFetches);
+    w.fieldArray("code_hits", hier.codeHits, 4);
+    w.field("demoted_loads", hier.demotedLoads);
+    w.field("oracle_converted", hier.oracleConverted);
     w.field("ring_transfers", hier.ringTransfers);
     w.field("mem_transfers", hier.memTransfers);
     w.field("stride_pf_issued", hier.stridePfIssued);
     w.field("stream_pf_issued", hier.streamPfIssued);
+    w.field("code_pf_issued", hier.codePfIssued);
     w.close();
 
     cacheJson(w, "l1d", l1d);
@@ -162,6 +216,11 @@ SimResult::toJson() const
     w.field("activates", dram.activates);
     w.field("row_hits", dram.rowHits);
     w.field("row_misses", dram.rowMisses);
+    w.field("write_drains", dram.writeDrains);
+    w.field("refresh_stalls", dram.refreshStalls);
+    w.field("total_read_latency", dram.totalReadLatency);
+    w.field("total_bank_wait", dram.totalBankWait);
+    w.field("total_bus_wait", dram.totalBusWait);
     w.field("avg_read_latency", dram.avgReadLatency());
     w.close();
 
@@ -172,10 +231,17 @@ SimResult::toJson() const
     w.close();
 
     w.object("criticality");
+    w.field("ddg_retired", ddg.retired);
     w.field("ddg_walks", ddg.walks);
     w.field("critical_loads_found", ddg.criticalLoadsFound);
+    w.field("ddg_recorded", ddg.recorded);
+    w.field("ddg_overflows", ddg.overflows);
     w.field("table_recordings", criticalTable.recordings);
+    w.field("table_insertions", criticalTable.insertions);
     w.field("table_evictions", criticalTable.evictions);
+    w.field("table_confidence_resets", criticalTable.confidenceResets);
+    w.field("table_queries", criticalTable.queries);
+    w.field("table_query_hits", criticalTable.queryHits);
     w.field("active_critical_pcs", uint64_t(activeCriticalPcs));
     w.close();
 
@@ -184,8 +250,15 @@ SimResult::toJson() const
     w.field("cross_issued", tact.crossIssued);
     w.field("deep_issued", tact.deepIssued);
     w.field("feeder_issued", tact.feederIssued);
+    w.field("feeder_runaheads", tact.feederRunaheads);
+    w.field("code_stalls", tact.codeStalls);
     w.field("code_lines", tact.codeLines);
     w.field("useful_hits", hier.tactUsefulHits);
+    w.field("pf_from_l2", hier.tactPfFromL2);
+    w.field("pf_from_llc", hier.tactPfFromLlc);
+    w.field("pf_from_mem", hier.tactPfFromMem);
+    w.field("pf_dropped", hier.tactPfDropped);
+    w.field("pf_not_on_die", hier.tactPfNotOnDie);
     w.field("from_llc_fraction", tactFromLlcFraction);
     w.field("timeliness_ge80", timelinessAtLeast80);
     w.field("timeliness_ge10", timelinessAtLeast10);
@@ -204,24 +277,266 @@ SimResult::toJson() const
     return w.str();
 }
 
-bool
+Expected<SimResult>
+SimResult::fromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        return simError(ErrorCategory::TraceCorrupt,
+                        "SimResult JSON is not an object");
+    std::optional<SimError> err;
+    ObjectReader r(&v, err);
+    SimResult s;
+
+    r.str("workload", s.workload);
+    r.str("config", s.config);
+    std::string cat;
+    r.str("category", cat);
+    if (!err) {
+        bool found = false;
+        for (Category c : {Category::Client, Category::Fspec,
+                           Category::Hpc, Category::Ispec,
+                           Category::Server}) {
+            if (cat == categoryName(c)) {
+                s.category = c;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            err = simError(ErrorCategory::TraceCorrupt,
+                           "unknown category '", cat, "'");
+    }
+    r.f64("ipc", s.ipc);
+
+    ObjectReader core = r.child("core");
+    core.u64("instrs", s.core.instrs);
+    core.u64("cycles", s.core.cycles);
+    core.u64("loads", s.core.loads);
+    core.u64("stores", s.core.stores);
+    core.u64("forwarded_loads", s.core.forwardedLoads);
+    core.u64("branches", s.core.branch.branches);
+    core.u64("branch_mispredicts", s.core.branch.mispredicts);
+    core.u64("branch_direction_wrong", s.core.branch.directionWrong);
+    core.u64("branch_target_wrong", s.core.branch.targetWrong);
+
+    ObjectReader h = r.child("hierarchy");
+    h.u64("loads", s.hier.loads);
+    h.u64("load_hits_l1", s.hier.loadHits[0]);
+    h.u64("load_hits_l2", s.hier.loadHits[1]);
+    h.u64("load_hits_llc", s.hier.loadHits[2]);
+    h.u64("load_hits_mem", s.hier.loadHits[3]);
+    h.u64("total_load_latency", s.hier.totalLoadLatency);
+    h.u64("total_l1_hit_latency", s.hier.totalL1HitLatency);
+    h.u64Array("l1_hits_by_source", s.hier.l1HitsBySource, 7);
+    h.u64Array("l1_hit_wait_by_source", s.hier.l1HitWaitBySource, 7);
+    h.u64("store_accesses", s.hier.storeAccesses);
+    h.u64("store_l1_misses", s.hier.storeL1Misses);
+    h.u64Array("rfo_hits", s.hier.rfoHits, 4);
+    h.u64("code_fetches", s.hier.codeFetches);
+    h.u64Array("code_hits", s.hier.codeHits, 4);
+    h.u64("demoted_loads", s.hier.demotedLoads);
+    h.u64("oracle_converted", s.hier.oracleConverted);
+    h.u64("ring_transfers", s.hier.ringTransfers);
+    h.u64("mem_transfers", s.hier.memTransfers);
+    h.u64("stride_pf_issued", s.hier.stridePfIssued);
+    h.u64("stream_pf_issued", s.hier.streamPfIssued);
+    h.u64("code_pf_issued", s.hier.codePfIssued);
+
+    cacheFromJson(r.child("l1d"), s.l1d);
+    cacheFromJson(r.child("l1i"), s.l1i);
+    s.hasL2 = r.has("l2");
+    if (s.hasL2)
+        cacheFromJson(r.child("l2"), s.l2);
+    cacheFromJson(r.child("llc"), s.llc);
+
+    ObjectReader dram = r.child("dram");
+    dram.u64("reads", s.dram.reads);
+    dram.u64("writes", s.dram.writes);
+    dram.u64("activates", s.dram.activates);
+    dram.u64("row_hits", s.dram.rowHits);
+    dram.u64("row_misses", s.dram.rowMisses);
+    dram.u64("write_drains", s.dram.writeDrains);
+    dram.u64("refresh_stalls", s.dram.refreshStalls);
+    dram.u64("total_read_latency", s.dram.totalReadLatency);
+    dram.u64("total_bank_wait", s.dram.totalBankWait);
+    dram.u64("total_bus_wait", s.dram.totalBusWait);
+
+    ObjectReader fe = r.child("frontend");
+    fe.u64("line_fetches", s.frontend.lineFetches);
+    fe.u64("code_stall_cycles", s.frontend.codeStallCycles);
+    fe.u64("redirects", s.frontend.redirects);
+
+    ObjectReader crit = r.child("criticality");
+    crit.u64("ddg_retired", s.ddg.retired);
+    crit.u64("ddg_walks", s.ddg.walks);
+    crit.u64("critical_loads_found", s.ddg.criticalLoadsFound);
+    crit.u64("ddg_recorded", s.ddg.recorded);
+    crit.u64("ddg_overflows", s.ddg.overflows);
+    crit.u64("table_recordings", s.criticalTable.recordings);
+    crit.u64("table_insertions", s.criticalTable.insertions);
+    crit.u64("table_evictions", s.criticalTable.evictions);
+    crit.u64("table_confidence_resets", s.criticalTable.confidenceResets);
+    crit.u64("table_queries", s.criticalTable.queries);
+    crit.u64("table_query_hits", s.criticalTable.queryHits);
+    crit.u32("active_critical_pcs", s.activeCriticalPcs);
+
+    ObjectReader tact = r.child("tact");
+    tact.u64("prefetches", s.hier.tactPrefetches);
+    tact.u64("cross_issued", s.tact.crossIssued);
+    tact.u64("deep_issued", s.tact.deepIssued);
+    tact.u64("feeder_issued", s.tact.feederIssued);
+    tact.u64("feeder_runaheads", s.tact.feederRunaheads);
+    tact.u64("code_stalls", s.tact.codeStalls);
+    tact.u64("code_lines", s.tact.codeLines);
+    tact.u64("useful_hits", s.hier.tactUsefulHits);
+    tact.u64("pf_from_l2", s.hier.tactPfFromL2);
+    tact.u64("pf_from_llc", s.hier.tactPfFromLlc);
+    tact.u64("pf_from_mem", s.hier.tactPfFromMem);
+    tact.u64("pf_dropped", s.hier.tactPfDropped);
+    tact.u64("pf_not_on_die", s.hier.tactPfNotOnDie);
+    tact.f64("from_llc_fraction", s.tactFromLlcFraction);
+    tact.f64("timeliness_ge80", s.timelinessAtLeast80);
+    tact.f64("timeliness_ge10", s.timelinessAtLeast10);
+
+    ObjectReader energy = r.child("energy_mj");
+    energy.f64("core_dynamic", s.energy.coreDynamic);
+    energy.f64("cache_dynamic", s.energy.cacheDynamic);
+    energy.f64("interconnect", s.energy.interconnect);
+    energy.f64("dram_dynamic", s.energy.dramDynamic);
+    energy.f64("static_leakage", s.energy.staticLeakage);
+
+    if (err)
+        return *err;
+    return s;
+}
+
+Expected<SimResult>
+SimResult::fromJson(const std::string &json)
+{
+    auto v = parseJson(json);
+    if (!v.ok())
+        return v.error();
+    return fromJson(v.value());
+}
+
+namespace
+{
+
+/**
+ * Atomic document write: full body to <path>.tmp, verified, renamed
+ * over <path>. The reserved fault-injection target "json-export" makes
+ * the transient-IO path testable.
+ */
+Expected<void>
+writeDocument(const std::string &path, const std::string &body)
+{
+    const FaultPlan &plan = FaultPlan::global();
+    if (plan.shouldInject(FaultKind::IoTransient, "json-export"))
+        return simError(ErrorCategory::IoTransient,
+                        "injected transient IO failure writing '", path,
+                        "'");
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        return simError(ErrorCategory::Config, "cannot open '", tmp,
+                        "' for writing");
+    size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    bool bad = n != body.size() || std::ferror(f) != 0;
+    if (std::fclose(f) != 0)
+        bad = true;
+    if (bad) {
+        std::remove(tmp.c_str());
+        return simError(ErrorCategory::IoTransient,
+                        "short or failed write to '", tmp, "' (", n,
+                        " of ", body.size(), " bytes)");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return simError(ErrorCategory::IoTransient, "cannot rename '",
+                        tmp, "' to '", path, "'");
+    }
+    return {};
+}
+
+std::string
+suiteHeader(const SimConfig &cfg, const ExperimentEnv &env)
+{
+    JsonWriter w;
+    w.open();
+    w.field("config", cfg.name);
+    w.field("instrs", env.instrs);
+    w.field("warmup", env.warmup);
+    w.key("results");
+    return w.str();
+}
+
+} // namespace
+
+Expected<void>
 writeSuiteJson(const std::string &path, const SimConfig &cfg,
                const ExperimentEnv &env,
                const std::vector<SimResult> &results)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        return false;
-    std::fprintf(f,
-                 "{\"config\":\"%s\",\"instrs\":%" PRIu64
-                 ",\"warmup\":%" PRIu64 ",\"results\":[\n",
-                 cfg.name.c_str(), env.instrs, env.warmup);
-    for (size_t i = 0; i < results.size(); ++i)
-        std::fprintf(f, "%s%s\n", results[i].toJson().c_str(),
-                     i + 1 < results.size() ? "," : "");
-    std::fprintf(f, "]}\n");
-    std::fclose(f);
-    return true;
+    std::string body = suiteHeader(cfg, env);
+    body += "[\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        body += results[i].toJson();
+        if (i + 1 < results.size())
+            body += ',';
+        body += '\n';
+    }
+    body += "]}\n";
+    return writeDocument(path, body);
+}
+
+Expected<void>
+writeSuiteJson(const std::string &path, const SimConfig &cfg,
+               const ExperimentEnv &env,
+               const std::vector<RunOutcome> &outcomes)
+{
+    CampaignSummary sum = summarizeOutcomes(outcomes);
+    JsonWriter head;
+    head.open();
+    head.field("config", cfg.name);
+    head.field("instrs", env.instrs);
+    head.field("warmup", env.warmup);
+    head.object("summary");
+    head.field("total", sum.total());
+    head.field("ok", sum.ok);
+    head.field("retried", sum.retried);
+    head.field("failed", sum.failed);
+    head.field("timed_out", sum.timedOut);
+    head.field("resumed", sum.resumed);
+    head.close();
+    head.key("results");
+
+    std::string body = head.str();
+    body += "[\n";
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const RunOutcome &o = outcomes[i];
+        JsonWriter w;
+        w.open();
+        w.field("workload", o.workload);
+        w.field("status", std::string(runStatusName(o.status)));
+        w.field("attempts", uint64_t(o.attempts));
+        w.field("resumed", o.resumed);
+        if (o.ok()) {
+            w.rawField("result", o.result.toJson());
+        } else {
+            w.object("error");
+            w.field("category", std::string(errorCategoryName(
+                                    o.failure->error.category)));
+            w.field("message", o.failure->error.message);
+            w.close();
+        }
+        w.close();
+        body += w.str();
+        if (i + 1 < outcomes.size())
+            body += ',';
+        body += '\n';
+    }
+    body += "]}\n";
+    return writeDocument(path, body);
 }
 
 } // namespace catchsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Watchdog budgets for individual simulation runs.
+ *
+ * A hung run (a core that steps forever without retiring, a kernel
+ * whose trace livelocks) must degrade a campaign, not park it. Every
+ * guarded run carries a RunBudget; the Watchdog converts overruns into
+ * budget-exceeded SimErrors that the isolation layer records as
+ * timed-out RunFailures. Both limits are expressed in *simulated*
+ * cycles, so tripping (or not) is bitwise-deterministic — the same run
+ * times out identically on any machine at any job count, and no
+ * wall-clock value ever enters a result.
+ *
+ * Environment knobs (read via the env.hh gateway at startup):
+ *   CATCH_MAX_CYCLES    simulated-cycle ceiling per run (0 = unlimited;
+ *                       default 0)
+ *   CATCH_STALL_WINDOW  max simulated cycles without a retired
+ *                       instruction before a run counts as hung
+ *                       (0 = off; default 20000000)
+ */
+
+#ifndef CATCHSIM_SIM_RUN_GUARD_HH_
+#define CATCHSIM_SIM_RUN_GUARD_HH_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/env.hh"
+#include "common/error.hh"
+
+namespace catchsim
+{
+
+/** Per-run simulated-time limits; zero disables a limit. */
+struct RunBudget
+{
+    static constexpr uint64_t kDefaultStallWindow = 20'000'000;
+
+    /** Total simulated-cycle ceiling; 0 = unlimited. */
+    uint64_t maxCycles = 0;
+    /** Cycles without a retired instruction before tripping; 0 = off. */
+    uint64_t stallWindowCycles = kDefaultStallWindow;
+
+    bool limited() const { return maxCycles || stallWindowCycles; }
+
+    /** No limits at all (the legacy unguarded behaviour). */
+    static RunBudget
+    unlimited()
+    {
+        return RunBudget{0, 0};
+    }
+
+    static RunBudget
+    fromEnvironment()
+    {
+        RunBudget b;
+        b.maxCycles = envU64("CATCH_MAX_CYCLES", 0);
+        b.stallWindowCycles =
+            envU64("CATCH_STALL_WINDOW", kDefaultStallWindow);
+        return b;
+    }
+};
+
+/**
+ * Tracks one run against its budget. poll() is called from the
+ * simulation loop with the current simulated cycle and retired
+ * instruction count; it returns a budget-exceeded SimError exactly
+ * when a limit is crossed. Pure bookkeeping: polling never perturbs
+ * simulation state, so guarded and unguarded runs produce bitwise-
+ * identical results.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(const RunBudget &budget) : budget_(budget) {}
+
+    std::optional<SimError>
+    poll(uint64_t cycle, uint64_t instrs)
+    {
+        if (instrs != lastInstrs_) {
+            lastInstrs_ = instrs;
+            lastProgressCycle_ = cycle;
+        }
+        if (budget_.maxCycles && cycle > budget_.maxCycles) {
+            return simError(ErrorCategory::BudgetExceeded,
+                            "run exceeded its simulated-cycle ceiling (",
+                            cycle, " > ", budget_.maxCycles, " cycles)");
+        }
+        if (budget_.stallWindowCycles &&
+            cycle - lastProgressCycle_ > budget_.stallWindowCycles) {
+            return simError(ErrorCategory::BudgetExceeded,
+                            "no instruction retired for ",
+                            cycle - lastProgressCycle_,
+                            " simulated cycles (stall window ",
+                            budget_.stallWindowCycles, ")");
+        }
+        return std::nullopt;
+    }
+
+  private:
+    RunBudget budget_;
+    uint64_t lastInstrs_ = 0;
+    uint64_t lastProgressCycle_ = 0;
+};
+
+} // namespace catchsim
+
+#endif // CATCHSIM_SIM_RUN_GUARD_HH_

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 #include "criticality/heuristic_detector.hh"
 #include "trace/suite.hh"
@@ -9,11 +11,24 @@ namespace catchsim
 
 Simulator::Simulator(const SimConfig &cfg) : cfg_(cfg)
 {
-    cfg_.validate();
+    auto valid = cfg_.validate();
+    CATCHSIM_ASSERT(valid.ok(), "invalid config reached the Simulator: ",
+                    valid.ok() ? "" : valid.error().message);
 }
 
 SimResult
 Simulator::run(Workload &workload, uint64_t instrs, uint64_t warmup)
+{
+    auto r = runGuarded(workload, instrs, warmup, RunBudget::unlimited());
+    // Unlimited budget: the watchdog can never trip.
+    CATCHSIM_ASSERT(r.ok(), "unguarded run failed: ",
+                    r.ok() ? "" : r.error().message);
+    return std::move(r).value();
+}
+
+Expected<SimResult>
+Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
+                      const RunBudget &budget)
 {
     SimConfig cfg = cfg_;
     cfg.numCores = 1;
@@ -60,12 +75,19 @@ Simulator::run(Workload &workload, uint64_t instrs, uint64_t warmup)
     OooCore core(cfg, 0, hierarchy, detector.get(), tact.get());
     core.bind(trace);
 
+    // The watchdog observes simulated time only; polling every step is
+    // a handful of compares against counters the loop updates anyway.
+    Watchdog wd(budget);
     while (core.instrsDone() < warmup && core.step()) {
+        if (auto err = wd.poll(core.now(), core.instrsDone()))
+            return *err;
     }
     hierarchy.resetStats();
     core.markMeasurementStart();
     uint64_t measured_start_cycle = core.now();
     while (core.step()) {
+        if (auto err = wd.poll(core.now(), core.instrsDone()))
+            return *err;
     }
 
     SimResult r;
@@ -119,6 +141,47 @@ runWorkload(const SimConfig &cfg, const std::string &name, uint64_t instrs,
     auto wl = makeWorkload(name);
     Simulator sim(cfg);
     return sim.run(*wl, instrs, warmup);
+}
+
+Expected<SimResult>
+runWorkloadGuarded(const SimConfig &cfg, const std::string &name,
+                   uint64_t instrs, uint64_t warmup,
+                   const RunBudget &budget, const FaultPlan &plan,
+                   unsigned attempt)
+{
+    if (plan.enabled()) {
+        if (plan.shouldInject(FaultKind::TraceCorrupt, name, attempt))
+            return simError(ErrorCategory::TraceCorrupt,
+                            "injected trace corruption in '", name, "'");
+        if (plan.shouldInject(FaultKind::IoTransient, name, attempt))
+            return simError(ErrorCategory::IoTransient,
+                            "injected transient IO failure in '", name,
+                            "' (attempt ", attempt, ")");
+        if (plan.shouldInject(FaultKind::WorkerThrow, name, attempt))
+            throw std::runtime_error("injected worker exception in '" +
+                                     name + "'");
+        if (plan.shouldInject(FaultKind::Hang, name, attempt)) {
+            if (!budget.limited())
+                return simError(ErrorCategory::BudgetExceeded,
+                                "injected hang in '", name,
+                                "' (no budget configured; failing "
+                                "immediately)");
+            // Drive the real watchdog with no-progress polls so the
+            // containment path under test is the production one.
+            Watchdog wd(budget);
+            for (uint64_t cycle = 0;; cycle += 4096)
+                if (auto err = wd.poll(cycle, 0))
+                    return *err;
+        }
+    }
+
+    if (auto valid = cfg.validate(); !valid.ok())
+        return valid.error();
+    auto wl = findWorkload(name);
+    if (!wl.ok())
+        return wl.error();
+    Simulator sim(cfg);
+    return sim.runGuarded(*wl.value(), instrs, warmup, budget);
 }
 
 } // namespace catchsim

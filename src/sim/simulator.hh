@@ -12,15 +12,20 @@
 #include <string>
 
 #include "cache/hierarchy.hh"
+#include "common/error.hh"
+#include "common/fault_inject.hh"
 #include "common/sim_config.hh"
 #include "core/ooo_core.hh"
 #include "criticality/ddg.hh"
 #include "power/power_model.hh"
+#include "sim/run_guard.hh"
 #include "tact/tact.hh"
 #include "trace/workload.hh"
 
 namespace catchsim
 {
+
+class JsonValue;
 
 /** Everything a bench might want from one run. */
 struct SimResult
@@ -57,6 +62,15 @@ struct SimResult
 
     /** Machine-readable form of every counter above (one JSON object). */
     std::string toJson() const;
+
+    /**
+     * Parses a toJson() document back into a SimResult. Counters round
+     * trip bitwise (exact u64, %.17g doubles), so a journal-replayed
+     * result compares identical to the original. Malformed or
+     * wrong-shape input returns a trace-corrupt SimError.
+     */
+    static Expected<SimResult> fromJson(const std::string &json);
+    static Expected<SimResult> fromJson(const JsonValue &v);
 };
 
 /** Runs one workload on one machine configuration. */
@@ -71,6 +85,17 @@ class Simulator
      */
     SimResult run(Workload &workload, uint64_t instrs, uint64_t warmup);
 
+    /**
+     * Like run(), but polices @p budget with a Watchdog: a run that
+     * overruns its cycle ceiling or stalls past the no-retire window
+     * returns budget-exceeded instead of spinning forever. Successful
+     * guarded runs are bitwise-identical to unguarded ones (the
+     * watchdog only observes).
+     */
+    Expected<SimResult> runGuarded(Workload &workload, uint64_t instrs,
+                                   uint64_t warmup,
+                                   const RunBudget &budget);
+
   private:
     SimConfig cfg_;
 };
@@ -78,6 +103,22 @@ class Simulator
 /** Convenience: build + run in one call. */
 SimResult runWorkload(const SimConfig &cfg, const std::string &name,
                       uint64_t instrs, uint64_t warmup);
+
+/**
+ * Fault-contained single run: validates the config, resolves @p name
+ * recoverably, applies any faults @p plan injects for (@p name,
+ * @p attempt) — trace corruption, transient IO errors, an injected
+ * hang driven through the real watchdog — and polices @p budget.
+ * Worker exceptions (including injected ones) are NOT caught here;
+ * the per-slot isolation in runWorkloadsIsolated converts them into
+ * internal RunFailures.
+ */
+Expected<SimResult> runWorkloadGuarded(const SimConfig &cfg,
+                                       const std::string &name,
+                                       uint64_t instrs, uint64_t warmup,
+                                       const RunBudget &budget,
+                                       const FaultPlan &plan,
+                                       unsigned attempt = 1);
 
 } // namespace catchsim
 

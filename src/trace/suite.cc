@@ -241,8 +241,8 @@ stQuickNames()
             "sysmark-excel", "facedetection", "gobmk"};
 }
 
-std::unique_ptr<Workload>
-makeWorkload(const std::string &name)
+Expected<std::unique_ptr<Workload>>
+findWorkload(const std::string &name)
 {
     auto it = registry().find(name);
     if (it != registry().end())
@@ -250,7 +250,24 @@ makeWorkload(const std::string &name)
     for (const auto &v : variants())
         if (name == v.name)
             return v.factory();
-    CATCHSIM_FATAL("unknown workload '", name, "'");
+    // List every valid name so a CLI typo is a one-round-trip fix.
+    std::string known;
+    for (const auto &n : stSuiteNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += n;
+    }
+    return simError(ErrorCategory::Config, "unknown workload '", name,
+                    "'; valid names: ", known);
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    auto wl = findWorkload(name);
+    CATCHSIM_ASSERT(wl.ok(), "unknown workload '", name,
+                    "' (use findWorkload to handle this recoverably)");
+    return std::move(wl).value();
 }
 
 std::vector<MpMix>

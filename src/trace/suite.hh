@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "trace/workload.hh"
 
 namespace catchsim
@@ -25,7 +26,18 @@ std::vector<std::string> stSuiteNames();
 /** Subset of stSuiteNames() used by quick smoke runs. */
 std::vector<std::string> stQuickNames();
 
-/** Instantiates a workload by suite name; fatal() on unknown names. */
+/**
+ * Instantiates a workload by suite name. Unknown names return a config
+ * SimError that lists every valid name; the CLI surfaces it once with
+ * exit code 2, the suite executor records it as a per-run failure.
+ */
+Expected<std::unique_ptr<Workload>> findWorkload(const std::string &name);
+
+/**
+ * Instantiates a workload known to exist (tests, benches, internal
+ * callers); asserts on unknown names. Anything handling user input
+ * must use findWorkload instead.
+ */
 std::unique_ptr<Workload> makeWorkload(const std::string &name);
 
 /** A four-way multi-programmed mix. */

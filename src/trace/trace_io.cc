@@ -17,6 +17,17 @@ namespace
 constexpr char kMagic[6] = {'C', 'T', 'S', 'I', 'M', '\0'};
 constexpr uint32_t kVersion = 1;
 
+// Fixed record sizes the bounds checks are computed from.
+constexpr uint64_t kHeaderBytes = sizeof(kMagic) + 4 + 8;
+constexpr uint64_t kOpBytes = 4 * 8 + 6 * 1;
+constexpr uint64_t kPageRecordBytes = 8 + kPageBytes;
+
+// Format-level validity limits: OpClass tops out at Nop, and no
+// supported configuration has more than 64 architectural registers
+// (SimConfig::validate), so larger indices can only be corruption.
+constexpr uint8_t kMaxOpClass = static_cast<uint8_t>(OpClass::Nop);
+constexpr int8_t kMaxRegIndex = 63;
+
 struct FileCloser
 {
     void operator()(std::FILE *f) const { std::fclose(f); }
@@ -37,18 +48,29 @@ get(std::FILE *f, T *v)
     return std::fread(v, sizeof(*v), 1, f) == 1;
 }
 
+bool
+regIndexOk(int8_t r)
+{
+    return r >= -1 && r <= kMaxRegIndex;
+}
+
 } // namespace
 
-bool
-saveTrace(const Trace &trace, const std::string &path)
+Expected<void>
+saveTraceChecked(const Trace &trace, const std::string &path)
 {
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
-        return false;
+        return simError(ErrorCategory::Config, "cannot open '", path,
+                        "' for writing");
+    auto io_error = [&path]() {
+        return simError(ErrorCategory::IoTransient, "write to '", path,
+                        "' failed");
+    };
     if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
         !put(f.get(), kVersion) ||
         !put(f.get(), static_cast<uint64_t>(trace.ops.size())))
-        return false;
+        return io_error();
     for (const MicroOp &op : trace.ops) {
         if (!put(f.get(), op.pc) || !put(f.get(), op.memAddr) ||
             !put(f.get(), op.value) || !put(f.get(), op.target) ||
@@ -57,7 +79,7 @@ saveTrace(const Trace &trace, const std::string &path)
             !put(f.get(), op.src[0]) || !put(f.get(), op.src[1]) ||
             !put(f.get(), op.src[2]) ||
             !put(f.get(), static_cast<uint8_t>(op.taken)))
-            return false;
+            return io_error();
     }
     // Serialise the pages the trace actually references: the addresses
     // of every load/store, which is all the feeder will ever read.
@@ -73,34 +95,74 @@ saveTrace(const Trace &trace, const std::string &path)
                     pages.end());
     }
     if (!put(f.get(), static_cast<uint64_t>(pages.size())))
-        return false;
+        return io_error();
     for (Addr page : pages) {
         if (!put(f.get(), page))
-            return false;
+            return io_error();
         for (Addr a = page; a < page + kPageBytes; a += 8)
             if (!put(f.get(), trace.mem->read(a)))
-                return false;
+                return io_error();
     }
-    return true;
+    if (std::fflush(f.get()) != 0)
+        return io_error();
+    return {};
 }
 
-Trace
-loadTrace(const std::string &path)
+bool
+saveTrace(const Trace &trace, const std::string &path)
 {
-    Trace trace;
+    auto r = saveTraceChecked(trace, path);
+    if (!r.ok())
+        warn(r.error().message);
+    return r.ok();
+}
+
+Expected<Trace>
+loadTraceChecked(const std::string &path)
+{
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
-        return trace;
+        return simError(ErrorCategory::Config, "cannot open trace file '",
+                        path, "'");
+
+    // The file's true size bounds every count field before anything is
+    // allocated or trusted: a bit-flipped count can neither reserve
+    // gigabytes nor walk past the end of the data.
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return simError(ErrorCategory::IoTransient, "cannot seek in '",
+                        path, "'");
+    long told = std::ftell(f.get());
+    if (told < 0)
+        return simError(ErrorCategory::IoTransient, "cannot size '",
+                        path, "'");
+    uint64_t file_size = static_cast<uint64_t>(told);
+    std::rewind(f.get());
+
+    auto corrupt = [&path](auto &&...what) {
+        return simError(ErrorCategory::TraceCorrupt, "trace file '",
+                        path, "': ", what...);
+    };
+
+    if (file_size < kHeaderBytes)
+        return corrupt("only ", file_size, " bytes, smaller than the ",
+                       kHeaderBytes, "-byte header");
     char magic[6];
     uint32_t version = 0;
     uint64_t count = 0;
     if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
-        !get(f.get(), &version) || version != kVersion ||
-        !get(f.get(), &count)) {
-        warn("trace file '", path, "' has a bad header");
-        return trace;
-    }
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return corrupt("bad header (magic mismatch)");
+    if (!get(f.get(), &version) || version != kVersion)
+        return corrupt("bad header (unsupported version ", version,
+                       ", expected ", kVersion, ")");
+    if (!get(f.get(), &count))
+        return corrupt("bad header (missing op count)");
+    uint64_t body = file_size - kHeaderBytes;
+    if (count > body / kOpBytes)
+        return corrupt("op count ", count, " needs ", count, " * ",
+                       kOpBytes, " bytes but only ", body, " remain");
+
+    Trace trace;
     trace.ops.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
         MicroOp op;
@@ -109,40 +171,61 @@ loadTrace(const std::string &path)
             !get(f.get(), &op.value) || !get(f.get(), &op.target) ||
             !get(f.get(), &cls) || !get(f.get(), &op.dst) ||
             !get(f.get(), &op.src[0]) || !get(f.get(), &op.src[1]) ||
-            !get(f.get(), &op.src[2]) || !get(f.get(), &taken)) {
-            warn("trace file '", path, "' truncated at op ", i);
-            trace.ops.clear();
-            return trace;
-        }
+            !get(f.get(), &op.src[2]) || !get(f.get(), &taken))
+            return corrupt("truncated at op ", i, " of ", count);
+        if (cls > kMaxOpClass)
+            return corrupt("op ", i, " has invalid class ",
+                           unsigned(cls));
+        if (!regIndexOk(op.dst) || !regIndexOk(op.src[0]) ||
+            !regIndexOk(op.src[1]) || !regIndexOk(op.src[2]))
+            return corrupt("op ", i, " names an out-of-range register");
         op.cls = static_cast<OpClass>(cls);
         op.taken = taken != 0;
         trace.ops.push_back(op);
     }
+
     uint64_t pages = 0;
-    if (!get(f.get(), &pages)) {
-        trace.ops.clear();
-        return trace;
-    }
+    if (!get(f.get(), &pages))
+        return corrupt("truncated before the page count");
+    uint64_t page_body = file_size - kHeaderBytes - count * kOpBytes - 8;
+    if (pages > page_body / kPageRecordBytes)
+        return corrupt("page count ", pages, " needs ", pages, " * ",
+                       kPageRecordBytes, " bytes but only ", page_body,
+                       " remain");
     trace.mem = std::make_shared<FunctionalMemory>();
     for (uint64_t p = 0; p < pages; ++p) {
         Addr base = 0;
-        if (!get(f.get(), &base)) {
-            trace.ops.clear();
-            trace.mem.reset();
-            return trace;
-        }
+        if (!get(f.get(), &base))
+            return corrupt("truncated at page ", p, " of ", pages);
+        if (base != pageAddr(base))
+            return corrupt("page ", p, " base ", base,
+                           " is not page-aligned");
         for (Addr a = base; a < base + kPageBytes; a += 8) {
             uint64_t word = 0;
-            if (!get(f.get(), &word)) {
-                trace.ops.clear();
-                trace.mem.reset();
-                return trace;
-            }
+            if (!get(f.get(), &word))
+                return corrupt("truncated inside page ", p, " of ",
+                               pages);
             if (word)
                 trace.mem->write(a, word);
         }
     }
+
+    uint64_t expected =
+        kHeaderBytes + count * kOpBytes + 8 + pages * kPageRecordBytes;
+    if (file_size != expected)
+        return corrupt(file_size - expected,
+                       " trailing byte(s) after the last page");
     return trace;
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    auto r = loadTraceChecked(path);
+    if (r.ok())
+        return std::move(r).value();
+    warn(r.error().message);
+    return Trace{};
 }
 
 } // namespace catchsim

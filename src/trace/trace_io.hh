@@ -10,6 +10,11 @@
  *   u64 op count, then per op: pc, memAddr, value, target (u64 each),
  *     cls, dst, src[3], taken (u8 each),
  *   u64 page count, then per page: u64 base address + 4096 raw bytes.
+ *
+ * Loading validates everything a hostile or bit-flipped file could get
+ * wrong — magic, version, counts bounded by the file's real size, op
+ * classes and register indices in range, page alignment, trailing
+ * garbage — and reports defects as trace-corrupt SimErrors, never UB.
  */
 
 #ifndef CATCHSIM_TRACE_TRACE_IO_HH_
@@ -17,17 +22,32 @@
 
 #include <string>
 
+#include "common/error.hh"
 #include "trace/workload.hh"
 
 namespace catchsim
 {
 
-/** Writes @p trace to @p path. @returns false on I/O failure. */
+/** Writes @p trace to @p path; the error names the path and cause. */
+Expected<void> saveTraceChecked(const Trace &trace,
+                                const std::string &path);
+
+/** Legacy wrapper: warns and returns false on failure. */
 bool saveTrace(const Trace &trace, const std::string &path);
 
 /**
- * Reads a trace from @p path.
- * @returns an empty trace (no ops, null memory) on failure
+ * Reads and fully validates a trace. An unopenable path is a config
+ * error; any content defect (bad magic/version, counts exceeding the
+ * file size, truncation, out-of-range op class or register index,
+ * misaligned page base, trailing bytes) is trace-corrupt with a
+ * message naming the offending record.
+ */
+Expected<Trace> loadTraceChecked(const std::string &path);
+
+/**
+ * Legacy wrapper over loadTraceChecked.
+ * @returns an empty trace (no ops, null memory) after warning on any
+ * failure
  */
 Trace loadTrace(const std::string &path);
 

@@ -189,7 +189,7 @@ TEST(IssueCalendar, WindowSlides)
 TEST(SimConfig, DefaultsValidate)
 {
     SimConfig cfg;
-    cfg.validate(); // must not fatal
+    EXPECT_TRUE(cfg.validate().ok());
     EXPECT_TRUE(cfg.hasL2);
     EXPECT_EQ(cfg.llc.numSets(), 8192u);
 }
@@ -202,7 +202,7 @@ TEST(SimConfig, RemoveL2AdjustsWays)
     EXPECT_EQ(cfg.inclusion, InclusionPolicy::Nine);
     EXPECT_TRUE(isPowerOfTwo(cfg.llc.numSets()));
     EXPECT_EQ(cfg.llc.sizeBytes, 6656u * 1024u);
-    cfg.validate();
+    EXPECT_TRUE(cfg.validate().ok());
 }
 
 TEST(SimConfig, EnableCatchTurnsEverythingOn)
@@ -212,7 +212,7 @@ TEST(SimConfig, EnableCatchTurnsEverythingOn)
     EXPECT_TRUE(cfg.criticality.enabled);
     EXPECT_TRUE(cfg.tact.cross && cfg.tact.deepSelf && cfg.tact.feeder &&
                 cfg.tact.code);
-    cfg.validate();
+    EXPECT_TRUE(cfg.validate().ok());
 }
 
 TEST(Logging, ConcatFormatsHeterogeneousArguments)

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the journaled checkpoint/resume layer (sim/journal.hh):
+ * finished runs replay bitwise from <dir>/journal.jsonl without
+ * re-execution, failures never satisfy a resume lookup, and the
+ * half-written last line a killed process leaves behind is skipped
+ * cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_inject.hh"
+#include "sim/configs.hh"
+#include "sim/journal.hh"
+#include "sim/parallel_runner.hh"
+#include "sim_result_compare.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+constexpr uint64_t kInstr = 20000;
+constexpr uint64_t kWarm = 5000;
+
+const FaultPlan kNoFaults;
+
+/** Fresh scratch directory per test; removed on destruction. */
+struct ScratchDir
+{
+    explicit ScratchDir(const std::string &name)
+        : path(::testing::TempDir() + "catchsim_" + name)
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+std::unique_ptr<SuiteJournal>
+mustOpen(const std::string &dir)
+{
+    auto j = SuiteJournal::open(dir);
+    EXPECT_TRUE(j.ok()) << (j.ok() ? "" : j.error().message);
+    return j.ok() ? std::move(j).value() : nullptr;
+}
+
+IsolationOptions
+optsWith(const FaultPlan &plan, SuiteJournal *journal)
+{
+    IsolationOptions opts;
+    opts.plan = &plan;
+    opts.journal = journal;
+    opts.backoffMs = 0;
+    return opts;
+}
+
+void
+appendLine(const std::string &dir, const std::string &text)
+{
+    std::FILE *f = std::fopen((dir + "/journal.jsonl").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+    std::fclose(f);
+}
+
+TEST(SuiteJournal, ResumeReplaysFinishedRunsBitwise)
+{
+    ScratchDir dir("journal_resume");
+    const std::vector<std::string> names = {"mcf", "hmmer"};
+    SimConfig cfg = baselineSkx();
+
+    auto j1 = mustOpen(dir.path);
+    ASSERT_NE(j1, nullptr);
+    EXPECT_EQ(j1->resumableCount(), 0u);
+    auto first = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 2,
+                                      optsWith(kNoFaults, j1.get()));
+    ASSERT_EQ(first.size(), 2u);
+    for (const auto &o : first) {
+        ASSERT_TRUE(o.ok()) << o.workload;
+        EXPECT_FALSE(o.resumed);
+    }
+    j1.reset(); // close the append handle before reopening
+
+    auto j2 = mustOpen(dir.path);
+    ASSERT_NE(j2, nullptr);
+    EXPECT_EQ(j2->resumableCount(), 2u);
+    auto second = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 2,
+                                       optsWith(kNoFaults, j2.get()));
+    ASSERT_EQ(second.size(), 2u);
+    for (size_t i = 0; i < names.size(); ++i) {
+        ASSERT_TRUE(second[i].ok());
+        EXPECT_TRUE(second[i].resumed)
+            << names[i] << " must replay, not re-execute";
+        expectBitwiseEqual(first[i].result, second[i].result);
+    }
+    j2.reset();
+
+    // Replayed outcomes are not re-appended: a twice-resumed campaign
+    // still holds exactly the original records.
+    auto j3 = mustOpen(dir.path);
+    ASSERT_NE(j3, nullptr);
+    EXPECT_EQ(j3->resumableCount(), 2u);
+}
+
+TEST(SuiteJournal, FailuresAreJournaledButNotResumable)
+{
+    ScratchDir dir("journal_failures");
+    const std::vector<std::string> names = {"mcf", "hmmer"};
+    SimConfig cfg = baselineSkx();
+    FaultPlan corrupt_mcf = [] {
+        auto p = FaultPlan::parse("trace-corrupt:mcf");
+        EXPECT_TRUE(p.ok());
+        return std::move(p).value();
+    }();
+
+    auto j1 = mustOpen(dir.path);
+    ASSERT_NE(j1, nullptr);
+    auto first = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 2,
+                                      optsWith(corrupt_mcf, j1.get()));
+    ASSERT_FALSE(first[0].ok());
+    ASSERT_TRUE(first[1].ok());
+    j1.reset();
+
+    auto j2 = mustOpen(dir.path);
+    ASSERT_NE(j2, nullptr);
+    EXPECT_EQ(j2->resumableCount(), 1u)
+        << "the failure record must not count as resumable";
+    EXPECT_EQ(j2->find(cfg.name, "mcf", kInstr, kWarm), nullptr);
+    EXPECT_NE(j2->find(cfg.name, "hmmer", kInstr, kWarm), nullptr);
+
+    // Re-running without the fault re-executes only the failed run.
+    auto second = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 2,
+                                       optsWith(kNoFaults, j2.get()));
+    ASSERT_TRUE(second[0].ok()) << "mcf must recover on the rerun";
+    EXPECT_FALSE(second[0].resumed);
+    EXPECT_TRUE(second[1].resumed);
+    expectBitwiseEqual(first[1].result, second[1].result);
+}
+
+TEST(SuiteJournal, HalfWrittenLastRecordIsSkipped)
+{
+    ScratchDir dir("journal_torn");
+    const std::vector<std::string> names = {"hmmer"};
+    SimConfig cfg = baselineSkx();
+
+    auto j1 = mustOpen(dir.path);
+    ASSERT_NE(j1, nullptr);
+    auto first = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                      optsWith(kNoFaults, j1.get()));
+    ASSERT_TRUE(first[0].ok());
+    j1.reset();
+
+    // The residue of a killed process: a record cut mid-write (no
+    // trailing newline), plus a parseable line missing required keys.
+    appendLine(dir.path, "{\"config\":\"x\"}\n");
+    appendLine(dir.path, "{\"config\":\"" + cfg.name + "\",\"workl");
+
+    auto j2 = mustOpen(dir.path);
+    ASSERT_NE(j2, nullptr);
+    EXPECT_EQ(j2->resumableCount(), 1u)
+        << "damaged lines are skipped, valid ones kept";
+    const SimResult *r = j2->find(cfg.name, "hmmer", kInstr, kWarm);
+    ASSERT_NE(r, nullptr);
+    expectBitwiseEqual(first[0].result, *r);
+}
+
+TEST(SuiteJournal, LookupKeyCoversTheWholeRunIdentity)
+{
+    ScratchDir dir("journal_keys");
+    SimConfig cfg = baselineSkx();
+    auto j1 = mustOpen(dir.path);
+    ASSERT_NE(j1, nullptr);
+    auto out = runWorkloadsIsolated(cfg, {"hmmer"}, kInstr, kWarm, 1,
+                                    optsWith(kNoFaults, j1.get()));
+    ASSERT_TRUE(out[0].ok());
+    j1.reset();
+
+    auto j2 = mustOpen(dir.path);
+    ASSERT_NE(j2, nullptr);
+    RunStatus st = RunStatus::Failed;
+    EXPECT_NE(j2->find(cfg.name, "hmmer", kInstr, kWarm, &st), nullptr);
+    EXPECT_EQ(st, RunStatus::Ok) << "journaled status is reported back";
+    // Any key component changing means a different run: no replay.
+    EXPECT_EQ(j2->find(cfg.name, "mcf", kInstr, kWarm), nullptr);
+    EXPECT_EQ(j2->find("other-config", "hmmer", kInstr, kWarm), nullptr);
+    EXPECT_EQ(j2->find(cfg.name, "hmmer", kInstr + 1, kWarm), nullptr);
+    EXPECT_EQ(j2->find(cfg.name, "hmmer", kInstr, kWarm + 1), nullptr);
+}
+
+TEST(SuiteJournal, UnwritableDirectoryIsAConfigError)
+{
+    // A plain file where the journal directory should be: creation
+    // fails and open() reports it instead of terminating the campaign.
+    ScratchDir dir("journal_unwritable");
+    ASSERT_TRUE(std::filesystem::create_directories(dir.path));
+    std::string blocker = dir.path + "/blocker";
+    std::FILE *f = std::fopen(blocker.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+
+    auto j = SuiteJournal::open(blocker + "/nested");
+    ASSERT_FALSE(j.ok());
+    EXPECT_EQ(j.error().category, ErrorCategory::Config);
+}
+
+} // namespace
+} // namespace catchsim

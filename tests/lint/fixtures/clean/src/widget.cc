@@ -1,2 +1,9 @@
 #include "widget.hh"
-namespace fx { int widget() { return 42; } }
+namespace fx {
+int widget()
+{
+    // Invariant checks stay allowed under fatal-boundary.
+    CATCHSIM_ASSERT(true, "never fires");
+    return 42;
+}
+}

@@ -1,0 +1,12 @@
+#include "widget.hh"
+#include <cstdlib>
+namespace fx {
+int widget(int v)
+{
+    if (v < 0)
+        std::exit(2);
+    if (v > 100)
+        CATCHSIM_FATAL("widget value out of range: ", v);
+    return v;
+}
+}

@@ -1,0 +1,4 @@
+#ifndef WIDGET_HH_
+#define WIDGET_HH_
+namespace fx { int widget(int v); }
+#endif

@@ -1,0 +1,2 @@
+#include "widget.hh"
+int main() { return 0; }

@@ -28,6 +28,7 @@ EXPECTATIONS = {
     "coverage": "test-coverage",
     "statsonce": "stats-once",
     "includecc": "include-cc",
+    "fatalboundary": "fatal-boundary",
 }
 
 
@@ -73,6 +74,13 @@ class CatchLintFixtures(unittest.TestCase):
         # such violation, so just re-assert it is clean.)
         proc = run_linter(FIXTURES / "waived")
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_fatal_boundary_names_both_violations(self):
+        # std::exit and CATCHSIM_FATAL must each produce a finding;
+        # the CATCHSIM_ASSERT in the clean fixture must not.
+        proc = run_linter(FIXTURES / "fatalboundary")
+        self.assertIn("process-terminating call", proc.stdout)
+        self.assertIn("CATCHSIM_FATAL", proc.stdout)
 
     def test_real_repo_is_clean(self):
         repo = LINTER.parents[2]

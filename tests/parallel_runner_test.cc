@@ -224,7 +224,7 @@ TEST(ParallelRunner, SuiteJsonExportRoundTrips)
     auto results = runWorkloadsParallel(baselineSkx(), env.names,
                                         env.instrs, env.warmup, 2);
     std::string path = ::testing::TempDir() + "suite_export.json";
-    ASSERT_TRUE(writeSuiteJson(path, baselineSkx(), env, results));
+    ASSERT_TRUE(writeSuiteJson(path, baselineSkx(), env, results).ok());
 
     std::FILE *f = std::fopen(path.c_str(), "r");
     ASSERT_NE(f, nullptr);

@@ -1,11 +1,16 @@
 /**
  * @file
- * Round-trip tests for the binary trace serialisation.
+ * Round-trip tests for the binary trace serialisation, plus the
+ * validation layer of loadTraceChecked(): every field a bit flip can
+ * damage — magic, version, counts, op classes, register indices, page
+ * alignment — must come back as a typed trace-corrupt SimError, never
+ * a crash, an over-allocation or a silently wrong trace.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 
 #include <unistd.h>
 
@@ -16,6 +21,46 @@ namespace catchsim
 {
 namespace
 {
+
+// On-disk layout constants mirrored from trace_io.cc (6-byte magic +
+// u32 version + u64 op count header; 38-byte op records).
+constexpr long kHeaderBytes = 6 + 4 + 8;
+constexpr long kOpBytes = 4 * 8 + 6;
+constexpr long kVersionOffset = 6;
+constexpr long kCountOffset = 10;
+constexpr long kOp0ClassOffset = kHeaderBytes + 32;
+constexpr long kOp0DstOffset = kHeaderBytes + 33;
+
+/** Writes a fresh serialised trace and returns its op count. */
+uint64_t
+writeTestTrace(const std::string &path, const char *workload = "mcf")
+{
+    auto wl = makeWorkload(workload);
+    Trace t = wl->generate(2000);
+    EXPECT_TRUE(saveTrace(t, path));
+    return t.ops.size();
+}
+
+void
+patchByte(const std::string &path, long offset, unsigned char value)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    ASSERT_EQ(std::fputc(value, f), value);
+    ASSERT_EQ(std::fclose(f), 0);
+}
+
+/** Expects a trace-corrupt error whose message mentions @p what. */
+void
+expectCorrupt(const std::string &path, const char *what)
+{
+    auto r = loadTraceChecked(path);
+    ASSERT_FALSE(r.ok()) << "must reject " << what;
+    EXPECT_EQ(r.error().category, ErrorCategory::TraceCorrupt) << what;
+    EXPECT_NE(r.error().message.find(what), std::string::npos)
+        << "got: " << r.error().message;
+}
 
 TEST(TraceIo, RoundTripPreservesOpsAndMemory)
 {
@@ -57,6 +102,95 @@ TEST(TraceIo, CorruptHeaderRejected)
     std::fclose(f);
     Trace t = loadTrace(path);
     EXPECT_TRUE(t.ops.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoChecked, MissingFileIsAConfigError)
+{
+    auto r = loadTraceChecked("/tmp/definitely/not/here.trace");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().category, ErrorCategory::Config);
+}
+
+TEST(TraceIoChecked, ZeroLengthFileRejected)
+{
+    const std::string path = "/tmp/catchsim_empty.trace";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    expectCorrupt(path, "smaller than the");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoChecked, WrongVersionRejected)
+{
+    const std::string path = "/tmp/catchsim_version.trace";
+    writeTestTrace(path);
+    patchByte(path, kVersionOffset, 9);
+    expectCorrupt(path, "unsupported version");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoChecked, BitFlippedOpClassRejected)
+{
+    const std::string path = "/tmp/catchsim_class.trace";
+    writeTestTrace(path);
+    patchByte(path, kOp0ClassOffset, 0xff);
+    expectCorrupt(path, "invalid class");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoChecked, BitFlippedRegisterIndexRejected)
+{
+    const std::string path = "/tmp/catchsim_reg.trace";
+    writeTestTrace(path);
+    patchByte(path, kOp0DstOffset, 100); // > 63 architectural registers
+    expectCorrupt(path, "out-of-range register");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoChecked, HugeOpCountIsBoundedByFileSize)
+{
+    // A flipped high byte of the count must be caught by the file-size
+    // bound before anything is allocated or read.
+    const std::string path = "/tmp/catchsim_count.trace";
+    writeTestTrace(path);
+    patchByte(path, kCountOffset + 7, 0xff);
+    expectCorrupt(path, "op count");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoChecked, UnalignedPageBaseRejected)
+{
+    const std::string path = "/tmp/catchsim_page.trace";
+    uint64_t ops = writeTestTrace(path); // mcf: guaranteed loads/stores
+    // First page record sits right after the op array's u64 page count;
+    // its base is 4K-aligned, so forcing the low byte on unaligns it.
+    patchByte(path, kHeaderBytes + long(ops) * kOpBytes + 8, 0x01);
+    expectCorrupt(path, "not page-aligned");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoChecked, TrailingBytesRejected)
+{
+    const std::string path = "/tmp/catchsim_trailing.trace";
+    writeTestTrace(path);
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc(0x5a, f);
+    std::fclose(f);
+    expectCorrupt(path, "trailing byte");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoChecked, TruncationMidOpsNamesTheOp)
+{
+    const std::string path = "/tmp/catchsim_midtrunc.trace";
+    writeTestTrace(path);
+    ASSERT_EQ(truncate(path.c_str(), kHeaderBytes + kOpBytes + 10), 0);
+    // The size bound trips first: the header's op count can no longer
+    // fit in what remains of the file.
+    expectCorrupt(path, "op count");
     std::remove(path.c_str());
 }
 

@@ -21,21 +21,33 @@
  *   --jobs=<n>                  parallel simulations (default CATCH_JOBS
  *                               or hardware concurrency; 1 = serial)
  *   --json=<file>               also write results as a JSON document
+ *   --journal=<dir>             checkpoint finished runs to
+ *                               <dir>/journal.jsonl; a rerun with the
+ *                               same journal re-executes only runs that
+ *                               did not finish successfully
  *   --list                      list all suite workloads and exit
  *
  * Reports print in command-line order regardless of --jobs; results are
- * bitwise-identical for any job count.
+ * bitwise-identical for any job count. Runs that fail (corrupt trace,
+ * worker exception, watchdog timeout) are contained to their own slot
+ * and reported structurally; the campaign continues.
+ *
+ * Exit codes: 0 every run succeeded; 1 at least one run failed or
+ * timed out (or the JSON export failed); 2 usage/configuration error
+ * (unknown option, unknown workload, invalid geometry).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "sim/configs.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/simulator.hh"
 #include "trace/suite.hh"
@@ -104,6 +116,18 @@ printReport(const SimResult &r)
                 r.energy.dramDynamic, r.energy.staticLeakage);
 }
 
+void
+printFailure(const RunOutcome &o)
+{
+    std::printf("\n=== %s on %s ===\n", o.workload.c_str(),
+                o.config.c_str());
+    std::printf("status             : %s after %u attempt(s)\n",
+                runStatusName(o.status), o.attempts);
+    std::printf("error              : [%s] %s\n",
+                errorCategoryName(o.failure->error.category),
+                o.failure->error.message.c_str());
+}
+
 [[noreturn]] void
 usage()
 {
@@ -115,8 +139,9 @@ usage()
                  "[--instr=N] [--warmup=N]\n"
                  "                [--llc-add=N] [--no-prefetchers] "
                  "[--jobs=N] [--json=FILE]\n"
-                 "                [--list] <workload>...\n");
-    std::exit(1);
+                 "                [--journal=DIR] [--list] "
+                 "<workload>...\n");
+    std::exit(2);
 }
 
 } // namespace
@@ -130,6 +155,7 @@ main(int argc, char **argv)
     uint64_t instrs = 300000, warmup = 100000;
     unsigned jobs = suiteJobs();
     std::string json_path;
+    std::string journal_dir;
     std::vector<std::string> workloads;
 
     for (int i = 1; i < argc; ++i) {
@@ -173,6 +199,8 @@ main(int argc, char **argv)
             jobs = v >= 1 ? static_cast<unsigned>(v) : 1;
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path = value();
+        } else if (arg.rfind("--journal=", 0) == 0) {
+            journal_dir = value();
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();
@@ -205,18 +233,75 @@ main(int argc, char **argv)
     else if (cfg.criticality.enabled)
         cfg.name += "+crit";
 
-    auto results =
-        runWorkloadsParallel(cfg, workloads, instrs, warmup, jobs);
-    for (const auto &r : results)
-        printReport(r);
+    // Config mistakes are surfaced once, before any simulation starts:
+    // unknown workload names (the error lists every valid name) and
+    // invalid geometry both exit with code 2.
+    bool names_ok = true;
+    for (const auto &w : workloads) {
+        auto wl = findWorkload(w);
+        if (!wl.ok()) {
+            std::fprintf(stderr, "catchsim: %s\n",
+                         names_ok ? wl.error().message.c_str()
+                                  : ("unknown workload '" + w + "'")
+                                        .c_str());
+            names_ok = false;
+        }
+    }
+    if (!names_ok)
+        return 2;
+    if (auto valid = cfg.validate(); !valid.ok()) {
+        std::fprintf(stderr, "catchsim: invalid configuration: %s\n",
+                     valid.error().message.c_str());
+        return 2;
+    }
+
+    IsolationOptions opts = IsolationOptions::fromEnvironment();
+    std::unique_ptr<SuiteJournal> journal;
+    if (!journal_dir.empty()) {
+        auto j = SuiteJournal::open(journal_dir);
+        if (!j.ok()) {
+            std::fprintf(stderr, "catchsim: %s\n",
+                         j.error().message.c_str());
+            return 2;
+        }
+        journal = std::move(j).value();
+        opts.journal = journal.get();
+    }
+
+    auto outcomes = runWorkloadsIsolated(cfg, workloads, instrs, warmup,
+                                         jobs, opts);
+    for (const auto &o : outcomes) {
+        if (o.ok())
+            printReport(o.result);
+        else
+            printFailure(o);
+    }
+
+    CampaignSummary sum = summarizeOutcomes(outcomes);
+    if (sum.retried || sum.failed || sum.timedOut || sum.resumed) {
+        std::printf("\ncampaign: %llu ok, %llu retried, %llu failed, "
+                    "%llu timed out, %llu resumed\n",
+                    static_cast<unsigned long long>(sum.ok),
+                    static_cast<unsigned long long>(sum.retried),
+                    static_cast<unsigned long long>(sum.failed),
+                    static_cast<unsigned long long>(sum.timedOut),
+                    static_cast<unsigned long long>(sum.resumed));
+    }
+
+    int rc = sum.allOk() ? 0 : 1;
     if (!json_path.empty()) {
         ExperimentEnv env;
         env.names = workloads;
         env.instrs = instrs;
         env.warmup = warmup;
-        if (!writeSuiteJson(json_path, cfg, env, results))
-            CATCHSIM_FATAL("cannot write JSON to '", json_path, "'");
-        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+        auto written = writeSuiteJson(json_path, cfg, env, outcomes);
+        if (!written.ok()) {
+            std::fprintf(stderr, "catchsim: %s\n",
+                         written.error().message.c_str());
+            rc = rc ? rc : 1;
+        } else {
+            std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+        }
     }
-    return 0;
+    return rc;
 }

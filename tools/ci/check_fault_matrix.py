@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Asserts the fault-containment contract over catchsim JSON exports.
+
+Used by tools/ci/fault_matrix.sh. Two modes:
+
+  --clean clean.json --faulty faulty.json
+      The faulty campaign (CATCH_FAULT_INJECT on mcf/tpcc/milc) must
+      contain exactly those three failures with the right categories,
+      and every other slot's result must be *identical* to the clean
+      campaign's (the exporter writes exact u64 and %.17g doubles, so
+      JSON equality here is bitwise equality of every counter).
+
+  --clean clean.json --resumed resumed.json
+      The journaled rerun must have re-executed only the failed runs
+      (4 of 7 resumed), succeeded everywhere, and produced results
+      identical to the clean campaign.
+"""
+
+import argparse
+import json
+import sys
+
+# workload -> (status, error category, required message substring).
+# The injected hang is driven through the *real* watchdog, so its error
+# is the genuine stall-window message, not an "injected" marker.
+INJECTED = {
+    "mcf": ("failed", "trace-corrupt", "injected"),
+    "tpcc": ("failed", "internal", "injected"),
+    "milc": ("timed-out", "budget-exceeded", "stall window"),
+}
+
+
+def die(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    by_name = {r["workload"]: r for r in doc["results"]}
+    if len(by_name) != len(doc["results"]):
+        die(f"{path}: duplicate workload entries")
+    return doc, by_name
+
+
+def check_faulty(clean, faulty):
+    cdoc, cruns = load(clean)
+    fdoc, fruns = load(faulty)
+    if set(cruns) != set(fruns):
+        die("clean and faulty campaigns cover different workloads")
+
+    s = fdoc["summary"]
+    expect = {
+        "total": len(cruns),
+        "ok": len(cruns) - len(INJECTED),
+        "retried": 0,
+        "failed": 2,
+        "timed_out": 1,
+        "resumed": 0,
+    }
+    for key, want in expect.items():
+        if s[key] != want:
+            die(f"faulty summary {key}={s[key]}, want {want}")
+
+    for name, run in fruns.items():
+        if name in INJECTED:
+            status, category, needle = INJECTED[name]
+            if run["status"] != status:
+                die(f"{name}: status {run['status']}, want {status}")
+            if "result" in run:
+                die(f"{name}: failed run must not carry a result")
+            got = run["error"]["category"]
+            if got != category:
+                die(f"{name}: error category {got}, want {category}")
+            if needle not in run["error"]["message"]:
+                die(f"{name}: error message lacks '{needle}': "
+                    f"{run['error']['message']}")
+        else:
+            if run["status"] != "ok":
+                die(f"{name}: unaffected run has status {run['status']}")
+            if run["result"] != cruns[name]["result"]:
+                die(f"{name}: unaffected result differs from the "
+                    "clean campaign (determinism broken)")
+    print(f"faulty campaign OK: {len(INJECTED)} contained failures, "
+          f"{expect['ok']} slots bitwise-identical to clean")
+
+
+def check_resumed(clean, resumed):
+    cdoc, cruns = load(clean)
+    rdoc, rruns = load(resumed)
+    if set(cruns) != set(rruns):
+        die("clean and resumed campaigns cover different workloads")
+
+    s = rdoc["summary"]
+    want_resumed = len(cruns) - len(INJECTED)
+    if s["failed"] or s["timed_out"]:
+        die(f"resumed campaign still has failures: {s}")
+    if s["resumed"] != want_resumed:
+        die(f"resumed={s['resumed']}, want {want_resumed} (only the "
+            "failed runs may re-execute)")
+
+    for name, run in rruns.items():
+        want_replay = name not in INJECTED
+        if bool(run["resumed"]) != want_replay:
+            die(f"{name}: resumed={run['resumed']}, want {want_replay}")
+        if run["result"] != cruns[name]["result"]:
+            die(f"{name}: resumed result differs from the clean "
+                "campaign")
+    print(f"resumed campaign OK: {want_resumed} replayed, "
+          f"{len(INJECTED)} re-executed, all bitwise-identical")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--clean", required=True)
+    ap.add_argument("--faulty")
+    ap.add_argument("--resumed")
+    args = ap.parse_args()
+    if bool(args.faulty) == bool(args.resumed):
+        ap.error("pass exactly one of --faulty / --resumed")
+    if args.faulty:
+        check_faulty(args.clean, args.faulty)
+    else:
+        check_resumed(args.clean, args.resumed)
+
+
+if __name__ == "__main__":
+    main()

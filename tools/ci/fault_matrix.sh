@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# End-to-end fault-injection acceptance matrix for the suite executor.
+#
+# Drives the catchsim CLI the way CI does: a clean campaign, then the
+# same campaign with CATCH_FAULT_INJECT forcing one fault of each kind
+# into 3 of 7 workloads at two job counts, then a journaled rerun.
+# Asserts the containment contract end to end:
+#
+#   1. the faulty campaign completes with exit code 1 (contained), not
+#      a crash or a hang;
+#   2. the faulty JSON export is byte-identical at jobs=8 and jobs=16;
+#   3. exactly the 3 injected runs fail, with the right categories, and
+#      every unaffected slot is bitwise-identical to the clean campaign
+#      (tools/ci/check_fault_matrix.py);
+#   4. a journaled rerun without injection re-executes only the 3
+#      failed runs, resumes the other 4, exits 0, and its results are
+#      bitwise-identical to the clean campaign.
+#
+# Usage: fault_matrix.sh <path-to-catchsim-cli> [workdir]
+
+set -euo pipefail
+
+CLI=${1:?usage: fault_matrix.sh <path-to-catchsim-cli> [workdir]}
+WORK=${2:-$(mktemp -d)}
+KEEP_WORK=${2:+1}
+cleanup() { [ -n "${KEEP_WORK:-}" ] || rm -rf "$WORK"; }
+trap cleanup EXIT
+mkdir -p "$WORK"
+
+HERE=$(cd "$(dirname "$0")" && pwd)
+
+NAMES=(mcf hmmer omnetpp tpcc milc gobmk hpc.stream)
+SPEC='trace-corrupt:mcf;exception:tpcc;hang:milc'
+ARGS=(--catch --instr=30000 --warmup=8000)
+
+run_expect() {
+    local want=$1
+    shift
+    local rc=0
+    "$@" || rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "FAIL: expected exit $want, got $rc: $*" >&2
+        exit 1
+    fi
+}
+
+echo "== clean campaign (jobs=8) =="
+run_expect 0 "$CLI" "${ARGS[@]}" --jobs=8 --json="$WORK/clean.json" \
+    "${NAMES[@]}"
+
+echo "== faulty campaigns (jobs=8 and jobs=16) =="
+for j in 8 16; do
+    run_expect 1 env CATCH_FAULT_INJECT="$SPEC" \
+        "$CLI" "${ARGS[@]}" --jobs="$j" --json="$WORK/faulty$j.json" \
+        "${NAMES[@]}"
+done
+
+echo "== job count must not change a byte of the export =="
+cmp "$WORK/faulty8.json" "$WORK/faulty16.json"
+
+echo "== containment + bitwise-identical unaffected slots =="
+python3 "$HERE/check_fault_matrix.py" \
+    --clean "$WORK/clean.json" --faulty "$WORK/faulty8.json"
+
+echo "== journaled run with faults, then resume without =="
+run_expect 1 env CATCH_FAULT_INJECT="$SPEC" \
+    "$CLI" "${ARGS[@]}" --jobs=8 --journal="$WORK/journal" \
+    "${NAMES[@]}"
+run_expect 0 "$CLI" "${ARGS[@]}" --jobs=8 --journal="$WORK/journal" \
+    --json="$WORK/resumed.json" "${NAMES[@]}"
+python3 "$HERE/check_fault_matrix.py" \
+    --clean "$WORK/clean.json" --resumed "$WORK/resumed.json"
+
+echo "== config errors exit 2 before any simulation =="
+run_expect 2 "$CLI" "${ARGS[@]}" no-such-workload mcf
+run_expect 2 "$CLI" "${ARGS[@]}" --journal=/dev/null/nested mcf
+
+echo "fault matrix: all checks passed"

@@ -26,6 +26,14 @@ This linter enforces the repo contracts statically:
                 sequences), so exports never silently shadow a counter.
   include-cc    no `#include "*.cc"` anywhere; translation units are
                 composed by the build system, not textual inclusion.
+  fatal-boundary library code in src/ never terminates the process on a
+                recoverable error: no CATCHSIM_FATAL/CATCHSIM_PANIC,
+                fatalAt/panicAt, or std::exit/abort outside the waived
+                logging implementation. Recoverable failures return
+                SimError/Expected (common/error.hh); CATCHSIM_ASSERT
+                stays allowed for genuine invariant violations, and
+                fatal() remains available at the CLI boundary (tools/,
+                bench/), which this rule does not cover.
 
 Waivers:
   inline        append `// catch-lint: allow(<rule>)` to the line
@@ -55,6 +63,15 @@ DETERMINISM_BANNED = [
     (re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\s*\("),
      "libc time read"),
     (re.compile(r"[^_\w]time\s*\(\s*(NULL|nullptr|0)\s*\)"), "time()"),
+]
+
+FATAL_BOUNDARY_BANNED = [
+    (re.compile(r"\bCATCHSIM_(FATAL|PANIC)\b"),
+     "CATCHSIM_FATAL/CATCHSIM_PANIC"),
+    (re.compile(r"\b(fatalAt|panicAt|fatalImpl|panicImpl)\s*\("),
+     "fatal/panic helper call"),
+    (re.compile(r"\b(?:std::)?(exit|abort|_Exit|quick_exit)\s*\("),
+     "process-terminating call"),
 ]
 
 GETENV_RE = re.compile(r"\b(?:std::)?getenv\s*\(")
@@ -242,6 +259,17 @@ class Linter:
                             f"{what} breaks bitwise reproducibility; "
                             "use the seeded catchsim::Rng / simulated "
                             "time")
+                for pat, what in FATAL_BOUNDARY_BANNED:
+                    if (pat.search(line)
+                            and "CATCHSIM_ASSERT" not in line
+                            and not self.waived("fatal-boundary", rel,
+                                                inline, lineno)):
+                        self.report(
+                            path, lineno, "fatal-boundary",
+                            f"{what} in library code; return a "
+                            "SimError/Expected (common/error.hh) and "
+                            "let the isolation layer or the CLI "
+                            "boundary decide")
                 if (GETENV_RE.search(line)
                         and rel != "src/common/env.hh"
                         and not self.waived("env-gateway", rel, inline,
