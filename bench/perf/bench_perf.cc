@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Host-throughput harness for the simulator itself: how many simulated
+ * kilo-instructions per wall-clock second does each (workload, config)
+ * pair sustain, and how much memory does the process need?
+ *
+ * This is NOT a paper figure — it measures the simulator as a program,
+ * so the streamed-trace pipeline's speedup/footprint claims in
+ * docs/PERFORMANCE.md are reproducible numbers, and CI can catch a
+ * throughput regression (tools/ci/check_perf.py).
+ *
+ * Method: for every workload x config cell, one untimed warm rep
+ * (faults in page tables, branch-predictor arrays, the allocator), then
+ * N timed reps; the reported figure is the median kilo-instrs/sec over
+ * the timed reps. Peak RSS is process-wide and monotone, so it is
+ * sampled once per cell in declaration order and the final cell's value
+ * is the campaign peak.
+ *
+ * Usage:
+ *   bench_perf [--out=FILE] [--reps=N] [--instr=N] [--warmup=N]
+ *              [--quick]
+ *
+ * Writes a JSON document (default BENCH_PERF.json) of the shape
+ * check_perf.py consumes:
+ *   {"instrs":..., "warmup":..., "reps":...,
+ *    "results":[{"workload","config","kips_median","kips":[...],
+ *                "peak_rss_bytes"}, ...],
+ *    "median_kips_overall":...}
+ *
+ * Deliberately restricted to APIs that predate the streamed pipeline
+ * (makeWorkload, Simulator(cfg).run, baselineSkx/withCatch), so the
+ * same source file also compiles against the pre-streaming tree to
+ * produce the before/after baseline (BENCH_PERF_BASELINE.json).
+ */
+
+#include <sys/resource.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/configs.hh"
+#include "sim/simulator.hh"
+#include "trace/suite.hh"
+
+using namespace catchsim;
+
+namespace
+{
+
+double
+wallSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+uint64_t
+processPeakRssBytes()
+{
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+struct Cell
+{
+    std::string workload;
+    std::string config;
+    std::vector<double> kips;
+    double kipsMedian = 0;
+    uint64_t peakRssBytes = 0;
+};
+
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/** One timed rep: a fresh Simulator + workload, full warmup+measure. */
+double
+timedRep(const SimConfig &cfg, const std::string &name, uint64_t instrs,
+         uint64_t warmup)
+{
+    auto wl = makeWorkload(name);
+    Simulator sim(cfg);
+    double t0 = wallSeconds();
+    SimResult r = sim.run(*wl, instrs, warmup);
+    double sec = wallSeconds() - t0;
+    if (r.core.instrs != instrs) {
+        std::fprintf(stderr, "bench_perf: %s ran %llu instrs, wanted "
+                             "%llu\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(r.core.instrs),
+                     static_cast<unsigned long long>(instrs));
+        std::exit(1);
+    }
+    double simulated = static_cast<double>(instrs + warmup);
+    return simulated / sec / 1000.0;
+}
+
+void
+appendJsonDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_PERF.json";
+    unsigned reps = 5;
+    uint64_t instrs = 300000, warmup = 100000;
+    bool quick = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg]() {
+            return arg.substr(arg.find('=') + 1);
+        };
+        if (arg.rfind("--out=", 0) == 0) {
+            out_path = value();
+        } else if (arg.rfind("--reps=", 0) == 0) {
+            long v = std::strtol(value().c_str(), nullptr, 10);
+            reps = v >= 1 ? static_cast<unsigned>(v) : 1;
+        } else if (arg.rfind("--instr=", 0) == 0) {
+            instrs = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--warmup=", 0) == 0) {
+            warmup = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--quick") {
+            quick = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_perf [--out=FILE] [--reps=N] "
+                         "[--instr=N] [--warmup=N] [--quick]\n");
+            return 2;
+        }
+    }
+    if (quick) {
+        instrs = std::min<uint64_t>(instrs, 60000);
+        warmup = std::min<uint64_t>(warmup, 20000);
+        reps = std::min(reps, 3u);
+    }
+
+    // One kernel per family the paper's suite stresses differently:
+    // pointer-chasing, discrete-event, streaming HPC, branchy, compute.
+    const std::vector<std::string> workloads = {
+        "mcf", "omnetpp", "hpc.stream", "gobmk", "hmmer",
+    };
+    const std::vector<SimConfig> configs = {
+        baselineSkx(),
+        withCatch(baselineSkx()),
+    };
+
+    std::vector<Cell> cells;
+    for (const SimConfig &cfg : configs) {
+        for (const std::string &name : workloads) {
+            Cell cell;
+            cell.workload = name;
+            cell.config = cfg.name;
+            timedRep(cfg, name, instrs, warmup); // warm, untimed
+            for (unsigned r = 0; r < reps; ++r)
+                cell.kips.push_back(timedRep(cfg, name, instrs, warmup));
+            cell.kipsMedian = median(cell.kips);
+            cell.peakRssBytes = processPeakRssBytes();
+            std::printf("%-12s %-28s %10.1f kinstr/s  (rss %.1f MB)\n",
+                        cell.workload.c_str(), cell.config.c_str(),
+                        cell.kipsMedian,
+                        static_cast<double>(cell.peakRssBytes) /
+                            (1024.0 * 1024.0));
+            std::fflush(stdout);
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    std::vector<double> medians;
+    for (const Cell &c : cells)
+        medians.push_back(c.kipsMedian);
+    double overall = median(medians);
+    std::printf("%-12s %-28s %10.1f kinstr/s\n", "overall", "median",
+                overall);
+
+    std::string doc = "{\"instrs\": " + std::to_string(instrs) +
+                      ", \"warmup\": " + std::to_string(warmup) +
+                      ", \"reps\": " + std::to_string(reps) +
+                      ", \"results\": [\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        doc += "{\"workload\": \"" + c.workload + "\", \"config\": \"" +
+               c.config + "\", \"kips_median\": ";
+        appendJsonDouble(doc, c.kipsMedian);
+        doc += ", \"kips\": [";
+        for (size_t k = 0; k < c.kips.size(); ++k) {
+            if (k)
+                doc += ", ";
+            appendJsonDouble(doc, c.kips[k]);
+        }
+        doc += "], \"peak_rss_bytes\": " + std::to_string(c.peakRssBytes)
+               + "}";
+        doc += i + 1 < cells.size() ? ",\n" : "\n";
+    }
+    doc += "], \"median_kips_overall\": ";
+    appendJsonDouble(doc, overall);
+    doc += "}\n";
+
+    std::FILE *f = std::fopen(out_path.c_str(), "wb");
+    if (!f || std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
+        std::fclose(f) != 0) {
+        std::fprintf(stderr, "bench_perf: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -74,6 +74,19 @@ Cache::fill(Addr addr, bool dirty, Cycle ready_at, FillSource source,
             row[w].dirty |= dirty;
             if (ready_at < row[w].readyAt)
                 row[w].readyAt = ready_at;
+            // A demand or writeback fill landing on a prefetched copy
+            // proves the line was wanted: take over its provenance so a
+            // later eviction is not misattributed to a useless
+            // prefetch (and the evicting level sees the true source).
+            bool resident_is_prefetch =
+                row[w].source != FillSource::Demand &&
+                row[w].source != FillSource::Writeback;
+            bool incoming_is_real = source == FillSource::Demand ||
+                                    source == FillSource::Writeback;
+            if (resident_is_prefetch && incoming_is_real) {
+                row[w].source = source;
+                row[w].fillLevel = fill_level;
+            }
             repl_->onHit(set, w);
             return Victim{};
         }

@@ -27,12 +27,13 @@ class IssueCalendar
 {
   public:
     /**
-     * @param ports issue slots available per cycle
+     * @param ports issue slots available per cycle (must fit the packed
+     *        8-bit per-cycle count)
      * @param window how far ahead of the newest scheduled cycle an op
      *        can land; far beyond any realistic wakeup spread
      */
     explicit IssueCalendar(uint32_t ports, uint32_t window = 16384)
-        : ports_(ports), counts_(window, 0)
+        : ports_(ports), slots_(window, 0)
     {
     }
 
@@ -40,22 +41,20 @@ class IssueCalendar
      * Schedules one issue at the first cycle >= @p desired with a spare
      * slot, occupying @p slots issue slots (an unpipelined op models its
      * occupancy by consuming several).
+     *
+     * Each ring slot packs (cycle << 8 | count): a slot only counts for
+     * cycle c if its stored cycle matches, so sliding the window forward
+     * needs no eager zeroing — the DRAM banks jump thousands of cycles
+     * between commands, and clearing every intervening slot used to
+     * dominate whole-simulator runtime. Return values are identical to
+     * the eager-zeroing implementation for every call sequence.
      */
     Cycle
     schedule(Cycle desired, uint32_t slots = 1)
     {
-        const size_t w = counts_.size();
-        // Slide the window forward; slots entering it start empty.
-        if (desired > maxSeen_) {
-            uint64_t advance = desired - maxSeen_;
-            if (advance >= w) {
-                std::fill(counts_.begin(), counts_.end(), 0);
-            } else {
-                for (uint64_t i = 1; i <= advance; ++i)
-                    counts_[(maxSeen_ + i) % w] = 0;
-            }
+        const size_t w = slots_.size();
+        if (desired > maxSeen_)
             maxSeen_ = desired;
-        }
         // Requests below the window floor are clamped (they would have
         // been scheduled long ago; rare and harmless).
         Cycle floor = maxSeen_ >= w ? maxSeen_ - w + 1 : 0;
@@ -63,15 +62,13 @@ class IssueCalendar
         uint32_t remaining = slots;
         Cycle start = c;
         while (true) {
-            if (c > maxSeen_) {
-                uint64_t advance = c - maxSeen_;
-                for (uint64_t i = 1; i <= advance; ++i)
-                    counts_[(maxSeen_ + i) % w] = 0;
+            if (c > maxSeen_)
                 maxSeen_ = c;
-            }
-            uint32_t free_here = ports_ > counts_[c % w]
-                                     ? ports_ - counts_[c % w]
-                                     : 0;
+            uint64_t &slot = slots_[c % w];
+            uint32_t used = (slot >> 8) == c
+                                ? static_cast<uint32_t>(slot & 0xff)
+                                : 0;
+            uint32_t free_here = ports_ > used ? ports_ - used : 0;
             if (free_here == 0) {
                 if (remaining == slots)
                     start = c + 1; // haven't started issuing yet
@@ -79,7 +76,7 @@ class IssueCalendar
                 continue;
             }
             uint32_t take = free_here < remaining ? free_here : remaining;
-            counts_[c % w] += take;
+            slot = (c << 8) | (used + take);
             remaining -= take;
             if (remaining == 0)
                 return start;
@@ -89,7 +86,9 @@ class IssueCalendar
 
   private:
     uint32_t ports_;
-    std::vector<uint8_t> counts_;
+    /// Ring of (cycle << 8 | issue count); a slot is implicitly empty
+    /// when its stored cycle is not the one being probed.
+    std::vector<uint64_t> slots_;
     Cycle maxSeen_ = 0;
 };
 

@@ -10,10 +10,9 @@ Frontend::Frontend(const SimConfig &cfg, CoreId core,
 }
 
 void
-Frontend::bindTrace(const MicroOp *ops, size_t count)
+Frontend::bindTrace(TraceView trace)
 {
-    ops_ = ops;
-    count_ = count;
+    trace_ = trace;
     curCycle_ = 0;
     fetchedThisCycle_ = 0;
     lastLine_ = ~0ULL;
@@ -46,11 +45,11 @@ Frontend::fetchCycle(size_t idx, const MicroOp &op)
             // The NIP stalls for the portion of the miss the pipeline
             // depth cannot hide; the CNPIP runs ahead meanwhile.
             uint64_t stall = r.latency - l1_lat;
-            if (tact_ && ops_) {
+            if (tact_ && trace_.bound()) {
                 auto would_mispredict = [this](const MicroOp &b) {
                     return predictor_.wouldMispredict(b);
                 };
-                tact_->onCodeStall(ops_, count_, idx, t, would_mispredict);
+                tact_->onCodeStall(trace_, idx, t, would_mispredict);
             }
             t += stall;
             stats_.codeStallCycles += stall;

@@ -20,6 +20,7 @@
 #include "core/branch_predictor.hh"
 #include "tact/tact.hh"
 #include "trace/micro_op.hh"
+#include "trace/trace_view.hh"
 
 namespace catchsim
 {
@@ -38,7 +39,7 @@ class Frontend
              Tact *tact);
 
     /** Gives the runahead walker visibility into the upcoming stream. */
-    void bindTrace(const MicroOp *ops, size_t count);
+    void bindTrace(TraceView trace);
 
     /**
      * Returns the cycle at which ops[idx] is available for allocation;
@@ -61,8 +62,7 @@ class Frontend
     Tact *tact_;
     BranchPredictor predictor_;
 
-    const MicroOp *ops_ = nullptr;
-    size_t count_ = 0;
+    TraceView trace_;
 
     Cycle curCycle_ = 0;
     uint32_t fetchedThisCycle_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/trace_stream.hh"
 
 namespace catchsim
 {
@@ -17,23 +18,52 @@ OooCore::OooCore(const SimConfig &cfg, CoreId core,
       loadPorts_(cfg.loadPorts), storePorts_(cfg.storePorts),
       fpPorts_(cfg.fpPorts), storeQueue_(cfg.storeQueueSize)
 {
+    // Forwarding table sized at 8x the store queue: at most 2xSQ slots
+    // are ever occupied between rebuilds, so probe chains stay short.
+    size_t cap = 1;
+    uint32_t log2cap = 0;
+    while (cap < 8 * cfg.storeQueueSize) {
+        cap <<= 1;
+        ++log2cap;
+    }
+    fwdTable_.resize(cap);
+    fwdMask_ = cap - 1;
+    fwdShift_ = 64 - log2cap;
 }
 
 void
 OooCore::bind(const Trace &trace)
 {
-    trace_ = &trace;
+    trace_ = makeView(trace.ops);
+    stream_ = nullptr;
+    streamRefillAt_ = ~size_t(0);
     pos_ = 0;
-    frontend_.bindTrace(trace.ops.data(), trace.ops.size());
+    frontend_.bindTrace(trace_);
+}
+
+void
+OooCore::bind(TraceStream &stream)
+{
+    CATCHSIM_ASSERT(stream.chunkOps() >= kCodeRunaheadHorizonOps,
+                    "stream chunk too small for the code-runahead walk");
+    trace_ = stream.view();
+    stream_ = &stream;
+    streamRefillAt_ = stream.refillAt();
+    pos_ = 0;
+    frontend_.bindTrace(trace_);
 }
 
 void
 OooCore::rewind()
 {
-    CATCHSIM_ASSERT(trace_, "rewind without a bound trace");
+    CATCHSIM_ASSERT(trace_.bound(), "rewind without a bound trace");
     pos_ = 0;
+    if (stream_) {
+        stream_->rewind();
+        streamRefillAt_ = stream_->refillAt();
+    }
     // Keep all timing state: the machine simply re-executes the loop.
-    frontend_.bindTrace(trace_->ops.data(), trace_->ops.size());
+    frontend_.bindTrace(trace_);
 }
 
 Cycle
@@ -75,12 +105,64 @@ OooCore::portsFor(OpClass cls)
     }
 }
 
+const OooCore::StoreEntry *
+OooCore::findForward(Addr word) const
+{
+    // At most one entry per word exists in any probe chain (inserts
+    // overwrite on word match), so the first match decides.
+    size_t i = (word * 0x9E3779B97F4A7C15ULL) >> fwdShift_;
+    for (;; i = (i + 1) & fwdMask_) {
+        const StoreEntry &e = fwdTable_[i];
+        if (e.storeNum == 0)
+            return nullptr;
+        if (e.word == word) {
+            bool live = e.storeNum + storeQueue_.size() > storeCount_;
+            return live ? &e : nullptr;
+        }
+    }
+}
+
+void
+OooCore::insertForward(const StoreEntry &se)
+{
+    size_t i = (se.word * 0x9E3779B97F4A7C15ULL) >> fwdShift_;
+    for (;; i = (i + 1) & fwdMask_) {
+        StoreEntry &e = fwdTable_[i];
+        if (e.storeNum == 0) {
+            e = se;
+            return;
+        }
+        if (e.word == se.word) {
+            // Youngest store to a word wins, exactly as the ring scan's
+            // max-seq tie-break did.
+            if (se.storeNum > e.storeNum)
+                e = se;
+            return;
+        }
+    }
+}
+
+void
+OooCore::rebuildForwardTable()
+{
+    // Drop aged-out entries so the table never fills up: everything
+    // still forwardable is, by definition, in the store-queue ring.
+    std::fill(fwdTable_.begin(), fwdTable_.end(), StoreEntry());
+    for (const auto &se : storeQueue_)
+        if (se.storeNum != 0)
+            insertForward(se);
+}
+
 bool
 OooCore::step()
 {
     if (done())
         return false;
-    const MicroOp &op = trace_->ops[pos_];
+    if (pos_ >= streamRefillAt_) {
+        stream_->ensure(pos_);
+        streamRefillAt_ = stream_->refillAt();
+    }
+    const MicroOp &op = trace_.at(pos_);
     ++seq_;
 
     // ---- Front end (D-node inputs) ----
@@ -114,12 +196,7 @@ OooCore::step()
         ++loads_;
         exec_start = loadPorts_.schedule(min_dispatch);
         // Store-to-load forwarding: youngest older store to the word.
-        const StoreEntry *fwd = nullptr;
-        Addr word = op.memAddr >> 3;
-        for (const auto &se : storeQueue_)
-            if (se.seq != 0 && se.word == word &&
-                (!fwd || se.seq > fwd->seq))
-                fwd = &se;
+        const StoreEntry *fwd = findForward(op.memAddr >> 3);
         if (fwd) {
             ++forwardedLoads_;
             mem_dep = fwd->seq;
@@ -146,6 +223,10 @@ OooCore::step()
         slot.word = op.memAddr >> 3;
         slot.ready = exec_done;
         slot.seq = seq_;
+        slot.storeNum = ++storeCount_;
+        insertForward(slot);
+        if (storeCount_ % storeQueue_.size() == 0)
+            rebuildForwardTable();
         break;
       }
       case OpClass::Branch: {

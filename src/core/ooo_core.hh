@@ -25,10 +25,13 @@
 #include "common/issue_calendar.hh"
 #include "criticality/ddg.hh"
 #include "tact/tact.hh"
+#include "trace/trace_view.hh"
 #include "trace/workload.hh"
 
 namespace catchsim
 {
+
+class TraceStream;
 
 /** Per-core run statistics. */
 struct CoreStats
@@ -57,8 +60,15 @@ class OooCore
     OooCore(const SimConfig &cfg, CoreId core, CacheHierarchy &hierarchy,
             CriticalityDetector *detector, Tact *tact);
 
-    /** Attaches a trace; resets pipeline state. */
+    /** Attaches a fully materialized trace; resets the trace cursor. */
     void bind(const Trace &trace);
+
+    /**
+     * Attaches a streaming trace; resets the trace cursor. The stream
+     * must outlive the core binding and is advanced by step() as the
+     * cursor approaches the edge of the resident window.
+     */
+    void bind(TraceStream &stream);
 
     /** Processes one instruction; false when the trace is exhausted. */
     bool step();
@@ -67,7 +77,7 @@ class OooCore
      *  (used by the MP simulator when a short trace wraps around). */
     void rewind();
 
-    bool done() const { return pos_ >= trace_->ops.size(); }
+    bool done() const { return pos_ >= trace_.count; }
 
     /** The core's notion of time: the last retirement. */
     Cycle now() const { return lastRetireCycle_; }
@@ -94,7 +104,11 @@ class OooCore
     Tact *tact_;
     Frontend frontend_;
 
-    const Trace *trace_ = nullptr;
+    TraceView trace_;
+    TraceStream *stream_ = nullptr;
+    /** Cached stream_->refillAt(); ~0 for materialized traces, so the
+     *  hot path is one predictable compare. */
+    size_t streamRefillAt_ = ~size_t(0);
     size_t pos_ = 0;
     SeqNum seq_ = 0;
     uint64_t instrsDone_ = 0;
@@ -119,14 +133,33 @@ class OooCore
     IssueCalendar fpPorts_;
 
     // Store queue for forwarding: most recent stores by 8-byte word.
+    // storeNum is the 1-based global store count at insertion; an entry
+    // forwards only while it is among the last storeQueueSize stores
+    // (storeNum + SQ > storeCount_), which is exactly when its ring slot
+    // in storeQueue_ has not yet been overwritten.
     struct StoreEntry
     {
         Addr word = 0;
         Cycle ready = 0;
         SeqNum seq = 0;
+        uint64_t storeNum = 0;
     };
     std::vector<StoreEntry> storeQueue_;
     size_t storeHead_ = 0;
+    uint64_t storeCount_ = 0;
+
+    // Word-indexed forwarding map over the store queue: open-addressing
+    // table holding, per 8-byte word, the youngest store to that word.
+    // Replaces the O(SQ) per-load ring scan with an O(1) probe; stale
+    // (aged-out) entries are filtered by the storeNum liveness check and
+    // purged wholesale by a rebuild from the ring every SQ stores.
+    std::vector<StoreEntry> fwdTable_;
+    size_t fwdMask_ = 0;
+    uint32_t fwdShift_ = 0;
+
+    const StoreEntry *findForward(Addr word) const;
+    void insertForward(const StoreEntry &se);
+    void rebuildForwardTable();
 
     // Counters.
     uint64_t loads_ = 0;

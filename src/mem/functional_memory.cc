@@ -7,17 +7,28 @@ FunctionalMemory::Page *
 FunctionalMemory::pageFor(Addr addr)
 {
     Addr page = pageAddr(addr);
+    if (page == lastPageAddr_)
+        return lastPage_;
     auto it = pages_.find(page);
     if (it == pages_.end())
-        it = pages_.emplace(page, std::make_unique<Page>()).first;
-    return it->second.get();
+        it = pages_.emplace(page, Page()).first;
+    lastPageAddr_ = page;
+    lastPage_ = &it->second;
+    return lastPage_;
 }
 
 const FunctionalMemory::Page *
 FunctionalMemory::pageForConst(Addr addr) const
 {
-    auto it = pages_.find(pageAddr(addr));
-    return it == pages_.end() ? nullptr : it->second.get();
+    Addr page = pageAddr(addr);
+    if (page == lastPageAddr_)
+        return lastPage_;
+    auto it = pages_.find(page);
+    if (it == pages_.end())
+        return nullptr; // missing pages are not cached: they read as 0
+    lastPageAddr_ = page;
+    lastPage_ = const_cast<Page *>(&it->second);
+    return lastPage_;
 }
 
 uint64_t

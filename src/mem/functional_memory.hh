@@ -54,7 +54,17 @@ class FunctionalMemory
     Page *pageFor(Addr addr);
     const Page *pageForConst(Addr addr) const;
 
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    // Pages live by value in the node-based map: unordered_map nodes are
+    // address-stable across rehash, so the one-entry cache below (and
+    // any pointer held across other accesses) stays valid until the
+    // page's key is erased — which never happens.
+    std::unordered_map<Addr, Page> pages_;
+
+    // One-entry page cache: workload generation and feeder reads hit
+    // the same page in runs, making most lookups a single compare
+    // instead of a hash probe.
+    mutable Addr lastPageAddr_ = ~Addr(0);
+    mutable Page *lastPage_ = nullptr;
 };
 
 } // namespace catchsim

@@ -9,6 +9,7 @@
 #include "criticality/ddg.hh"
 #include "criticality/heuristic_detector.hh"
 #include "tact/tact.hh"
+#include "trace/trace_stream.hh"
 
 namespace catchsim
 {
@@ -27,13 +28,16 @@ MpSimulator::run(const MpMix &mix, uint64_t instrs_per_core,
 {
     const uint64_t total = instrs_per_core + warmup;
 
-    std::vector<Trace> traces;
+    // One stream per core: O(chunk) resident trace per core instead of
+    // four fully materialized traces.
     std::vector<std::unique_ptr<Workload>> workloads;
-    traces.reserve(mix.workloads.size());
+    std::vector<std::unique_ptr<TraceStream>> streams;
     workloads.reserve(mix.workloads.size());
+    streams.reserve(mix.workloads.size());
     for (const auto &name : mix.workloads) {
         workloads.push_back(makeWorkload(name));
-        traces.push_back(workloads.back()->generate(total));
+        streams.push_back(
+            std::make_unique<TraceStream>(*workloads.back(), total));
     }
 
     CacheHierarchy hierarchy(cfg_);
@@ -60,7 +64,7 @@ MpSimulator::run(const MpMix &mix, uint64_t instrs_per_core,
                 tacts[c] = std::make_unique<Tact>(
                     cfg_.tact, c, hierarchy,
                     [det](Addr pc) { return det->isCritical(pc); },
-                    traces[c].mem.get());
+                    streams[c]->mem().get());
             }
         }
     }
@@ -69,7 +73,7 @@ MpSimulator::run(const MpMix &mix, uint64_t instrs_per_core,
     for (CoreId c = 0; c < 4; ++c) {
         cores.push_back(std::make_unique<OooCore>(
             cfg_, c, hierarchy, detectors[c].get(), tacts[c].get()));
-        cores[c]->bind(traces[c]);
+        cores[c]->bind(*streams[c]);
     }
 
     // Interleaved stepping ordered by local core time keeps the shared

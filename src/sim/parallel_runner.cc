@@ -77,6 +77,7 @@ IsolationOptions::fromEnvironment()
         std::max<uint64_t>(1, envU64("CATCH_MAX_ATTEMPTS", 3)));
     o.backoffMs =
         static_cast<unsigned>(envU64("CATCH_BACKOFF_MS", 100));
+    o.profile = envU64("CATCH_PROFILE", 0) != 0;
     return o;
 }
 
@@ -147,13 +148,17 @@ executeIsolated(const SimConfig &cfg, const std::string &name,
     unsigned attempt = 1;
     for (;;) {
         try {
+            RunProfile prof;
             auto r = runWorkloadGuarded(cfg, name, instrs, warmup,
-                                        opts.budget, plan, attempt);
+                                        opts.budget, plan, attempt,
+                                        opts.profile ? &prof : nullptr);
             if (r.ok()) {
                 out.result = std::move(r).value();
                 out.status =
                     attempt > 1 ? RunStatus::Retried : RunStatus::Ok;
                 out.attempts = attempt;
+                if (opts.profile)
+                    out.profile = prof;
                 return out;
             }
             SimError err = r.error();

@@ -74,6 +74,10 @@ struct RunOutcome
     bool resumed = false; ///< replayed from a journal, not re-executed
     SimResult result;     ///< valid iff ok()
     std::optional<RunFailure> failure; ///< set iff !ok()
+    /// Host phase timings + peak RSS; set iff ok() and profiling was
+    /// requested (IsolationOptions::profile). Never journaled: wall
+    /// clock is not reproducible, so resumed runs carry no profile.
+    std::optional<RunProfile> profile;
 
     bool
     ok() const
@@ -107,6 +111,9 @@ CampaignSummary summarizeOutcomes(const std::vector<RunOutcome> &outcomes);
  *                       a pacing aid: no wall-clock value enters any
  *                       result, and the attempt count alone decides
  *                       retry behaviour.
+ *   CATCH_PROFILE       non-zero: collect host phase timings + peak
+ *                       RSS per run (RunOutcome::profile, the JSON
+ *                       export's hostPerf object)
  *   CATCH_MAX_CYCLES / CATCH_STALL_WINDOW  see RunBudget.
  */
 struct IsolationOptions
@@ -114,6 +121,7 @@ struct IsolationOptions
     RunBudget budget;         ///< default: stall-window guard only
     unsigned maxAttempts = 3; ///< total attempts for transient errors
     unsigned backoffMs = 0;   ///< base sleep between retries (ms)
+    bool profile = false;     ///< collect RunProfile per successful run
     SuiteJournal *journal = nullptr; ///< optional resume/checkpoint
     /// Injection plan override; null = FaultPlan::global(). Lets tests
     /// drive the harness in-process without touching the environment.

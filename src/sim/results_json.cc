@@ -521,6 +521,17 @@ writeSuiteJson(const std::string &path, const SimConfig &cfg,
         w.field("attempts", uint64_t(o.attempts));
         w.field("resumed", o.resumed);
         if (o.ok()) {
+            // Host-side profiling rides beside the simulated result: it
+            // is wall-clock data and deliberately NOT part of
+            // SimResult's deterministic payload (or the journal).
+            if (o.profile) {
+                w.object("hostPerf");
+                w.field("trace_gen_sec", o.profile->traceGenSec);
+                w.field("warmup_sec", o.profile->warmupSec);
+                w.field("measured_sec", o.profile->measuredSec);
+                w.field("peak_rss_bytes", o.profile->peakRssBytes);
+                w.close();
+            }
             w.rawField("result", o.result.toJson());
         } else {
             w.object("error");

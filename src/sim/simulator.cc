@@ -1,15 +1,19 @@
 #include "sim/simulator.hh"
 
+#include <optional>
 #include <stdexcept>
 
+#include "common/host_clock.hh"
 #include "common/logging.hh"
 #include "criticality/heuristic_detector.hh"
 #include "trace/suite.hh"
+#include "trace/trace_stream.hh"
 
 namespace catchsim
 {
 
-Simulator::Simulator(const SimConfig &cfg) : cfg_(cfg)
+Simulator::Simulator(const SimConfig &cfg, TraceMode mode)
+    : cfg_(cfg), mode_(mode)
 {
     auto valid = cfg_.validate();
     CATCHSIM_ASSERT(valid.ok(), "invalid config reached the Simulator: ",
@@ -28,12 +32,34 @@ Simulator::run(Workload &workload, uint64_t instrs, uint64_t warmup)
 
 Expected<SimResult>
 Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
-                      const RunBudget &budget)
+                      const RunBudget &budget, RunProfile *profile)
 {
     SimConfig cfg = cfg_;
     cfg.numCores = 1;
 
-    Trace trace = workload.generate(instrs + warmup);
+    // Trace source: streamed (default) or fully materialized. Both
+    // drive the core through the same TraceView; the streamed path
+    // additionally passes a host clock down iff profiling, so refill
+    // time can be attributed to trace generation.
+    const bool prof = profile != nullptr;
+    double phase_start = prof ? hostSeconds() : 0;
+    std::optional<Trace> trace;
+    std::optional<TraceStream> stream;
+    const FunctionalMemory *mem = nullptr;
+    if (mode_ == TraceMode::Materialized) {
+        trace.emplace(workload.generate(instrs + warmup));
+        mem = trace->mem.get();
+        if (prof) {
+            profile->traceGenSec = hostSeconds() - phase_start;
+            phase_start = hostSeconds();
+        }
+    } else {
+        stream.emplace(workload, instrs + warmup,
+                       TraceStream::kDefaultChunkOps,
+                       prof ? std::function<double()>(hostSeconds)
+                            : std::function<double()>());
+        mem = stream->mem().get();
+    }
     CacheHierarchy hierarchy(cfg);
 
     std::unique_ptr<CriticalityDetector> detector;
@@ -69,25 +95,53 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
         tact = std::make_unique<Tact>(
             cfg.tact, 0, hierarchy,
             [&detector](Addr pc) { return detector->isCritical(pc); },
-            trace.mem.get());
+            mem);
     }
 
     OooCore core(cfg, 0, hierarchy, detector.get(), tact.get());
-    core.bind(trace);
+    if (stream)
+        core.bind(*stream);
+    else
+        core.bind(*trace);
 
-    // The watchdog observes simulated time only; polling every step is
-    // a handful of compares against counters the loop updates anyway.
+    // The watchdog observes simulated time only. Every step retires an
+    // instruction, so the no-retire stall window can never trip in this
+    // loop; only the cycle ceiling matters, and checking it every 64
+    // steps keeps the poll off the hot path while still bounding the
+    // overrun to a handful of instructions (deterministically so).
     Watchdog wd(budget);
-    while (core.instrsDone() < warmup && core.step()) {
-        if (auto err = wd.poll(core.now(), core.instrsDone()))
-            return *err;
+    if (budget.limited()) {
+        while (core.instrsDone() < warmup && core.step()) {
+            if ((core.instrsDone() & 63) == 0)
+                if (auto err = wd.poll(core.now(), core.instrsDone()))
+                    return *err;
+        }
+    } else {
+        while (core.instrsDone() < warmup && core.step()) {
+        }
     }
     hierarchy.resetStats();
     core.markMeasurementStart();
     uint64_t measured_start_cycle = core.now();
-    while (core.step()) {
-        if (auto err = wd.poll(core.now(), core.instrsDone()))
-            return *err;
+    if (prof) {
+        profile->warmupSec = hostSeconds() - phase_start;
+        phase_start = hostSeconds();
+    }
+    if (budget.limited()) {
+        while (core.step()) {
+            if ((core.instrsDone() & 63) == 0)
+                if (auto err = wd.poll(core.now(), core.instrsDone()))
+                    return *err;
+        }
+    } else {
+        while (core.step()) {
+        }
+    }
+    if (prof) {
+        profile->measuredSec = hostSeconds() - phase_start;
+        if (stream)
+            profile->traceGenSec = stream->genSeconds();
+        profile->peakRssBytes = peakRssBytes();
     }
 
     SimResult r;
@@ -147,7 +201,7 @@ Expected<SimResult>
 runWorkloadGuarded(const SimConfig &cfg, const std::string &name,
                    uint64_t instrs, uint64_t warmup,
                    const RunBudget &budget, const FaultPlan &plan,
-                   unsigned attempt)
+                   unsigned attempt, RunProfile *profile)
 {
     if (plan.enabled()) {
         if (plan.shouldInject(FaultKind::TraceCorrupt, name, attempt))
@@ -181,7 +235,7 @@ runWorkloadGuarded(const SimConfig &cfg, const std::string &name,
     if (!wl.ok())
         return wl.error();
     Simulator sim(cfg);
-    return sim.runGuarded(*wl.value(), instrs, warmup, budget);
+    return sim.runGuarded(*wl.value(), instrs, warmup, budget, profile);
 }
 
 } // namespace catchsim

@@ -73,11 +73,44 @@ struct SimResult
     static Expected<SimResult> fromJson(const JsonValue &v);
 };
 
+/**
+ * How the simulator obtains its instruction trace.
+ *
+ * Streamed is the default: the workload generates chunk-sized batches
+ * just ahead of the core (O(chunk) memory). Materialized generates the
+ * whole trace up front (O(instrs) memory) and exists as the oracle the
+ * determinism tests compare against — both modes produce bitwise
+ * identical SimResults.
+ */
+enum class TraceMode : uint8_t
+{
+    Streamed,
+    Materialized,
+};
+
+/**
+ * Host-side phase timings and memory footprint for one run. Pure
+ * host-profiling output (--profile, the perf bench): wall-clock values
+ * never feed back into SimResult, which stays deterministic.
+ *
+ * In streamed mode trace generation is interleaved with simulation, so
+ * traceGenSec overlaps warmupSec/measuredSec instead of preceding them;
+ * in materialized mode the phases are disjoint.
+ */
+struct RunProfile
+{
+    double traceGenSec = 0;
+    double warmupSec = 0;
+    double measuredSec = 0;
+    uint64_t peakRssBytes = 0;
+};
+
 /** Runs one workload on one machine configuration. */
 class Simulator
 {
   public:
-    explicit Simulator(const SimConfig &cfg);
+    explicit Simulator(const SimConfig &cfg,
+                       TraceMode mode = TraceMode::Streamed);
 
     /**
      * @param instrs measured instructions
@@ -91,13 +124,17 @@ class Simulator
      * returns budget-exceeded instead of spinning forever. Successful
      * guarded runs are bitwise-identical to unguarded ones (the
      * watchdog only observes).
+     * @param profile when non-null, filled with host phase timings and
+     *        peak RSS; the simulated result is unaffected.
      */
     Expected<SimResult> runGuarded(Workload &workload, uint64_t instrs,
                                    uint64_t warmup,
-                                   const RunBudget &budget);
+                                   const RunBudget &budget,
+                                   RunProfile *profile = nullptr);
 
   private:
     SimConfig cfg_;
+    TraceMode mode_;
 };
 
 /** Convenience: build + run in one call. */
@@ -118,7 +155,8 @@ Expected<SimResult> runWorkloadGuarded(const SimConfig &cfg,
                                        uint64_t instrs, uint64_t warmup,
                                        const RunBudget &budget,
                                        const FaultPlan &plan,
-                                       unsigned attempt = 1);
+                                       unsigned attempt = 1,
+                                       RunProfile *profile = nullptr);
 
 } // namespace catchsim
 

@@ -71,7 +71,7 @@ Tact::onRetire(const MicroOp &op)
 }
 
 void
-Tact::onCodeStall(const MicroOp *ops, size_t count, size_t idx, Cycle now,
+Tact::onCodeStall(TraceView trace, size_t idx, Cycle now,
                   const MispredictFn &would_mispredict)
 {
     if (!cfg_.code)
@@ -85,7 +85,7 @@ Tact::onCodeStall(const MicroOp *ops, size_t count, size_t idx, Cycle now,
                             CacheHierarchy::PfKind::TactCode);
                     },
                     would_mispredict);
-    walker.onCodeStall(ops, count, idx, now);
+    walker.onCodeStall(trace, idx, now);
     codeStalls_ += walker.stalls();
     codeLines_ += walker.linesPrefetched();
 }

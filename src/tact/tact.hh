@@ -20,6 +20,7 @@
 #include "tact/tact_feeder.hh"
 #include "tact/tact_self.hh"
 #include "trace/micro_op.hh"
+#include "trace/trace_view.hh"
 
 namespace catchsim
 {
@@ -57,9 +58,9 @@ class Tact
     /** Program-order retirement (register dataflow tracking). */
     void onRetire(const MicroOp &op);
 
-    /** Front-end stalled on an L1I miss while fetching ops[idx]. */
-    void onCodeStall(const MicroOp *ops, size_t count, size_t idx,
-                     Cycle now, const MispredictFn &would_mispredict);
+    /** Front-end stalled on an L1I miss while fetching trace.at(idx). */
+    void onCodeStall(TraceView trace, size_t idx, Cycle now,
+                     const MispredictFn &would_mispredict);
 
     TactStats stats() const;
 

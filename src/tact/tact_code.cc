@@ -1,5 +1,7 @@
 #include "tact/tact_code.hh"
 
+#include <algorithm>
+
 namespace catchsim
 {
 
@@ -11,16 +13,16 @@ TactCode::TactCode(const TactConfig &cfg, PrefetchFn prefetch,
 }
 
 void
-TactCode::onCodeStall(const MicroOp *ops, size_t count, size_t idx,
-                      Cycle now)
+TactCode::onCodeStall(TraceView trace, size_t idx, Cycle now)
 {
     ++stalls_;
-    Addr stalled_line = lineAddr(ops[idx].pc);
+    Addr stalled_line = lineAddr(trace.at(idx).pc);
     Addr last_line = stalled_line;
     uint32_t issued = 0;
+    const size_t end = std::min(trace.count, idx + kCodeRunaheadHorizonOps);
     for (size_t j = idx + 1;
-         j < count && issued < cfg_.codeRunaheadLines; ++j) {
-        const MicroOp &op = ops[j];
+         j < end && issued < cfg_.codeRunaheadLines; ++j) {
+        const MicroOp &op = trace.at(j);
         Addr line = lineAddr(op.pc);
         if (line != last_line && line != stalled_line) {
             prefetch_(line, now);

@@ -17,6 +17,7 @@
 #include "common/sim_config.hh"
 #include "common/types.hh"
 #include "trace/micro_op.hh"
+#include "trace/trace_view.hh"
 
 namespace catchsim
 {
@@ -32,13 +33,13 @@ class TactCode
              MispredictFn would_mispredict);
 
     /**
-     * Runahead triggered by an L1I miss while fetching @p ops[idx].
+     * Runahead triggered by an L1I miss while fetching trace.at(idx).
      * Walks the upcoming instruction stream (the predicted path, valid
      * until the first mispredicting branch) and prefetches the next code
-     * lines.
+     * lines. The walk is bounded by kCodeRunaheadHorizonOps so a
+     * streamed trace never needs more than its resident window.
      */
-    void onCodeStall(const MicroOp *ops, size_t count, size_t idx,
-                     Cycle now);
+    void onCodeStall(TraceView trace, size_t idx, Cycle now);
 
     uint64_t stalls() const { return stalls_; }
     uint64_t linesPrefetched() const { return lines_; }

@@ -1,15 +1,17 @@
 #include "trace/emitter.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace catchsim
 {
 
 Emitter::Emitter(FunctionalMemory &mem, std::vector<MicroOp> &out,
-                 size_t limit)
-    : mem_(mem), out_(out), limit_(limit)
+                 size_t limit, size_t reserve_hint)
+    : mem_(mem), out_(out), limit_(limit), emitted_(out.size())
 {
-    out_.reserve(limit);
+    out_.reserve(std::min(limit, reserve_hint));
 }
 
 void
@@ -21,6 +23,7 @@ Emitter::push(MicroOp op)
         return;
     }
     out_.push_back(op);
+    ++emitted_;
 }
 
 void

@@ -25,24 +25,37 @@
 namespace catchsim
 {
 
-/** Records MicroOps into a trace until a target length is reached. */
+/**
+ * Records MicroOps into a trace until a target length is reached.
+ *
+ * The sink vector is append-only from the emitter's point of view, but
+ * a streaming consumer (TraceStream) may drain already-emitted ops out
+ * of it between kernel run() calls: progress accounting (done(),
+ * remaining(), emitted()) is therefore kept in the emitter itself
+ * rather than derived from the sink's size.
+ */
 class Emitter
 {
   public:
     /**
      * @param mem functional memory the kernel computes against
-     * @param out destination trace
+     * @param out destination buffer (appended to; may be drained by the
+     *        owner between kernel run() calls)
      * @param limit number of micro-ops to record
+     * @param reserve_hint capacity to reserve in @p out up front; the
+     *        default reserves the full limit (the materialized path),
+     *        streaming callers pass their chunk size instead
      */
-    Emitter(FunctionalMemory &mem, std::vector<MicroOp> &out, size_t limit);
+    Emitter(FunctionalMemory &mem, std::vector<MicroOp> &out, size_t limit,
+            size_t reserve_hint = ~size_t(0));
 
     /** True once the requested number of ops has been emitted. */
-    bool done() const { return out_.size() >= limit_; }
+    bool done() const { return emitted_ >= limit_; }
 
     /** Remaining op budget. */
     size_t remaining() const
     {
-        return done() ? 0 : limit_ - out_.size();
+        return done() ? 0 : limit_ - emitted_;
     }
 
     FunctionalMemory &mem() { return mem_; }
@@ -80,8 +93,8 @@ class Emitter
     /** Emits @p n independent single-cycle filler ops. */
     void nops(int n);
 
-    /** Total ops emitted so far. */
-    size_t emitted() const { return out_.size(); }
+    /** Total ops emitted so far (monotonic; survives sink drains). */
+    size_t emitted() const { return emitted_; }
 
   private:
     void push(MicroOp op);
@@ -89,6 +102,7 @@ class Emitter
     FunctionalMemory &mem_;
     std::vector<MicroOp> &out_;
     size_t limit_;
+    size_t emitted_ = 0;
     Addr pc_ = 0x400000;
 };
 

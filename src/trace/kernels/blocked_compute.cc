@@ -32,6 +32,7 @@ BlockedGemmLike::BlockedGemmLike(std::string name, Category cat,
 void
 BlockedGemmLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    iter_ = 0;
     for (size_t i = 0; i < blockElems_ * blockElems_; ++i) {
         mem.write(kMatA + i * 8, rng.next() & 0xff);
         mem.write(kMatB + i * 8, rng.next() & 0xff);
@@ -90,6 +91,7 @@ DpTableLike::DpTableLike(std::string name, uint64_t seed, size_t row_elems,
 void
 DpTableLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    seqPos_ = 0;
     // Sequence symbols are pre-scaled byte offsets into the score tables
     // (feeder scale 1). Three score tables (match/insert/delete) split
     // the table footprint; they are L2-resident in the baseline.
@@ -155,6 +157,7 @@ ManyPcLike::ManyPcLike(std::string name, Category cat, uint64_t seed,
 void
 ManyPcLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    iter_ = 0;
     for (size_t i = 0; i < tableBytes_ / 8; ++i)
         mem.write(kTables + i * 8, rng.next() & 0xffff);
 }
@@ -202,6 +205,7 @@ ButterflyLike::ButterflyLike(std::string name, Category cat, uint64_t seed,
 void
 ButterflyLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    stage_ = 0;
     for (size_t i = 0; i < elems_; ++i)
         mem.write(kMatA + i * 8, rng.next() & 0xffff);
 }
@@ -245,6 +249,8 @@ Window2dLike::Window2dLike(std::string name, Category cat, uint64_t seed,
 void
 Window2dLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    row_ = 0;
+    col_ = 0;
     for (size_t i = 0; i < width_ * height_; i += 16)
         mem.write(kMatA + i * 8, rng.next() & 0xff);
 }

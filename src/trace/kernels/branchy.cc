@@ -87,6 +87,7 @@ InterpreterLike::InterpreterLike(std::string name, uint64_t seed,
 void
 InterpreterLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    pos_ = 0;
     for (size_t i = 0; i < bytecodeLen_; ++i)
         mem.write(kData + i * 8, rng.below(numHandlers_));
     for (size_t i = 0; i < hashBytes_ / 8; ++i)
@@ -135,6 +136,7 @@ CompressLike::CompressLike(std::string name, uint64_t seed,
 void
 CompressLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    pos_ = 0;
     // Skewed symbol distribution so run-detection branches are mostly
     // predictable, with occasional surprises.
     for (size_t i = 0; i < inputBytes_ / 8; ++i)

@@ -30,6 +30,7 @@ FormulaDagLike::FormulaDagLike(std::string name, uint64_t seed,
 void
 FormulaDagLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    pos_ = 0;
     // Each cell's formula references two operand cells via a reference
     // table; references are byte offsets (feeder scale 1). Most
     // references are near the cell (spreadsheet locality), some are far.

@@ -38,6 +38,7 @@ McfLike::McfLike(std::string name, uint64_t seed, size_t num_arcs,
 void
 McfLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    pos_ = 0;
     // Arc array: 32 B records whose first word points at a random node.
     // Node records are 64 B (one cache line); each node also points at
     // its head node (the second chase hop).
@@ -94,6 +95,7 @@ EventQueueLike::EventQueueLike(std::string name, uint64_t seed,
 void
 EventQueueLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    pos_ = 0;
     // Bucket heads in region A; 64 B nodes in region B, randomly placed
     // so each bucket's list hops across the arena.
     const size_t arena = numBuckets_ * nodesPerBucket_;
@@ -216,6 +218,7 @@ HashProbeLike::HashProbeLike(std::string name, Category cat, uint64_t seed,
 void
 HashProbeLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    pos_ = 0;
     // Keys are pre-hashed bucket indices (so the bucket address is a
     // linear function of the key load's data: feeder-learnable).
     for (size_t i = 0; i < numKeys_; ++i)

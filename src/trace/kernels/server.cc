@@ -188,6 +188,7 @@ MapReduceLike::MapReduceLike(std::string name, uint64_t seed,
 void
 MapReduceLike::setup(FunctionalMemory &mem, Rng &rng)
 {
+    pos_ = 0;
     // Records carry a pre-scaled group offset (feeder scale 1).
     for (size_t i = 0; i < records_; ++i)
         mem.write(kMeta + i * 16, rng.below(groups_) * 8);

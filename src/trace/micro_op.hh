@@ -61,17 +61,28 @@ isFpClass(OpClass cls)
 /** Maximum number of register sources an instruction can name. */
 constexpr uint32_t kMaxSrcs = 3;
 
-/** One dynamic instruction. Instructions are 4 bytes long in our ISA. */
+/**
+ * One dynamic instruction. Instructions are 4 bytes long in our ISA.
+ *
+ * The layout is packed to 32 bytes (half a cache line) because the
+ * simulator streams billions of these through the core model: memAddr
+ * and target share storage — an op is a memory access or a control
+ * transfer, never both — and the byte-wide fields are grouped so the
+ * struct carries no internal padding beyond the 2-byte tail.
+ */
 struct MicroOp
 {
     Addr pc = 0;
+    union
+    {
+        Addr memAddr = 0; ///< loads and stores
+        Addr target;      ///< branches: actual taken target
+    };
+    uint64_t value = 0;                ///< load result / store data
     OpClass cls = OpClass::Nop;
     int8_t dst = -1;                   ///< destination arch reg or -1
     int8_t src[kMaxSrcs] = {-1, -1, -1};
-    Addr memAddr = 0;                  ///< loads and stores
-    uint64_t value = 0;                ///< load result / store data
     bool taken = false;                ///< branches: actual direction
-    Addr target = 0;                   ///< branches: actual taken target
 
     bool isLoad() const { return cls == OpClass::Load; }
     bool isStore() const { return cls == OpClass::Store; }
@@ -84,6 +95,10 @@ struct MicroOp
         return (isBranch() && taken) ? target : pc + 4;
     }
 };
+
+static_assert(sizeof(MicroOp) <= 32,
+              "MicroOp must stay within half a cache line; the hot "
+              "simulation loop streams these by the billions");
 
 } // namespace catchsim
 

@@ -15,11 +15,13 @@ namespace
 {
 
 constexpr char kMagic[6] = {'C', 'T', 'S', 'I', 'M', '\0'};
-constexpr uint32_t kVersion = 1;
+// Version 2 packs each op into 30 bytes: pc, memAddr/target (one u64 —
+// they share storage in MicroOp), value, then the six byte-wide fields.
+constexpr uint32_t kVersion = 2;
 
 // Fixed record sizes the bounds checks are computed from.
 constexpr uint64_t kHeaderBytes = sizeof(kMagic) + 4 + 8;
-constexpr uint64_t kOpBytes = 4 * 8 + 6 * 1;
+constexpr uint64_t kOpBytes = 3 * 8 + 6 * 1;
 constexpr uint64_t kPageRecordBytes = 8 + kPageBytes;
 
 // Format-level validity limits: OpClass tops out at Nop, and no
@@ -73,7 +75,7 @@ saveTraceChecked(const Trace &trace, const std::string &path)
         return io_error();
     for (const MicroOp &op : trace.ops) {
         if (!put(f.get(), op.pc) || !put(f.get(), op.memAddr) ||
-            !put(f.get(), op.value) || !put(f.get(), op.target) ||
+            !put(f.get(), op.value) ||
             !put(f.get(), static_cast<uint8_t>(op.cls)) ||
             !put(f.get(), static_cast<int8_t>(op.dst)) ||
             !put(f.get(), op.src[0]) || !put(f.get(), op.src[1]) ||
@@ -168,7 +170,7 @@ loadTraceChecked(const std::string &path)
         MicroOp op;
         uint8_t cls = 0, taken = 0;
         if (!get(f.get(), &op.pc) || !get(f.get(), &op.memAddr) ||
-            !get(f.get(), &op.value) || !get(f.get(), &op.target) ||
+            !get(f.get(), &op.value) ||
             !get(f.get(), &cls) || !get(f.get(), &op.dst) ||
             !get(f.get(), &op.src[0]) || !get(f.get(), &op.src[1]) ||
             !get(f.get(), &op.src[2]) || !get(f.get(), &taken))

@@ -5,11 +5,14 @@
  * back. Lets users capture a workload once and replay it across many
  * configuration sweeps, or ship traces between machines.
  *
- * Format (little-endian, version 1):
+ * Format (little-endian, version 2):
  *   magic "CTSIM\0", u32 version,
- *   u64 op count, then per op: pc, memAddr, value, target (u64 each),
+ *   u64 op count, then per 30-byte op: pc, memAddr-or-target, value
+ *     (u64 each; memAddr and target share storage in MicroOp),
  *     cls, dst, src[3], taken (u8 each),
  *   u64 page count, then per page: u64 base address + 4096 raw bytes.
+ * Version 1 files (38-byte ops with separate memAddr and target words)
+ * are rejected as unsupported.
  *
  * Loading validates everything a hostile or bit-flipped file could get
  * wrong — magic, version, counts bounded by the file's real size, op

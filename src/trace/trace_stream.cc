@@ -1,0 +1,82 @@
+#include "trace/trace_stream.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace catchsim
+{
+
+TraceStream::TraceStream(Workload &wl, size_t total_ops, size_t chunk_ops,
+                         std::function<double()> gen_clock)
+    : wl_(&wl), total_(total_ops), chunk_(chunk_ops),
+      mem_(std::make_shared<FunctionalMemory>()),
+      genClock_(std::move(gen_clock))
+{
+    CATCHSIM_ASSERT(chunk_ > 0 && (chunk_ & (chunk_ - 1)) == 0,
+                    "TraceStream chunk size must be a power of two");
+    ring_.resize(2 * chunk_);
+    mask_ = ring_.size() - 1;
+    start();
+}
+
+void
+TraceStream::start()
+{
+    const double t0 = genClock_ ? genClock_() : 0;
+    genEnd_ = 0;
+    refillAt_ = ~size_t(0);
+    pending_.clear();
+    // Reset the functional memory in place: its address is part of the
+    // public contract (mem() stays valid across rewind()).
+    *mem_ = FunctionalMemory();
+    rng_.emplace(wl_->seed());
+    em_.emplace(*mem_, pending_, total_, /*reserve_hint=*/2 * chunk_);
+    wl_->setup(*mem_, *rng_);
+    if (genClock_)
+        genSeconds_ += genClock_() - t0;
+    // Prime both halves of the ring so the consumer starts with a full
+    // chunk of lookahead: ensure(0) refills until refillAt_ moves past
+    // position 0, i.e. two chunks (or the whole trace) are resident.
+    if (total_ > 0) {
+        refillAt_ = 0;
+        ensure(0);
+    }
+}
+
+void
+TraceStream::rewind()
+{
+    start();
+}
+
+void
+TraceStream::generateChunk()
+{
+    const double t0 = genClock_ ? genClock_() : 0;
+    const size_t want = std::min(chunk_, total_ - genEnd_);
+    while (pending_.size() < want && !em_->done()) {
+        const size_t before = em_->emitted();
+        wl_->run(*em_, *rng_);
+        CATCHSIM_ASSERT(em_->emitted() > before,
+                        "workload kernel made no forward progress");
+    }
+    CATCHSIM_ASSERT(pending_.size() >= want,
+                    "kernel finished before the requested op budget");
+    // genEnd_ is chunk-aligned until the final partial chunk, so the
+    // destination range never wraps mid-copy; masked stores keep the
+    // code uniform anyway.
+    for (size_t i = 0; i < want; ++i)
+        ring_[(genEnd_ + i) & mask_] = pending_[i];
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(want));
+    genEnd_ += want;
+    // Keep one full chunk of lookahead ahead of the consumer: the next
+    // refill triggers when the consumer enters the last resident chunk.
+    refillAt_ = genEnd_ >= total_ ? ~size_t(0) : genEnd_ - chunk_;
+    if (genClock_)
+        genSeconds_ += genClock_() - t0;
+}
+
+} // namespace catchsim

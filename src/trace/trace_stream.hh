@@ -1,0 +1,145 @@
+/**
+ * @file
+ * TraceStream: chunked, double-buffered trace generation.
+ *
+ * The materialize-everything model (Workload::generate) allocates the
+ * whole op vector up front — ~32 bytes per instruction, gigabytes for
+ * long campaigns — and then streams it through the core exactly once.
+ * TraceStream replaces that with a ring of two chunk-sized buffers the
+ * kernel fills just ahead of the consumer: memory drops from O(instrs)
+ * to O(chunk) and the resident window stays cache-hot.
+ *
+ * Contract with the consumer (OooCore/Frontend):
+ *   - positions are consumed in nondecreasing order; before touching
+ *     position p the consumer calls ensure(p) (a single compare against
+ *     refillAt() on the hot path);
+ *   - after ensure(p), every index in [p, min(size, p + chunkOps()))
+ *     is resident, which is what bounds the TACT-Code runahead walk
+ *     (kCodeRunaheadHorizonOps <= chunk);
+ *   - generation is a pure function of the workload's seed: the op
+ *     sequence is bitwise-identical to Workload::generate(size), and
+ *     rewind() re-seeds the kernel RNG and replays it instead of
+ *     re-reading a stored vector.
+ *
+ * The functional memory evolves exactly as under generate(): kernels
+ * run in emission order, at most ~2 chunks ahead of consumption. The
+ * TACT-Feeder value source (Trace::mem's "stable for the addresses
+ * feeder chases" argument) is unchanged — pointer structures are
+ * written during setup, which completes before the first op is served.
+ */
+
+#ifndef CATCHSIM_TRACE_TRACE_STREAM_HH_
+#define CATCHSIM_TRACE_TRACE_STREAM_HH_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/trace_view.hh"
+#include "trace/workload.hh"
+
+namespace catchsim
+{
+
+class TraceStream
+{
+  public:
+    /** Default chunk: 64K ops (2 MB resident) — LLC-sized, and twice
+     *  the code-runahead horizon the consumer may scan past a stall. */
+    static constexpr size_t kDefaultChunkOps = 65536;
+
+    /**
+     * Starts streaming @p total_ops ops of @p wl. The workload object
+     * must outlive the stream and is exclusively owned by it while
+     * streaming (its generation cursors are reset via setup()).
+     * @param chunk_ops refill granularity; must be a power of two.
+     *        Consumers that read ahead (the core's runahead walker)
+     *        additionally require chunk_ops >= kCodeRunaheadHorizonOps.
+     * @param gen_clock optional host-seconds source; when set, time
+     *        spent generating (setup + every refill) accrues into
+     *        genSeconds() for host-side profiling. Never affects the
+     *        generated ops.
+     */
+    TraceStream(Workload &wl, size_t total_ops,
+                size_t chunk_ops = kDefaultChunkOps,
+                std::function<double()> gen_clock = {});
+
+    /** Total ops this stream will serve. */
+    size_t size() const { return total_; }
+
+    size_t chunkOps() const { return chunk_; }
+
+    /** Masked view over the ring; valid for the life of the stream. */
+    TraceView
+    view() const
+    {
+        return TraceView{ring_.data(), mask_, total_};
+    }
+
+    /**
+     * First position that requires a refill before being read; ~0 once
+     * the stream is fully generated. The consumer's hot path is
+     * `if (pos >= refillAt()) ensure(pos)`.
+     */
+    size_t refillAt() const { return refillAt_; }
+
+    /** Materializes the window covering @p pos (and the lookahead). */
+    void
+    ensure(size_t pos)
+    {
+        while (pos >= refillAt_)
+            generateChunk();
+    }
+
+    /**
+     * Restarts the stream from op 0 by re-seeding the kernel RNG and
+     * regenerating — the streamed equivalent of re-reading a stored
+     * vector. The functional memory is reset in place, so pointers to
+     * it (TACT-Feeder's value source) remain valid.
+     */
+    void rewind();
+
+    /**
+     * The functional memory the kernel computes against. Stable across
+     * rewind(); evolves with generation progress exactly as it does
+     * under Workload::generate.
+     */
+    const std::shared_ptr<FunctionalMemory> &mem() const { return mem_; }
+
+    /** Host seconds spent generating; 0 unless a gen_clock was given. */
+    double genSeconds() const { return genSeconds_; }
+
+  private:
+    void start();
+    void generateChunk();
+
+    Workload *wl_;
+    size_t total_;
+    size_t chunk_;
+    size_t mask_;
+    std::vector<MicroOp> ring_;
+
+    std::shared_ptr<FunctionalMemory> mem_;
+    std::optional<Rng> rng_;
+    std::optional<Emitter> em_;
+
+    /** Ops emitted by the kernel but not yet copied into the ring
+     *  (kernels overshoot chunk boundaries by one outer loop). */
+    std::vector<MicroOp> pending_;
+
+    size_t genEnd_ = 0;            ///< ops generated into the ring
+    size_t refillAt_ = ~size_t(0); ///< see refillAt()
+
+    std::function<double()> genClock_;
+    double genSeconds_ = 0;
+};
+
+static_assert(kCodeRunaheadHorizonOps <= TraceStream::kDefaultChunkOps / 2,
+              "the runahead horizon must fit inside the guaranteed "
+              "stream lookahead of one chunk");
+
+} // namespace catchsim
+
+#endif // CATCHSIM_TRACE_TRACE_STREAM_HH_

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * TraceView: the consumer-side window onto an instruction trace.
+ *
+ * Both trace representations — a fully materialized std::vector and the
+ * chunked TraceStream ring — expose their ops through this one POD, so
+ * the core/front-end hot paths have a single, branch-free access form:
+ * ops[i & mask]. A materialized trace uses mask == ~0 (identity), a
+ * stream uses its power-of-two ring mask. count is always the total
+ * length of the trace, not the resident window; the stream guarantees
+ * every index the consumer may touch (the current position plus the
+ * bounded code-runahead horizon) is resident.
+ */
+
+#ifndef CATCHSIM_TRACE_TRACE_VIEW_HH_
+#define CATCHSIM_TRACE_TRACE_VIEW_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace catchsim
+{
+
+/**
+ * How far past a stall the TACT-Code runahead walker may scan, in ops.
+ * The cap exists so a streamed trace never has to materialize more than
+ * its resident window: TraceStream guarantees at least one chunk of
+ * lookahead from the consumer's position, so the horizon must stay at
+ * or below TraceStream's chunk size (static_assert'd there). Applied
+ * identically to materialized traces to keep both modes bitwise equal.
+ * In practice the walk ends orders of magnitude earlier, at the first
+ * would-mispredict branch or the runahead line budget.
+ */
+constexpr size_t kCodeRunaheadHorizonOps = 32768;
+
+/** A masked-index window over a trace; see file comment. */
+struct TraceView
+{
+    const MicroOp *ops = nullptr;
+    size_t mask = ~size_t(0); ///< index mask; ~0 = plain array
+    size_t count = 0;         ///< total ops in the trace
+
+    const MicroOp &
+    at(size_t i) const
+    {
+        return ops[i & mask];
+    }
+
+    bool bound() const { return ops != nullptr; }
+};
+
+/** View over a fully materialized op vector. */
+inline TraceView
+makeView(const std::vector<MicroOp> &ops)
+{
+    return TraceView{ops.data(), ~size_t(0), ops.size()};
+}
+
+} // namespace catchsim
+
+#endif // CATCHSIM_TRACE_TRACE_VIEW_HH_

@@ -79,7 +79,9 @@ class Workload
     }
 
   protected:
-    /** Builds the workload's data structures in functional memory. */
+    /** Builds the workload's data structures in functional memory. Also
+     *  resets any generation cursors so a workload object can generate
+     *  (or stream) the same trace repeatedly. */
     virtual void setup(FunctionalMemory &mem, Rng &rng) = 0;
 
     /**
@@ -90,6 +92,9 @@ class Workload
     virtual void run(Emitter &em, Rng &rng) = 0;
 
   private:
+    /** Drives setup()/run() incrementally instead of via generate(). */
+    friend class TraceStream;
+
     std::string name_;
     Category category_;
     uint64_t seed_;

@@ -84,6 +84,51 @@ TEST(Cache, FillMergePreservesDirty)
     EXPECT_TRUE(c.peek(0x1000)->dirty);
 }
 
+TEST(Cache, WritebackMergeAdoptsPrefetchedCopy)
+{
+    // Regression: a writeback landing on a prefetched copy proves the
+    // line was wanted. The merge must take over source/fillLevel so the
+    // line's eventual eviction is not misattributed to a useless
+    // prefetch.
+    Cache c("t", tinyGeom(), ReplKind::Lru, 1);
+    c.fill(0x000, false, 0, FillSource::TactPf, Level::Mem);
+    c.fill(0x000, true, 0, FillSource::Writeback, Level::L1); // merges
+    const CacheLine *line = c.peek(0x000);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->source, FillSource::Writeback);
+    EXPECT_EQ(line->fillLevel, Level::L1);
+    EXPECT_TRUE(line->dirty);
+    // Force its eviction (fill the 2-way set with two more lines).
+    c.fill(0x080, false, 0, FillSource::Demand);
+    c.fill(0x100, false, 0, FillSource::Demand);
+    EXPECT_EQ(c.stats().evictions, 1u);
+    EXPECT_EQ(c.stats().uselessPrefetchEvictions, 0u);
+}
+
+TEST(Cache, DemandMergeAdoptsPrefetchedCopy)
+{
+    Cache c("t", tinyGeom(), ReplKind::Lru, 1);
+    c.fill(0x000, false, 0, FillSource::StreamPf, Level::Mem);
+    c.fill(0x000, false, 0, FillSource::Demand, Level::LLC);
+    EXPECT_EQ(c.peek(0x000)->source, FillSource::Demand);
+    EXPECT_EQ(c.peek(0x000)->fillLevel, Level::LLC);
+}
+
+TEST(Cache, PrefetchMergeDoesNotLaunderProvenance)
+{
+    // The reverse direction must not upgrade: one prefetch landing on
+    // another keeps the resident provenance, and an unused prefetched
+    // line still counts as a useless-prefetch eviction.
+    Cache c("t", tinyGeom(), ReplKind::Lru, 1);
+    c.fill(0x000, false, 0, FillSource::StridePf);
+    c.fill(0x000, false, 0, FillSource::TactPf); // merge: still a pf
+    EXPECT_EQ(c.peek(0x000)->source, FillSource::StridePf);
+    c.fill(0x080, false, 0, FillSource::Demand);
+    c.fill(0x100, false, 0, FillSource::Demand); // evicts 0x000
+    EXPECT_EQ(c.stats().evictions, 1u);
+    EXPECT_EQ(c.stats().uselessPrefetchEvictions, 1u);
+}
+
 TEST(Cache, InvalidateReportsDirty)
 {
     Cache c("t", tinyGeom(), ReplKind::Lru, 1);

@@ -61,6 +61,69 @@ INSTANTIATE_TEST_SUITE_P(RepresentativeKernels, DeterminismByKernel,
                              return n;
                          });
 
+/** FNV-1a over the full JSON export: one number that moves if any
+ *  counter or double moves. */
+uint64_t
+goldenHash(const SimResult &r)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : r.toJson()) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/**
+ * The streamed trace pipeline must be a pure optimisation: for the same
+ * (workload, config) the chunked stream and the materialize-everything
+ * oracle yield bitwise-identical SimResults — same golden hash over the
+ * whole JSON export, same counters. Covers both configs (baseline and
+ * full CATCH, whose feeder reads the functional memory during the run).
+ */
+TEST_P(DeterminismByKernel, StreamedMatchesMaterializedOracleBaseline)
+{
+    auto wl_s = makeWorkload(GetParam());
+    auto wl_m = makeWorkload(GetParam());
+    Simulator streamed(baselineSkx(), TraceMode::Streamed);
+    Simulator materialized(baselineSkx(), TraceMode::Materialized);
+    SimResult a = streamed.run(*wl_s, kInstr, kWarm);
+    SimResult b = materialized.run(*wl_m, kInstr, kWarm);
+    EXPECT_EQ(goldenHash(a), goldenHash(b));
+    expectBitwiseEqual(a, b);
+}
+
+TEST_P(DeterminismByKernel, StreamedMatchesMaterializedOracleFullCatch)
+{
+    SimConfig cfg = withCatch(noL2(baselineSkx(), 9728));
+    auto wl_s = makeWorkload(GetParam());
+    auto wl_m = makeWorkload(GetParam());
+    Simulator streamed(cfg, TraceMode::Streamed);
+    Simulator materialized(cfg, TraceMode::Materialized);
+    SimResult a = streamed.run(*wl_s, kInstr, kWarm);
+    SimResult b = materialized.run(*wl_m, kInstr, kWarm);
+    EXPECT_EQ(goldenHash(a), goldenHash(b));
+    expectBitwiseEqual(a, b);
+}
+
+TEST(Determinism, StreamedMatchesMaterializedAcrossQuickSuite)
+{
+    // Broader but shorter sweep under full CATCH: every quick-suite
+    // kernel family, streamed vs oracle. Guards against a kernel whose
+    // feeder-chased structures are (incorrectly) mutated after setup,
+    // which only diverges once generation runs ahead of consumption.
+    SimConfig cfg = withCatch(baselineSkx());
+    for (const std::string &name : stQuickNames()) {
+        auto wl_s = makeWorkload(name);
+        auto wl_m = makeWorkload(name);
+        Simulator streamed(cfg, TraceMode::Streamed);
+        Simulator materialized(cfg, TraceMode::Materialized);
+        SimResult a = streamed.run(*wl_s, 20000, 5000);
+        SimResult b = materialized.run(*wl_m, 20000, 5000);
+        EXPECT_EQ(goldenHash(a), goldenHash(b)) << name;
+    }
+}
+
 TEST(Determinism, DifferentSeedVariantsDiffer)
 {
     // Sanity check that the comparison has teeth: the "-2" suite

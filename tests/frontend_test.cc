@@ -41,7 +41,7 @@ TEST(Frontend, FourWidePacing)
     CacheHierarchy h(cfg);
     Frontend fe(cfg, 0, h, nullptr);
     auto ops = sequentialOps(64, 0x400000);
-    fe.bindTrace(ops.data(), ops.size());
+    fe.bindTrace(makeView(ops));
 
     // Warm the line first so pacing is the only constraint.
     h.codeFetch(0, 0x400000, 0);
@@ -59,7 +59,7 @@ TEST(Frontend, ColdLineStallsFetch)
     CacheHierarchy h(cfg);
     Frontend fe(cfg, 0, h, nullptr);
     auto ops = sequentialOps(64, 0x400000);
-    fe.bindTrace(ops.data(), ops.size());
+    fe.bindTrace(makeView(ops));
     Cycle first = fe.fetchCycle(0, ops[0]);
     // The first instruction of a cold line pays the miss (minus the
     // pipelined L1I latency).
@@ -73,7 +73,7 @@ TEST(Frontend, RedirectDelaysLaterFetches)
     CacheHierarchy h(cfg);
     Frontend fe(cfg, 0, h, nullptr);
     auto ops = sequentialOps(64, 0x400000);
-    fe.bindTrace(ops.data(), ops.size());
+    fe.bindTrace(makeView(ops));
     h.codeFetch(0, 0x400000, 0);
     fe.fetchCycle(0, ops[0]);
     fe.redirect(5000);
@@ -88,7 +88,7 @@ TEST(Frontend, NoRefetchWithinALine)
     CacheHierarchy h(cfg);
     Frontend fe(cfg, 0, h, nullptr);
     auto ops = sequentialOps(16, 0x400000); // all in one line
-    fe.bindTrace(ops.data(), ops.size());
+    fe.bindTrace(makeView(ops));
     for (size_t i = 0; i < 16; ++i)
         fe.fetchCycle(i, ops[i]);
     EXPECT_EQ(fe.stats().lineFetches, 1u);
@@ -100,7 +100,7 @@ TEST(Frontend, ResetStatsKeepsPacingState)
     CacheHierarchy h(cfg);
     Frontend fe(cfg, 0, h, nullptr);
     auto ops = sequentialOps(16, 0x400000);
-    fe.bindTrace(ops.data(), ops.size());
+    fe.bindTrace(makeView(ops));
     fe.fetchCycle(0, ops[0]);
     fe.resetStats();
     EXPECT_EQ(fe.stats().lineFetches, 0u);

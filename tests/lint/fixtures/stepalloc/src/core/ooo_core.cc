@@ -1,0 +1,23 @@
+#include "core/ooo_core.hh"
+
+namespace fx
+{
+
+OooCore::OooCore()
+{
+    rob_.resize(224); // constructors may size hot structures
+}
+
+void
+OooCore::bind(int n)
+{
+    rob_.reserve(n); // setup-time functions may allocate too
+}
+
+void
+OooCore::step()
+{
+    rob_.push_back(1); // hot loop: must be flagged
+}
+
+} // namespace fx

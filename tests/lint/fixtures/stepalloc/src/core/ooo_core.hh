@@ -1,0 +1,17 @@
+#ifndef OOO_CORE_HH_
+#define OOO_CORE_HH_
+#include <vector>
+namespace fx
+{
+class OooCore
+{
+  public:
+    OooCore();
+    void bind(int n);
+    void step();
+
+  private:
+    std::vector<int> rob_;
+};
+} // namespace fx
+#endif

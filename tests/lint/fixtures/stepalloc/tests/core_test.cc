@@ -1,0 +1,2 @@
+#include "core/ooo_core.hh"
+int main() { return 0; }

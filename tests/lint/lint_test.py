@@ -29,6 +29,7 @@ EXPECTATIONS = {
     "statsonce": "stats-once",
     "includecc": "include-cc",
     "fatalboundary": "fatal-boundary",
+    "stepalloc": "step-alloc",
 }
 
 
@@ -81,6 +82,15 @@ class CatchLintFixtures(unittest.TestCase):
         proc = run_linter(FIXTURES / "fatalboundary")
         self.assertIn("process-terminating call", proc.stdout)
         self.assertIn("CATCHSIM_FATAL", proc.stdout)
+
+    def test_step_alloc_scopes_to_hot_functions(self):
+        # Exactly one finding: step()'s push_back. The constructor's
+        # resize and bind()'s reserve are setup-time and stay legal.
+        proc = run_linter(FIXTURES / "stepalloc")
+        findings = [l for l in proc.stdout.splitlines()
+                    if "[step-alloc]" in l]
+        self.assertEqual(len(findings), 1, proc.stdout)
+        self.assertIn("push_back in step()", findings[0])
 
     def test_real_repo_is_clean(self):
         repo = LINTER.parents[2]

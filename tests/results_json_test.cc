@@ -131,6 +131,47 @@ TEST(ResultsJson, OutcomeExportCarriesStatusAndSummary)
     std::filesystem::remove(path);
 }
 
+TEST(ResultsJson, ProfiledOutcomeExportsHostPerf)
+{
+    SimConfig cfg = baselineSkx();
+    ExperimentEnv env;
+    env.names = {"mcf"};
+    env.instrs = kInstr;
+    env.warmup = kWarm;
+    IsolationOptions opts = optsWith(kNoFaults);
+    opts.profile = true;
+    auto outcomes = runWorkloadsIsolated(cfg, env.names, kInstr, kWarm,
+                                         1, opts);
+    ASSERT_TRUE(outcomes[0].ok());
+    ASSERT_TRUE(outcomes[0].profile.has_value());
+    // Every phase actually ran, so its timing is positive, and the
+    // process footprint is nonzero.
+    EXPECT_GT(outcomes[0].profile->warmupSec, 0.0);
+    EXPECT_GT(outcomes[0].profile->measuredSec, 0.0);
+    EXPECT_GT(outcomes[0].profile->traceGenSec, 0.0);
+    EXPECT_GT(outcomes[0].profile->peakRssBytes, 0u);
+
+    std::string path = ::testing::TempDir() + "profiled_export.json";
+    ASSERT_TRUE(writeSuiteJson(path, cfg, env, outcomes).ok());
+    auto doc = parseJson(readFile(path));
+    ASSERT_TRUE(doc.ok()) << (doc.ok() ? "" : doc.error().message);
+    const JsonValue *run = doc.value().member("results")->at(0);
+    const JsonValue *perf = run->member("hostPerf");
+    ASSERT_NE(perf, nullptr);
+    EXPECT_NE(perf->member("trace_gen_sec"), nullptr);
+    EXPECT_NE(perf->member("warmup_sec"), nullptr);
+    EXPECT_NE(perf->member("measured_sec"), nullptr);
+    EXPECT_GT(perf->member("peak_rss_bytes")->asU64(), 0u);
+    // The simulated result itself is unchanged by profiling.
+    auto plain = runWorkloadsIsolated(cfg, env.names, kInstr, kWarm, 1,
+                                      optsWith(kNoFaults));
+    ASSERT_TRUE(plain[0].ok());
+    expectBitwiseEqual(outcomes[0].result, plain[0].result);
+    EXPECT_FALSE(plain[0].profile.has_value());
+
+    std::filesystem::remove(path);
+}
+
 TEST(ResultsJson, UnwritableDestinationIsAnError)
 {
     ExperimentEnv env;

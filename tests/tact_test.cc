@@ -432,7 +432,7 @@ TEST(TactCode, PrefetchesUpcomingLines)
         ops[i].pc = 0x400000 + i * 32; // a new line every other op
         ops[i].cls = OpClass::Alu;
     }
-    code.onCodeStall(ops.data(), ops.size(), 0, 100);
+    code.onCodeStall(makeView(ops), 0, 100);
     ASSERT_FALSE(lines.empty());
     EXPECT_LE(lines.size(), cfg.codeRunaheadLines);
     for (Addr l : lines) {
@@ -453,7 +453,7 @@ TEST(TactCode, StopsAtMispredictedBranch)
         ops[i].pc = 0x400000 + i * 64;
         ops[i].cls = i == 2 ? OpClass::Branch : OpClass::Alu;
     }
-    code.onCodeStall(ops.data(), ops.size(), 0, 100);
+    code.onCodeStall(makeView(ops), 0, 100);
     EXPECT_LE(lines.size(), 2u);
 }
 
@@ -489,7 +489,7 @@ TEST(TactFacade, RoutesEventsAndAggregatesStats)
         fetch[i].cls = OpClass::Alu;
     }
     TactStats before = tact.stats();
-    tact.onCodeStall(fetch.data(), fetch.size(), 0, 50000,
+    tact.onCodeStall(makeView(fetch), 0, 50000,
                      [](const MicroOp &) { return false; });
     TactStats after = tact.stats();
     EXPECT_EQ(after.codeStalls, before.codeStalls + 1);

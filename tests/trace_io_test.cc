@@ -23,13 +23,13 @@ namespace
 {
 
 // On-disk layout constants mirrored from trace_io.cc (6-byte magic +
-// u32 version + u64 op count header; 38-byte op records).
+// u32 version + u64 op count header; 30-byte version-2 op records).
 constexpr long kHeaderBytes = 6 + 4 + 8;
-constexpr long kOpBytes = 4 * 8 + 6;
+constexpr long kOpBytes = 3 * 8 + 6;
 constexpr long kVersionOffset = 6;
 constexpr long kCountOffset = 10;
-constexpr long kOp0ClassOffset = kHeaderBytes + 32;
-constexpr long kOp0DstOffset = kHeaderBytes + 33;
+constexpr long kOp0ClassOffset = kHeaderBytes + 24;
+constexpr long kOp0DstOffset = kHeaderBytes + 25;
 
 /** Writes a fresh serialised trace and returns its op count. */
 uint64_t

@@ -20,6 +20,12 @@
  *   --no-prefetchers            disable the baseline prefetchers
  *   --jobs=<n>                  parallel simulations (default CATCH_JOBS
  *                               or hardware concurrency; 1 = serial)
+ *   --profile                   collect host phase timings (trace-gen,
+ *                               warmup, measured) and peak RSS per run;
+ *                               printed per report and exported as the
+ *                               hostPerf object in --json documents.
+ *                               Profiling never changes simulated
+ *                               results. (Env: CATCH_PROFILE=1)
  *   --json=<file>               also write results as a JSON document
  *   --journal=<dir>             checkpoint finished runs to
  *                               <dir>/journal.jsonl; a rerun with the
@@ -117,6 +123,15 @@ printReport(const SimResult &r)
 }
 
 void
+printProfile(const RunProfile &p)
+{
+    std::printf("host perf          : trace-gen %.3fs, warmup %.3fs, "
+                "measured %.3fs, peak RSS %.1f MB\n",
+                p.traceGenSec, p.warmupSec, p.measuredSec,
+                static_cast<double>(p.peakRssBytes) / (1024.0 * 1024.0));
+}
+
+void
 printFailure(const RunOutcome &o)
 {
     std::printf("\n=== %s on %s ===\n", o.workload.c_str(),
@@ -138,7 +153,7 @@ usage()
                  "                [--tact=cross,deep,feeder,code] "
                  "[--instr=N] [--warmup=N]\n"
                  "                [--llc-add=N] [--no-prefetchers] "
-                 "[--jobs=N] [--json=FILE]\n"
+                 "[--jobs=N] [--profile] [--json=FILE]\n"
                  "                [--journal=DIR] [--list] "
                  "<workload>...\n");
     std::exit(2);
@@ -154,6 +169,7 @@ main(int argc, char **argv)
     int64_t no_l2_kb = -1;
     uint64_t instrs = 300000, warmup = 100000;
     unsigned jobs = suiteJobs();
+    bool profile = false;
     std::string json_path;
     std::string journal_dir;
     std::vector<std::string> workloads;
@@ -197,6 +213,8 @@ main(int argc, char **argv)
         } else if (arg.rfind("--jobs=", 0) == 0) {
             long v = std::strtol(value().c_str(), nullptr, 10);
             jobs = v >= 1 ? static_cast<unsigned>(v) : 1;
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path = value();
         } else if (arg.rfind("--journal=", 0) == 0) {
@@ -256,6 +274,7 @@ main(int argc, char **argv)
     }
 
     IsolationOptions opts = IsolationOptions::fromEnvironment();
+    opts.profile |= profile;
     std::unique_ptr<SuiteJournal> journal;
     if (!journal_dir.empty()) {
         auto j = SuiteJournal::open(journal_dir);
@@ -271,10 +290,13 @@ main(int argc, char **argv)
     auto outcomes = runWorkloadsIsolated(cfg, workloads, instrs, warmup,
                                          jobs, opts);
     for (const auto &o : outcomes) {
-        if (o.ok())
+        if (o.ok()) {
             printReport(o.result);
-        else
+            if (o.profile)
+                printProfile(*o.profile);
+        } else {
             printFailure(o);
+        }
     }
 
     CampaignSummary sum = summarizeOutcomes(outcomes);

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Throughput-regression gate for the non-gating CI perf job.
+
+Compares a fresh bench_perf run (BENCH_PERF.json) against the
+checked-in reference (bench/perf/BENCH_PERF.json) and fails only when
+the overall median simulated-kilo-instrs/sec regressed by more than
+--tolerance (default 25%). Per-cell regressions are reported but do not
+fail the check on their own — single cells are noisy on shared CI
+hosts; the overall median is the stable signal.
+
+Absolute throughput differs across machines, so the reference is only a
+tripwire against large regressions, not a benchmark target; refresh it
+(on the CI host class) when the simulator legitimately gets faster or
+slower.
+
+Usage: check_perf.py --current BENCH_PERF.json \
+                     [--baseline bench/perf/BENCH_PERF.json] \
+                     [--tolerance 0.25]
+
+Exit status: 0 within tolerance, 1 regression, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as e:
+        print(f"check_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if "median_kips_overall" not in doc or "results" not in doc:
+        print(f"check_perf: {path} is not a bench_perf document",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def cells(doc: dict) -> dict[tuple[str, str], dict]:
+    return {(r["workload"], r["config"]): r for r in doc["results"]}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    repo = Path(__file__).resolve().parents[2]
+    ap.add_argument("--current", type=Path, required=True,
+                    help="BENCH_PERF.json from this run")
+    ap.add_argument("--baseline", type=Path,
+                    default=repo / "bench" / "perf" / "BENCH_PERF.json",
+                    help="checked-in reference document")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional drop in the overall median")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    base_cells = cells(base)
+    for key, c in sorted(cells(cur).items()):
+        b = base_cells.get(key)
+        if b is None:
+            print(f"  NEW      {key[0]:<12} {key[1]:<30} "
+                  f"{c['kips_median']:10.1f} kinstr/s")
+            continue
+        ratio = c["kips_median"] / b["kips_median"]
+        flag = "SLOWER" if ratio < 1 - args.tolerance else "ok"
+        print(f"  {flag:<8} {key[0]:<12} {key[1]:<30} "
+              f"{b['kips_median']:10.1f} -> {c['kips_median']:10.1f} "
+              f"({ratio:.2f}x)")
+
+    b = base["median_kips_overall"]
+    c = cur["median_kips_overall"]
+    ratio = c / b
+    print(f"overall median: {b:.1f} -> {c:.1f} kinstr/s ({ratio:.2f}x, "
+          f"tolerance {args.tolerance:.0%})")
+    if ratio < 1 - args.tolerance:
+        print("check_perf: overall median regressed beyond tolerance",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,15 @@ This linter enforces the repo contracts statically:
                 stays allowed for genuine invariant violations, and
                 fatal() remains available at the CLI boundary (tools/,
                 bench/), which this rule does not cover.
+  step-alloc    the per-cycle hot loop never allocates: in the scoped
+                files (src/core/ooo_core.cc, src/core/frontend.cc,
+                src/cache/cache.cc) no container-growth or smart-pointer
+                allocation call (push_back/emplace/insert/resize/
+                reserve/assign, make_unique/make_shared) may appear
+                outside constructors and the setup-time functions
+                (bind*/rewind/reset*). Hot structures are sized once at
+                construction; steady-state work reuses them. Waiverable
+                for genuinely setup-only helpers.
 
 Waivers:
   inline        append `// catch-lint: allow(<rule>)` to the line
@@ -83,6 +92,22 @@ INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 WRITER_CALL_RE = re.compile(
     r"""[.\->]\s*(open|close|object|field|key)\s*\(\s*(?:"([^"]*)")?"""
 )
+
+# step-alloc: files whose steady-state member functions must not
+# allocate. Constructors and the named setup-time functions may.
+STEP_ALLOC_SCOPE = (
+    "src/core/ooo_core.cc",
+    "src/core/frontend.cc",
+    "src/cache/cache.cc",
+)
+STEP_ALLOC_SETUP_RE = re.compile(r"^(bind\w*|rewind|reset\w*)$")
+STEP_ALLOC_RE = re.compile(
+    r"[.\->]\s*(push_back|emplace_back|emplace|emplace_front|insert|"
+    r"resize|reserve|assign|push_front)\s*\(|"
+    r"\bmake_(?:unique|shared)\b")
+# Function definitions in repo style: `Type` on its own line, then the
+# qualified name at column 0 (`OooCore::step(...)` / free `helper(...)`).
+FUNC_DEF_RE = re.compile(r"^(?:(\w+)::)?(~?\w+)\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -294,6 +319,41 @@ class Linter:
                                     "raw delete expression; owning "
                                     "pointers must be smart pointers")
 
+    def check_step_alloc(self) -> None:
+        """Hot-loop allocation freedom for the scoped per-cycle files.
+        Tracks the enclosing function using the repo's definition style
+        (qualified name at column 0); allocation-capable calls are
+        banned outside constructors/destructors and setup functions."""
+        for rel in STEP_ALLOC_SCOPE:
+            path = self.root / rel
+            if not path.is_file():
+                continue
+            text = path.read_text(errors="replace")
+            inline = self.inline_waivers(text)
+            code = strip_comments_and_strings(text)
+            func = None
+            klass = None
+            for lineno, line in enumerate(code.splitlines(), 1):
+                m = FUNC_DEF_RE.match(line)
+                if m and line[:1] not in (" ", "\t"):
+                    klass, func = m.group(1), m.group(2)
+                am = STEP_ALLOC_RE.search(line)
+                if not am or func is None:
+                    continue
+                if func == klass or func.startswith("~"):
+                    continue  # construction/teardown may size containers
+                if STEP_ALLOC_SETUP_RE.match(func):
+                    continue
+                if self.waived("step-alloc", rel, inline, lineno):
+                    continue
+                what = am.group(1) or "make_unique/make_shared"
+                self.report(
+                    path, lineno, "step-alloc",
+                    f"{what} in {func}() — the per-cycle path must not "
+                    "allocate; size hot structures in the constructor "
+                    "and reuse them (waiverable for setup-only "
+                    "helpers)")
+
     def check_stats_once(self) -> None:
         """JSON stat registration: within one writer object scope a key
         may appear only once. Tracks `.open()`, `.close()`,
@@ -375,6 +435,7 @@ class Linter:
 
     def run(self) -> int:
         self.check_line_rules()
+        self.check_step_alloc()
         self.check_stats_once()
         self.check_test_coverage()
         for path, lineno, rule, msg in sorted(
