@@ -12,25 +12,41 @@
  * Method: for every workload x config cell, one untimed warm rep
  * (faults in page tables, branch-predictor arrays, the allocator), then
  * N timed reps; the reported figure is the median kilo-instrs/sec over
- * the timed reps. Peak RSS is process-wide and monotone, so it is
- * sampled once per cell in declaration order and the final cell's value
- * is the campaign peak.
+ * the timed reps. In both modes the numerator is the instructions the
+ * run *advances through the trace* (instrs + warmup): a sampled run
+ * consumes the same trace span as a detailed one, it just spends most
+ * of it in functional warming, so the two modes' kinstr/s figures are
+ * directly comparable host-throughput numbers.
+ *
+ * Peak RSS (ru_maxrss) is process-wide and monotone, so the absolute
+ * value sampled after a cell is the campaign-cumulative peak, NOT that
+ * cell's footprint. Cells are sampled in declaration order; the final
+ * cell's peak_rss_bytes is the campaign peak, and each cell also
+ * reports peak_rss_delta_bytes — how much the process peak grew while
+ * that cell ran (0 for cells that fit inside an earlier high-water
+ * mark).
  *
  * Usage:
  *   bench_perf [--out=FILE] [--reps=N] [--instr=N] [--warmup=N]
- *              [--quick]
+ *              [--mode=detailed|sampled] [--quick]
  *
  * Writes a JSON document (default BENCH_PERF.json) of the shape
  * check_perf.py consumes:
- *   {"instrs":..., "warmup":..., "reps":...,
+ *   {"instrs":..., "warmup":..., "reps":..., "mode":"detailed",
  *    "results":[{"workload","config","kips_median","kips":[...],
- *                "peak_rss_bytes"}, ...],
+ *                "peak_rss_bytes","peak_rss_delta_bytes"}, ...],
  *    "median_kips_overall":...}
  *
- * Deliberately restricted to APIs that predate the streamed pipeline
- * (makeWorkload, Simulator(cfg).run, baselineSkx/withCatch), so the
- * same source file also compiles against the pre-streaming tree to
- * produce the before/after baseline (BENCH_PERF_BASELINE.json).
+ * --mode=sampled runs the same cells under SampleMode::Sampled (the
+ * SamplingConfig defaults) and stamps "mode":"sampled"; check_perf.py
+ * --sampled pairs the two documents up to report the sampled-over-
+ * detailed speedup per cell.
+ *
+ * Historical note: through the streamed-pipeline baseline capture
+ * (BENCH_PERF_BASELINE.json) this file was restricted to APIs that
+ * predate that pipeline so it compiled against the old tree. The
+ * baseline is captured; --mode=sampled now uses SamplingConfig, which
+ * only exists in the current tree.
  */
 
 #include <sys/resource.h>
@@ -74,7 +90,8 @@ struct Cell
     std::string config;
     std::vector<double> kips;
     double kipsMedian = 0;
-    uint64_t peakRssBytes = 0;
+    uint64_t peakRssBytes = 0;      ///< campaign-cumulative process peak
+    uint64_t peakRssDeltaBytes = 0; ///< peak growth while this cell ran
 };
 
 double
@@ -95,7 +112,18 @@ timedRep(const SimConfig &cfg, const std::string &name, uint64_t instrs,
     double t0 = wallSeconds();
     SimResult r = sim.run(*wl, instrs, warmup);
     double sec = wallSeconds() - t0;
-    if (r.core.instrs != instrs) {
+    if (cfg.sampling.sampled()) {
+        // A sampled run reports only the measured-window instructions
+        // in core.instrs; what it must have done is produce windows and
+        // carry the sampled marker.
+        if (!r.sampled || r.sample.windows == 0) {
+            std::fprintf(stderr,
+                         "bench_perf: %s sampled run produced no "
+                         "windows\n",
+                         name.c_str());
+            std::exit(1);
+        }
+    } else if (r.core.instrs != instrs) {
         std::fprintf(stderr, "bench_perf: %s ran %llu instrs, wanted "
                              "%llu\n",
                      name.c_str(),
@@ -124,6 +152,7 @@ main(int argc, char **argv)
     unsigned reps = 5;
     uint64_t instrs = 300000, warmup = 100000;
     bool quick = false;
+    bool sampled = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -139,12 +168,23 @@ main(int argc, char **argv)
             instrs = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg.rfind("--warmup=", 0) == 0) {
             warmup = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--mode=", 0) == 0) {
+            std::string v = value();
+            if (v == "sampled") {
+                sampled = true;
+            } else if (v != "detailed") {
+                std::fprintf(stderr,
+                             "bench_perf: --mode must be detailed or "
+                             "sampled\n");
+                return 2;
+            }
         } else if (arg == "--quick") {
             quick = true;
         } else {
             std::fprintf(stderr,
                          "usage: bench_perf [--out=FILE] [--reps=N] "
-                         "[--instr=N] [--warmup=N] [--quick]\n");
+                         "[--instr=N] [--warmup=N] "
+                         "[--mode=detailed|sampled] [--quick]\n");
             return 2;
         }
     }
@@ -159,12 +199,17 @@ main(int argc, char **argv)
     const std::vector<std::string> workloads = {
         "mcf", "omnetpp", "hpc.stream", "gobmk", "hmmer",
     };
-    const std::vector<SimConfig> configs = {
+    std::vector<SimConfig> configs = {
         baselineSkx(),
         withCatch(baselineSkx()),
     };
+    if (sampled) {
+        for (SimConfig &cfg : configs)
+            cfg.sampling.mode = SampleMode::Sampled;
+    }
 
     std::vector<Cell> cells;
+    uint64_t rss_before = processPeakRssBytes();
     for (const SimConfig &cfg : configs) {
         for (const std::string &name : workloads) {
             Cell cell;
@@ -175,10 +220,15 @@ main(int argc, char **argv)
                 cell.kips.push_back(timedRep(cfg, name, instrs, warmup));
             cell.kipsMedian = median(cell.kips);
             cell.peakRssBytes = processPeakRssBytes();
-            std::printf("%-12s %-28s %10.1f kinstr/s  (rss %.1f MB)\n",
+            cell.peakRssDeltaBytes = cell.peakRssBytes - rss_before;
+            rss_before = cell.peakRssBytes;
+            std::printf("%-12s %-28s %10.1f kinstr/s  "
+                        "(rss %.1f MB, +%.1f MB)\n",
                         cell.workload.c_str(), cell.config.c_str(),
                         cell.kipsMedian,
                         static_cast<double>(cell.peakRssBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<double>(cell.peakRssDeltaBytes) /
                             (1024.0 * 1024.0));
             std::fflush(stdout);
             cells.push_back(std::move(cell));
@@ -195,7 +245,9 @@ main(int argc, char **argv)
     std::string doc = "{\"instrs\": " + std::to_string(instrs) +
                       ", \"warmup\": " + std::to_string(warmup) +
                       ", \"reps\": " + std::to_string(reps) +
-                      ", \"results\": [\n";
+                      ", \"mode\": \"" +
+                      (sampled ? "sampled" : "detailed") +
+                      "\", \"results\": [\n";
     for (size_t i = 0; i < cells.size(); ++i) {
         const Cell &c = cells[i];
         doc += "{\"workload\": \"" + c.workload + "\", \"config\": \"" +
@@ -208,7 +260,8 @@ main(int argc, char **argv)
             appendJsonDouble(doc, c.kips[k]);
         }
         doc += "], \"peak_rss_bytes\": " + std::to_string(c.peakRssBytes)
-               + "}";
+               + ", \"peak_rss_delta_bytes\": " +
+               std::to_string(c.peakRssDeltaBytes) + "}";
         doc += i + 1 < cells.size() ? ",\n" : "\n";
     }
     doc += "], \"median_kips_overall\": ";

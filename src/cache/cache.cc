@@ -46,6 +46,21 @@ Cache::lookup(Addr addr, bool is_demand)
     return nullptr;
 }
 
+CacheLine *
+Cache::warmLookup(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    uint32_t set = setIndex(addr);
+    CacheLine *row = &lines_[static_cast<size_t>(set) * geom_.ways];
+    for (uint32_t w = 0; w < geom_.ways; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            repl_->onHit(set, w);
+            return &row[w];
+        }
+    }
+    return nullptr;
+}
+
 const CacheLine *
 Cache::peek(Addr addr) const
 {
@@ -62,10 +77,26 @@ Cache::Victim
 Cache::fill(Addr addr, bool dirty, Cycle ready_at, FillSource source,
             Level fill_level)
 {
+    return fillImpl(addr, dirty, ready_at, source, fill_level, true);
+}
+
+Cache::Victim
+Cache::warmFill(Addr addr, bool dirty, FillSource source, Level fill_level)
+{
+    // ready_at = 0: warmed lines are immediately ready; the per-window
+    // detailed warmup re-establishes realistic in-flight timing.
+    return fillImpl(addr, dirty, 0, source, fill_level, false);
+}
+
+Cache::Victim
+Cache::fillImpl(Addr addr, bool dirty, Cycle ready_at, FillSource source,
+                Level fill_level, bool count)
+{
     Addr tag = lineAddr(addr);
     uint32_t set = setIndex(addr);
     CacheLine *row = &lines_[static_cast<size_t>(set) * geom_.ways];
-    ++stats_.writeOps;
+    if (count)
+        ++stats_.writeOps;
 
     // Merge if already present (e.g. a writeback landing on a prefetched
     // copy, or a duplicate fill).
@@ -110,13 +141,15 @@ Cache::fill(Addr addr, bool dirty, Cycle ready_at, FillSource source,
         victim.dirty = v.dirty;
         victim.source = v.source;
         victim.usedSinceFill = v.usedSinceFill;
-        ++stats_.evictions;
-        if (v.dirty)
-            ++stats_.dirtyEvictions;
-        bool was_prefetch = v.source != FillSource::Demand &&
-                            v.source != FillSource::Writeback;
-        if (was_prefetch && !v.usedSinceFill)
-            ++stats_.uselessPrefetchEvictions;
+        if (count) {
+            ++stats_.evictions;
+            if (v.dirty)
+                ++stats_.dirtyEvictions;
+            bool was_prefetch = v.source != FillSource::Demand &&
+                                v.source != FillSource::Writeback;
+            if (was_prefetch && !v.usedSinceFill)
+                ++stats_.uselessPrefetchEvictions;
+        }
     }
 
     CacheLine &line = row[way];
@@ -128,12 +161,13 @@ Cache::fill(Addr addr, bool dirty, Cycle ready_at, FillSource source,
     line.fillLevel = fill_level;
     line.usedSinceFill = false;
     repl_->onFill(set, way);
-    ++stats_.fills;
+    if (count)
+        ++stats_.fills;
     return victim;
 }
 
 bool
-Cache::invalidate(Addr addr, bool *was_present)
+Cache::invalidate(Addr addr, bool *was_present, bool count)
 {
     Addr tag = lineAddr(addr);
     uint32_t set = setIndex(addr);
@@ -141,7 +175,8 @@ Cache::invalidate(Addr addr, bool *was_present)
     for (uint32_t w = 0; w < geom_.ways; ++w) {
         if (row[w].valid && row[w].tag == tag) {
             row[w].valid = false;
-            ++stats_.invalidations;
+            if (count)
+                ++stats_.invalidations;
             if (was_present)
                 *was_present = true;
             return row[w].dirty;

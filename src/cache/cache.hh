@@ -101,6 +101,13 @@ class Cache
      */
     CacheLine *lookup(Addr addr, bool is_demand);
 
+    /**
+     * Functional-warming lookup: updates replacement recency exactly
+     * like a demand hit, but touches no counters — warming must be
+     * invisible in the stats the detailed windows report.
+     */
+    CacheLine *warmLookup(Addr addr);
+
     /** Peeks without updating stats or recency (oracle queries). */
     const CacheLine *peek(Addr addr) const;
 
@@ -111,8 +118,18 @@ class Cache
     Victim fill(Addr addr, bool dirty, Cycle ready_at, FillSource source,
                 Level fill_level = Level::None);
 
-    /** Removes the line if present. @returns true if it was dirty. */
-    bool invalidate(Addr addr, bool *was_present = nullptr);
+    /**
+     * Functional-warming fill: same placement/merge/eviction decisions
+     * as @ref fill (so inclusion invariants keep holding) but the line
+     * is ready immediately and no counters move.
+     */
+    Victim warmFill(Addr addr, bool dirty, FillSource source,
+                    Level fill_level = Level::None);
+
+    /** Removes the line if present. @returns true if it was dirty.
+     *  @p count=false keeps warming out of the invalidation stats. */
+    bool invalidate(Addr addr, bool *was_present = nullptr,
+                    bool count = true);
 
     /** Marks the line dirty (store commit); @returns false on miss. */
     bool setDirty(Addr addr);
@@ -125,6 +142,8 @@ class Cache
 
   private:
     uint32_t setIndex(Addr addr) const;
+    Victim fillImpl(Addr addr, bool dirty, Cycle ready_at,
+                    FillSource source, Level fill_level, bool count);
 
     std::string name_;
     CacheGeometry geom_;

@@ -48,27 +48,32 @@ CacheHierarchy::resetStats()
 void
 CacheHierarchy::fillL1(CoreId core, bool code, Addr addr, bool dirty,
                        Cycle ready_at, FillSource src, Cycle now,
-                       Level fill_level)
+                       Level fill_level, bool warm)
 {
     Cache &l1 = code ? *l1i_[core] : *l1d_[core];
-    Cache::Victim victim = l1.fill(addr, dirty, ready_at, src, fill_level);
+    Cache::Victim victim =
+        warm ? l1.warmFill(addr, dirty, src, fill_level)
+             : l1.fill(addr, dirty, ready_at, src, fill_level);
     if (!victim.valid || !victim.dirty)
         return; // clean L1 victims are dropped (an outer copy exists)
     if (cfg_.hasL2) {
-        fillL2(core, victim.addr, true, now, FillSource::Writeback, now);
+        fillL2(core, victim.addr, true, now, FillSource::Writeback, now,
+               warm);
     } else {
         // Two-level: the writeback crosses the interconnect to the LLC.
-        ++stats_.ringTransfers;
+        if (!warm)
+            ++stats_.ringTransfers;
         if (CacheLine *line = llc_->lookup(victim.addr, false))
             line->dirty = true;
         else
-            fillLlc(victim.addr, true, now, FillSource::Writeback, now);
+            fillLlc(victim.addr, true, now, FillSource::Writeback, now,
+                    warm);
     }
 }
 
 void
 CacheHierarchy::fillL2(CoreId core, Addr addr, bool dirty, Cycle ready_at,
-                       FillSource src, Cycle now)
+                       FillSource src, Cycle now, bool warm)
 {
     CATCHSIM_ASSERT(cfg_.hasL2, "fillL2 without an L2");
     // Exclusive LLC: a line entering the L2 must leave the LLC. The
@@ -78,37 +83,43 @@ CacheHierarchy::fillL2(CoreId core, Addr addr, bool dirty, Cycle ready_at,
     // data is the newest version, so the LLC copy is simply dropped
     // (its dirty bit merges in case the L2 copy aged dirty-out).
     if (cfg_.inclusion == InclusionPolicy::Exclusive)
-        dirty |= llc_->invalidate(addr);
-    Cache::Victim victim = l2_[core]->fill(addr, dirty, ready_at, src);
+        dirty |= llc_->invalidate(addr, nullptr, !warm);
+    Cache::Victim victim = warm
+                               ? l2_[core]->warmFill(addr, dirty, src)
+                               : l2_[core]->fill(addr, dirty, ready_at,
+                                                 src);
     if (!victim.valid)
         return;
     switch (cfg_.inclusion) {
       case InclusionPolicy::Exclusive:
         // Every L2 victim's data moves to the LLC (the exclusive-LLC
         // victim traffic the paper's power analysis highlights).
-        ++stats_.ringTransfers;
+        if (!warm)
+            ++stats_.ringTransfers;
         fillLlc(victim.addr, victim.dirty, now, FillSource::Writeback,
-                now);
+                now, warm);
         break;
       case InclusionPolicy::Inclusive:
         // The line is guaranteed LLC-resident; only dirty data moves.
         if (victim.dirty) {
-            ++stats_.ringTransfers;
+            if (!warm)
+                ++stats_.ringTransfers;
             if (CacheLine *line = llc_->lookup(victim.addr, false))
                 line->dirty = true;
             else
                 fillLlc(victim.addr, true, now, FillSource::Writeback,
-                        now);
+                        now, warm);
         }
         break;
       case InclusionPolicy::Nine:
         if (victim.dirty) {
-            ++stats_.ringTransfers;
+            if (!warm)
+                ++stats_.ringTransfers;
             if (CacheLine *line = llc_->lookup(victim.addr, false))
                 line->dirty = true;
             else
                 fillLlc(victim.addr, true, now, FillSource::Writeback,
-                        now);
+                        now, warm);
         }
         break;
     }
@@ -116,22 +127,28 @@ CacheHierarchy::fillL2(CoreId core, Addr addr, bool dirty, Cycle ready_at,
 
 void
 CacheHierarchy::fillLlc(Addr addr, bool dirty, Cycle ready_at,
-                        FillSource src, Cycle now)
+                        FillSource src, Cycle now, bool warm)
 {
-    Cache::Victim victim = llc_->fill(addr, dirty, ready_at, src);
+    Cache::Victim victim = warm ? llc_->warmFill(addr, dirty, src)
+                                : llc_->fill(addr, dirty, ready_at, src);
     if (!victim.valid)
         return;
     bool victim_dirty = victim.dirty;
     if (cfg_.inclusion == InclusionPolicy::Inclusive) {
         // Back-invalidate inner copies across all cores.
         for (CoreId c = 0; c < cfg_.numCores; ++c) {
-            l1i_[c]->invalidate(victim.addr);
-            victim_dirty |= l1d_[c]->invalidate(victim.addr);
+            l1i_[c]->invalidate(victim.addr, nullptr, !warm);
+            victim_dirty |= l1d_[c]->invalidate(victim.addr, nullptr,
+                                                !warm);
             if (cfg_.hasL2)
-                victim_dirty |= l2_[c]->invalidate(victim.addr);
+                victim_dirty |= l2_[c]->invalidate(victim.addr, nullptr,
+                                                   !warm);
         }
     }
-    if (victim_dirty) {
+    if (victim_dirty && !warm) {
+        // Warming drops dirty victims silently: data correctness lives
+        // in the functional memory, and DRAM timing state is rebuilt by
+        // the per-window detailed warmup.
         ++stats_.memTransfers;
         dram_.write(victim.addr, now);
     }
@@ -182,6 +199,95 @@ CacheHierarchy::streamObserve(CoreId core, Addr addr, Cycle now)
                     FillSource::StreamPf, now);
         }
     }
+}
+
+void
+CacheHierarchy::warmStreamObserve(CoreId core, Addr addr, Cycle now)
+{
+    if (!cfg_.l2StreamPrefetcher)
+        return;
+    streamCandidates_.clear();
+    stream_[core].observe(addr, streamCandidates_);
+    for (Addr line : streamCandidates_) {
+        if (cfg_.hasL2) {
+            if (l2_[core]->peek(line))
+                continue;
+            if (const CacheLine *in_llc = llc_->peek(line)) {
+                bool dirty = in_llc->dirty;
+                if (cfg_.inclusion == InclusionPolicy::Exclusive)
+                    llc_->invalidate(line, nullptr, false);
+                fillL2(core, line, dirty, 0, FillSource::StreamPf, now,
+                       true);
+            } else {
+                if (cfg_.inclusion == InclusionPolicy::Inclusive)
+                    fillLlc(line, false, 0, FillSource::StreamPf, now,
+                            true);
+                fillL2(core, line, false, 0, FillSource::StreamPf, now,
+                       true);
+            }
+        } else {
+            if (llc_->peek(line))
+                continue;
+            fillLlc(line, false, 0, FillSource::StreamPf, now, true);
+        }
+    }
+}
+
+void
+CacheHierarchy::warmMiss(CoreId core, bool code, Addr addr, Cycle now,
+                         bool dirty_fill)
+{
+    warmStreamObserve(core, addr, now);
+
+    if (cfg_.hasL2) {
+        if (CacheLine *line = l2_[core]->warmLookup(addr)) {
+            line->usedSinceFill = true;
+            if (dirty_fill)
+                line->dirty = true;
+            fillL1(core, code, addr, dirty_fill, 0, FillSource::Demand,
+                   now, Level::L2, true);
+            return;
+        }
+    }
+
+    if (CacheLine *line = llc_->warmLookup(addr)) {
+        line->usedSinceFill = true;
+        bool dirty = line->dirty || dirty_fill;
+        if (cfg_.inclusion == InclusionPolicy::Exclusive) {
+            llc_->invalidate(addr, nullptr, false);
+            fillL2(core, addr, dirty, 0, FillSource::Demand, now, true);
+            fillL1(core, code, addr, dirty_fill, 0, FillSource::Demand,
+                   now, Level::LLC, true);
+        } else {
+            if (cfg_.hasL2)
+                fillL2(core, addr, false, 0, FillSource::Demand, now,
+                       true);
+            fillL1(core, code, addr, dirty_fill, 0, FillSource::Demand,
+                   now, Level::LLC, true);
+        }
+        return;
+    }
+
+    // Miss to memory: the line materialises with no DRAM timing.
+    switch (cfg_.inclusion) {
+      case InclusionPolicy::Exclusive:
+        fillL2(core, addr, dirty_fill, 0, FillSource::Demand, now, true);
+        break;
+      case InclusionPolicy::Inclusive:
+        fillLlc(addr, false, 0, FillSource::Demand, now, true);
+        if (cfg_.hasL2)
+            fillL2(core, addr, dirty_fill, 0, FillSource::Demand, now,
+                   true);
+        break;
+      case InclusionPolicy::Nine:
+        fillLlc(addr, false, 0, FillSource::Demand, now, true);
+        if (cfg_.hasL2)
+            fillL2(core, addr, dirty_fill, 0, FillSource::Demand, now,
+                   true);
+        break;
+    }
+    fillL1(core, code, addr, dirty_fill, 0, FillSource::Demand, now,
+           Level::Mem, true);
 }
 
 MemResult
@@ -462,6 +568,137 @@ CacheHierarchy::prefetchToL1(CoreId core, Addr addr, Cycle now,
     fillL1(core, code, addr, false, now + lat, src, now, Level::Mem);
     if (is_tact)
         ++stats_.tactPfFromMem;
+    return Level::Mem;
+}
+
+void
+CacheHierarchy::warmAccess(CoreId core, Addr pc, Addr addr, Cycle now,
+                           WarmKind kind)
+{
+    switch (kind) {
+      case WarmKind::Load:
+        // Train the stride prefetcher exactly like the demand path so
+        // warmed cache contents reflect its fills.
+        if (cfg_.l1StridePrefetcher) {
+            if (auto pf = stride_[core].observe(pc, addr))
+                warmPrefetchToL1(core, *pf, now);
+        }
+        if (CacheLine *line = l1d_[core]->warmLookup(addr)) {
+            line->usedSinceFill = true;
+            return;
+        }
+        warmMiss(core, false, addr, now, false);
+        return;
+      case WarmKind::Store:
+        if (CacheLine *line = l1d_[core]->warmLookup(addr)) {
+            line->dirty = true;
+            line->usedSinceFill = true;
+            return;
+        }
+        // RFO write-allocate, dirty on arrival.
+        warmMiss(core, false, addr, now, true);
+        return;
+      case WarmKind::Code:
+        if (CacheLine *line = l1i_[core]->warmLookup(addr)) {
+            line->usedSinceFill = true;
+            return;
+        }
+        warmMiss(core, true, addr, now, false);
+        return;
+    }
+}
+
+void
+CacheHierarchy::warmPrefetchToL1(CoreId core, Addr addr, Cycle now)
+{
+    // State-only analogue of prefetchToL1(PfKind::Stride): same stream
+    // training and placement decisions, no latency, no counters.
+    warmStreamObserve(core, addr, now);
+    if (l1d_[core]->peek(addr))
+        return;
+    FillSource src = FillSource::StridePf;
+    if (cfg_.hasL2) {
+        if (l2_[core]->peek(addr)) {
+            fillL1(core, false, addr, false, 0, src, now, Level::L2,
+                   true);
+            return;
+        }
+    }
+    if (const CacheLine *line = llc_->peek(addr)) {
+        bool dirty = line->dirty;
+        if (cfg_.inclusion == InclusionPolicy::Exclusive) {
+            llc_->invalidate(addr, nullptr, false);
+            fillL2(core, addr, dirty, 0, src, now, true);
+        } else if (cfg_.hasL2) {
+            fillL2(core, addr, false, 0, src, now, true);
+        }
+        fillL1(core, false, addr, false, 0, src, now, Level::LLC, true);
+        return;
+    }
+    switch (cfg_.inclusion) {
+      case InclusionPolicy::Exclusive:
+        fillL2(core, addr, false, 0, src, now, true);
+        break;
+      case InclusionPolicy::Inclusive:
+        fillLlc(addr, false, 0, src, now, true);
+        if (cfg_.hasL2)
+            fillL2(core, addr, false, 0, src, now, true);
+        break;
+      case InclusionPolicy::Nine:
+        fillLlc(addr, false, 0, src, now, true);
+        break;
+    }
+    fillL1(core, false, addr, false, 0, src, now, Level::Mem, true);
+}
+
+Level
+CacheHierarchy::warmTactPrefetch(CoreId core, Addr addr, bool code,
+                                 Cycle now)
+{
+    // State-only mirror of prefetchToL1(TactData/TactCode): same
+    // placement and inclusion handling, no latency, no counters, and —
+    // unlike the stride analogue above — no stream-prefetcher training
+    // (the detailed TACT path does not train it either).
+    Cache &l1 = code ? *l1i_[core] : *l1d_[core];
+    if (l1.peek(addr))
+        return Level::None;
+    FillSource src = code ? FillSource::TactCodePf : FillSource::TactPf;
+    if (cfg_.hasL2) {
+        if (l2_[core]->peek(addr)) {
+            fillL1(core, code, addr, false, 0, src, now, Level::L2,
+                   true);
+            return Level::L2;
+        }
+    }
+    if (const CacheLine *line = llc_->peek(addr)) {
+        bool dirty = line->dirty;
+        if (cfg_.inclusion == InclusionPolicy::Exclusive) {
+            llc_->invalidate(addr, nullptr, false);
+            fillL2(core, addr, dirty, 0, src, now, true);
+        } else if (cfg_.hasL2) {
+            fillL2(core, addr, false, 0, src, now, true);
+        }
+        fillL1(core, code, addr, false, 0, src, now, Level::LLC, true);
+        return Level::LLC;
+    }
+    if (code) {
+        // Off-die code runahead is dropped, exactly as in detailed mode.
+        return Level::None;
+    }
+    switch (cfg_.inclusion) {
+      case InclusionPolicy::Exclusive:
+        fillL2(core, addr, false, 0, src, now, true);
+        break;
+      case InclusionPolicy::Inclusive:
+        fillLlc(addr, false, 0, src, now, true);
+        if (cfg_.hasL2)
+            fillL2(core, addr, false, 0, src, now, true);
+        break;
+      case InclusionPolicy::Nine:
+        fillLlc(addr, false, 0, src, now, true);
+        break;
+    }
+    fillL1(core, false, addr, false, 0, src, now, Level::Mem, true);
     return Level::Mem;
 }
 

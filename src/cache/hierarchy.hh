@@ -117,6 +117,26 @@ class CacheHierarchy
     /** In-order code fetch of the line containing @p addr. */
     MemResult codeFetch(CoreId core, Addr addr, Cycle now);
 
+    /** Access kinds replayed by the functional-warming engine. */
+    enum class WarmKind : uint8_t
+    {
+        Load,
+        Store,
+        Code,
+    };
+
+    /**
+     * Functional-warming access: replays the demand paths' placement,
+     * replacement, dirty-bit and inclusion decisions — including the
+     * stride/stream prefetcher training and fills — with zero timing
+     * (lines are immediately ready, DRAM is never consulted) and zero
+     * stats. The exclusive/inclusive invariants hold across any mix of
+     * warm and detailed traffic because every fill funnels through the
+     * same per-level helpers.
+     */
+    void warmAccess(CoreId core, Addr pc, Addr addr, Cycle now,
+                    WarmKind kind);
+
     /** Prefetch kinds entering via prefetchToL1. */
     enum class PfKind : uint8_t
     {
@@ -131,6 +151,16 @@ class CacheHierarchy
      *          was already L1-resident
      */
     Level prefetchToL1(CoreId core, Addr addr, Cycle now, PfKind kind);
+
+    /**
+     * Warming analogue of prefetchToL1 for the TACT kinds: identical
+     * placement decisions — including DRAM-sourced data fills and the
+     * drop of off-die code runahead — with zero timing and zero stats.
+     * Warmed windows thus start with TACT's line placements (and its
+     * pollution) in the same levels the detailed path would have put
+     * them. @returns the level the line was sourced from.
+     */
+    Level warmTactPrefetch(CoreId core, Addr addr, bool code, Cycle now);
 
     /** True when the line is resident in the L2 or the LLC (oracle). */
     bool inL2OrLlc(CoreId core, Addr addr) const;
@@ -205,21 +235,32 @@ class CacheHierarchy
         return isCritical_ && isCritical_(core, pc);
     }
 
-    /** Fill helpers; each handles the displaced victim per policy. */
+    /** Fill helpers; each handles the displaced victim per policy.
+     *  @p warm selects the stats-free, zero-latency warming variant. */
     void fillL1(CoreId core, bool code, Addr addr, bool dirty,
                 Cycle ready_at, FillSource src, Cycle now,
-                Level fill_level = Level::None);
+                Level fill_level = Level::None, bool warm = false);
     void fillL2(CoreId core, Addr addr, bool dirty, Cycle ready_at,
-                FillSource src, Cycle now);
+                FillSource src, Cycle now, bool warm = false);
     void fillLlc(Addr addr, bool dirty, Cycle ready_at, FillSource src,
-                 Cycle now);
+                 Cycle now, bool warm = false);
 
     /** Services an L1 miss from L2 / LLC / DRAM; fills per policy. */
     MemResult serviceMiss(CoreId core, bool code, Addr addr, Cycle now,
                           bool dirty_fill, uint64_t *hit_ctr);
 
+    /** Warming analogue of serviceMiss: same placement, no timing. */
+    void warmMiss(CoreId core, bool code, Addr addr, Cycle now,
+                  bool dirty_fill);
+
+    /** Warming analogue of prefetchToL1(PfKind::Stride). */
+    void warmPrefetchToL1(CoreId core, Addr addr, Cycle now);
+
     /** Runs the L2 stream prefetcher on an access that missed the L1. */
     void streamObserve(CoreId core, Addr addr, Cycle now);
+
+    /** Warming analogue of streamObserve: trains + fills, no timing. */
+    void warmStreamObserve(CoreId core, Addr addr, Cycle now);
 
     /** Records Fig-11 timeliness when a TACT line gets its first use. */
     void noteTactUse(CacheLine &line, Cycle now);

@@ -1,9 +1,22 @@
 #include "common/sim_config.hh"
 
 #include "common/bitutil.hh"
+#include "common/env.hh"
 
 namespace catchsim
 {
+
+SamplingConfig
+SamplingConfig::fromEnvironment()
+{
+    SamplingConfig sc;
+    if (envFlag("CATCH_SAMPLE"))
+        sc.mode = SampleMode::Sampled;
+    sc.intervalInstrs = envU64("CATCH_SAMPLE_INTERVAL", sc.intervalInstrs);
+    sc.windowInstrs = envU64("CATCH_SAMPLE_WINDOW", sc.windowInstrs);
+    sc.warmupInstrs = envU64("CATCH_SAMPLE_WARMUP", sc.warmupInstrs);
+    return sc;
+}
 
 void
 SimConfig::enableCatch()
@@ -80,6 +93,19 @@ SimConfig::validate() const
     if (!isPowerOfTwo(dram.channels) || !isPowerOfTwo(dram.banksPerRank))
         return simError(ErrorCategory::Config,
                         "DRAM channels/banks must be powers of two");
+    if (sampling.sampled()) {
+        if (sampling.windowInstrs == 0)
+            return simError(ErrorCategory::Config,
+                            "sampled mode needs a non-zero detailed window");
+        if (sampling.warmupInstrs + sampling.windowInstrs >
+            sampling.intervalInstrs)
+            return simError(ErrorCategory::Config,
+                            "sample warmup+window must fit in the interval");
+        if (numCores > 1)
+            return simError(ErrorCategory::Config,
+                            "sampled mode is single-core only; MP mixes "
+                            "run detailed");
+    }
     return {};
 }
 

@@ -131,6 +131,41 @@ struct TactConfig
     bool any() const { return anyData() || code; }
 };
 
+/** Detailed cycle-accurate stepping vs SMARTS-style sampling. */
+enum class SampleMode : uint8_t
+{
+    Detailed, ///< every instruction through the OoO core (paper figures)
+    Sampled,  ///< functional warming + periodic detailed windows
+};
+
+/**
+ * Sampled-simulation schedule. Each period of @ref intervalInstrs
+ * instructions is split into functional warming (state updates only:
+ * cache tags, replacement, branch predictor, TACT learning), then
+ * @ref warmupInstrs detailed-but-unmeasured instructions to refill the
+ * pipeline/timing state, then a measured detailed window of
+ * @ref windowInstrs instructions. The schedule is driven purely by the
+ * instruction counter, so it is bitwise-reproducible at any job count.
+ */
+struct SamplingConfig
+{
+    SampleMode mode = SampleMode::Detailed;
+    // Defaults validated against full detailed runs: at >= ~1 M instrs
+    // per workload the sampled IPC of every suite kernel lands within
+    // ~3% of detailed under both hierarchy shapes. Shorter runs need
+    // denser sampling (smaller interval) to get enough windows — see
+    // docs/PERFORMANCE.md "Sampled simulation".
+    uint64_t intervalInstrs = 20000; ///< period length (warm+warmup+window)
+    uint64_t windowInstrs = 2000;    ///< measured detailed instrs per period
+    uint64_t warmupInstrs = 2000;    ///< detailed-unmeasured instrs per period
+
+    bool sampled() const { return mode == SampleMode::Sampled; }
+
+    /** Env-gated defaults: CATCH_SAMPLE (flag), CATCH_SAMPLE_INTERVAL,
+     *  CATCH_SAMPLE_WINDOW, CATCH_SAMPLE_WARMUP. */
+    static SamplingConfig fromEnvironment();
+};
+
 /** Oracle-study knobs (Figs 3, 4 and 5). */
 struct OracleConfig
 {
@@ -183,6 +218,7 @@ struct SimConfig
     CriticalityConfig criticality;
     TactConfig tact;
     OracleConfig oracle;
+    SamplingConfig sampling;
 
     uint32_t numCores = 1;
     uint64_t seed = 1;

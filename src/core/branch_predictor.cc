@@ -58,10 +58,9 @@ BranchPredictor::wouldMispredict(const MicroOp &op) const
     return false;
 }
 
-bool
-BranchPredictor::predictAndTrain(const MicroOp &op)
+BranchPredictor::Outcome
+BranchPredictor::train(const MicroOp &op)
 {
-    ++stats_.branches;
     uint32_t idx = gshareIndex(op.pc);
     uint32_t bidx = bimodalIndex(op.pc);
     bool gshare_taken = counters_[idx] >= 2;
@@ -100,14 +99,21 @@ BranchPredictor::predictAndTrain(const MicroOp &op)
     }
     history_ = ((history_ << 1) | (op.taken ? 1 : 0)) & historyMask_;
 
-    bool mis = dir_wrong || (op.taken && target_wrong);
-    if (mis)
+    return Outcome{dir_wrong, op.taken && target_wrong};
+}
+
+bool
+BranchPredictor::predictAndTrain(const MicroOp &op)
+{
+    Outcome o = train(op);
+    ++stats_.branches;
+    if (o.mispredict())
         ++stats_.mispredicts;
-    if (dir_wrong)
+    if (o.dirWrong)
         ++stats_.directionWrong;
-    if (op.taken && target_wrong)
+    if (o.targetWrong)
         ++stats_.targetWrong;
-    return mis;
+    return o.mispredict();
 }
 
 } // namespace catchsim

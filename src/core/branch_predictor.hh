@@ -46,6 +46,13 @@ class BranchPredictor
     /** Predicts, trains, and returns true on a mispredict. */
     bool predictAndTrain(const MicroOp &op);
 
+    /**
+     * Functional-warming entry: identical BTB/counter/chooser/history
+     * state updates to @ref predictAndTrain but no stats — warmed
+     * branches must be invisible in the measured windows.
+     */
+    void warmTrain(const MicroOp &op) { train(op); }
+
     /** Read-only query with current state (TACT-Code runahead). */
     bool wouldMispredict(const MicroOp &op) const;
 
@@ -59,6 +66,17 @@ class BranchPredictor
         Addr target = 0;
         bool valid = false;
     };
+
+    /** What a prediction got wrong (before training moved the state). */
+    struct Outcome
+    {
+        bool dirWrong = false;
+        bool targetWrong = false;
+        bool mispredict() const { return dirWrong || targetWrong; }
+    };
+
+    /** The shared predict+train core; updates state, never stats. */
+    Outcome train(const MicroOp &op);
 
     uint32_t gshareIndex(Addr pc) const;
     uint32_t bimodalIndex(Addr pc) const;

@@ -66,6 +66,19 @@ OooCore::rewind()
     frontend_.bindTrace(trace_);
 }
 
+void
+OooCore::skipTo(size_t pos)
+{
+    CATCHSIM_ASSERT(pos >= pos_ && pos <= trace_.count,
+                    "skipTo outside the remaining trace");
+    uint64_t skipped = pos - pos_;
+    pos_ = pos;
+    seq_ += skipped;
+    instrsDone_ += skipped;
+    if (stream_)
+        streamRefillAt_ = stream_->refillAt();
+}
+
 Cycle
 OooCore::allocSlot(Cycle lower_bound)
 {

@@ -79,6 +79,17 @@ class OooCore
 
     bool done() const { return pos_ >= trace_.count; }
 
+    /** Current trace cursor (shared with the functional-warming engine). */
+    size_t tracePos() const { return pos_; }
+
+    /**
+     * Adopts a cursor the functional-warming engine advanced: the
+     * instructions in [tracePos(), pos) were processed state-only, so
+     * they count as done but core time does not move. Stale pipeline
+     * timing is re-established by the per-window detailed warmup.
+     */
+    void skipTo(size_t pos);
+
     /** The core's notion of time: the last retirement. */
     Cycle now() const { return lastRetireCycle_; }
 

@@ -7,28 +7,30 @@ FunctionalMemory::Page *
 FunctionalMemory::pageFor(Addr addr)
 {
     Addr page = pageAddr(addr);
-    if (page == lastPageAddr_)
-        return lastPage_;
+    TlbEntry &e = tlb_[tlbIndex(page)];
+    if (e.page == page)
+        return e.data;
     auto it = pages_.find(page);
     if (it == pages_.end())
         it = pages_.emplace(page, Page()).first;
-    lastPageAddr_ = page;
-    lastPage_ = &it->second;
-    return lastPage_;
+    e.page = page;
+    e.data = &it->second;
+    return e.data;
 }
 
 const FunctionalMemory::Page *
 FunctionalMemory::pageForConst(Addr addr) const
 {
     Addr page = pageAddr(addr);
-    if (page == lastPageAddr_)
-        return lastPage_;
+    TlbEntry &e = tlb_[tlbIndex(page)];
+    if (e.page == page)
+        return e.data;
     auto it = pages_.find(page);
     if (it == pages_.end())
         return nullptr; // missing pages are not cached: they read as 0
-    lastPageAddr_ = page;
-    lastPage_ = const_cast<Page *>(&it->second);
-    return lastPage_;
+    e.page = page;
+    e.data = const_cast<Page *>(&it->second);
+    return e.data;
 }
 
 uint64_t

@@ -4,65 +4,89 @@ namespace catchsim
 {
 
 StreamPrefetcher::StreamPrefetcher(uint32_t entries, uint32_t degree)
-    : table_(entries), degree_(degree)
+    : pages_(entries, kNoPage), train_(entries), prev_(entries, kNil),
+      next_(entries, kNil), degree_(degree)
 {
 }
 
-StreamPrefetcher::Entry *
-StreamPrefetcher::find(Addr page)
+uint32_t
+StreamPrefetcher::find(Addr page) const
 {
-    for (auto &e : table_)
-        if (e.valid && e.page == page)
-            return &e;
-    return nullptr;
+    uint32_t n = static_cast<uint32_t>(pages_.size());
+    for (uint32_t i = 0; i < n; ++i)
+        if (pages_[i] == page)
+            return i;
+    return n;
 }
 
-StreamPrefetcher::Entry *
-StreamPrefetcher::allocate(Addr page)
+uint32_t
+StreamPrefetcher::allocate()
 {
-    Entry *lru = &table_[0];
-    for (auto &e : table_) {
-        if (!e.valid)
-            return &e;
-        if (e.lastUse < lru->lastUse)
-            lru = &e;
+    // Slots fill in index order and are never invalidated, so "first
+    // never-used slot" is just the fill count; afterwards the victim is
+    // the recency-list tail, matching the minimum-timestamp scan this
+    // replaced (timestamps were unique, so order was total).
+    if (filled_ < pages_.size()) {
+        uint32_t i = filled_++;
+        prev_[i] = kNil;
+        next_[i] = head_;
+        if (head_ != kNil)
+            prev_[head_] = i;
+        head_ = i;
+        if (tail_ == kNil)
+            tail_ = i;
+        return i;
     }
-    *lru = Entry{};
-    (void)page;
-    return lru;
+    uint32_t i = tail_;
+    touch(i);
+    return i;
+}
+
+void
+StreamPrefetcher::touch(uint32_t i)
+{
+    if (head_ == i)
+        return;
+    // Unlink (i is not the head, so prev_[i] is valid).
+    next_[prev_[i]] = next_[i];
+    if (next_[i] != kNil)
+        prev_[next_[i]] = prev_[i];
+    else
+        tail_ = prev_[i];
+    // Relink at the head.
+    prev_[i] = kNil;
+    next_[i] = head_;
+    prev_[head_] = i;
+    head_ = i;
 }
 
 void
 StreamPrefetcher::observe(Addr addr, std::vector<Addr> &out)
 {
-    ++clock_;
     Addr page = pageAddr(addr);
     int32_t line = static_cast<int32_t>((addr - page) >> kLineShift);
-    Entry *e = find(page);
-    if (!e) {
-        e = allocate(page);
-        e->valid = true;
-        e->page = page;
-        e->lastLine = line;
-        e->direction = 0;
-        e->confirms = 0;
-        e->lastUse = clock_;
+    uint32_t i = find(page);
+    if (i == pages_.size()) {
+        i = allocate();
+        pages_[i] = page;
+        train_[i] = Train{line, 0, 0};
         return;
     }
-    e->lastUse = clock_;
-    int32_t delta = line - e->lastLine;
+    touch(i);
+    Train &t = train_[i];
+    int32_t delta = line - t.lastLine;
     if (delta == 0)
         return;
     int32_t dir = delta > 0 ? 1 : -1;
-    if (e->direction == dir) {
-        if (e->confirms < 16)
-            ++e->confirms;
+    if (t.direction == dir) {
+        if (t.confirms < 16)
+            ++t.confirms;
     } else {
-        e->direction = dir;
-        e->confirms = 1;
+        t.direction = dir;
+        t.confirms = 1;
     }
-    e->lastLine = line;
-    if (e->confirms < 2)
+    t.lastLine = line;
+    if (t.confirms < 2)
         return;
 
     // Confirmed stream: prefetch degree_ lines ahead within the page.

@@ -38,23 +38,45 @@ class StreamPrefetcher
     uint64_t issued() const { return issued_; }
 
   private:
-    struct Entry
+    // Tags live in their own contiguous array so the match scan and the
+    // LRU-victim scan compile to straight-line vector code: observe()
+    // runs on every access reaching the L2, and on irregular workloads
+    // (where nearly every access misses the table) the two scans were
+    // the hottest loop in functional warming. kNoPage doubles as the
+    // invalid tag — real pages are page-aligned, so ~0 can never match
+    // — which keeps the scans free of per-entry valid tests.
+    static constexpr Addr kNoPage = ~Addr(0);
+
+    struct Train
     {
-        bool valid = false;
-        Addr page = 0;
         int32_t lastLine = 0;   ///< line offset within page, 0..63
         int32_t direction = 0;  ///< -1 / +1 once trained
         uint32_t confirms = 0;  ///< monotone accesses seen
-        int64_t lastUse = 0;
     };
 
-    Entry *find(Addr page);
-    Entry *allocate(Addr page);
+    /** @returns entry index for @p page, or entries() on a miss. */
+    uint32_t find(Addr page) const;
 
-    std::vector<Entry> table_;
+    /** First never-used slot, else the least-recently-used one. */
+    uint32_t allocate();
+
+    /** Unlinks entry @p i and relinks it at the MRU head. */
+    void touch(uint32_t i);
+
+    std::vector<Addr> pages_;
+    std::vector<Train> train_;
+    // Recency is an intrusive doubly-linked list instead of timestamps:
+    // every observe touches exactly one entry, so list order is exactly
+    // last-touch order and the LRU victim is the tail — no scan.
+    std::vector<uint32_t> prev_;
+    std::vector<uint32_t> next_;
+    uint32_t head_ = kNil;
+    uint32_t tail_ = kNil;
+    uint32_t filled_ = 0;
     uint32_t degree_;
-    int64_t clock_ = 0;
     uint64_t issued_ = 0;
+
+    static constexpr uint32_t kNil = ~0u;
 };
 
 } // namespace catchsim

@@ -17,6 +17,9 @@ namespace catchsim
 MpSimulator::MpSimulator(const SimConfig &cfg) : cfg_(cfg)
 {
     cfg_.numCores = 4;
+    // MP mixes always run detailed: the shared-LLC interference being
+    // measured is exactly what functional warming abstracts away.
+    cfg_.sampling = SamplingConfig();
     auto valid = cfg_.validate();
     CATCHSIM_ASSERT(valid.ok(), "invalid MP config: ",
                     valid.ok() ? "" : valid.error().message);

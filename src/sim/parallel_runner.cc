@@ -283,8 +283,12 @@ soloIpcsParallel(const SimConfig &cfg, const std::vector<MpMix> &mixes,
         for (const auto &w : mix.workloads)
             distinct.insert(w);
     std::vector<std::string> names(distinct.begin(), distinct.end());
+    // Solo baselines feed weighted-speedup against detailed MP runs, so
+    // they must run detailed themselves even under a sampled config.
+    SimConfig solo_cfg = cfg;
+    solo_cfg.sampling = SamplingConfig();
     auto results =
-        runWorkloadsParallel(cfg, names, instrs, warmup, jobs);
+        runWorkloadsParallel(solo_cfg, names, instrs, warmup, jobs);
     std::map<std::string, double> solo;
     for (size_t i = 0; i < names.size(); ++i)
         solo[names[i]] = results[i].ipc;

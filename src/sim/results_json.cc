@@ -273,6 +273,20 @@ SimResult::toJson() const
     w.field("total", energy.total());
     w.close();
 
+    // Emitted only by sampled runs (like "l2" above): detailed-mode
+    // documents stay byte-identical to pre-sampling exports, which the
+    // golden-hash tests pin.
+    if (sampled) {
+        w.object("sampling");
+        w.field("windows", sample.windows);
+        w.field("warmed_instrs", sample.warmedInstrs);
+        w.field("ipc_mean", sample.ipcMean);
+        w.field("ipc_variance", sample.ipcVariance);
+        w.field("ipc_min", sample.ipcMin);
+        w.field("ipc_max", sample.ipcMax);
+        w.close();
+    }
+
     w.close();
     return w.str();
 }
@@ -404,6 +418,17 @@ SimResult::fromJson(const JsonValue &v)
     energy.f64("interconnect", s.energy.interconnect);
     energy.f64("dram_dynamic", s.energy.dramDynamic);
     energy.f64("static_leakage", s.energy.staticLeakage);
+
+    s.sampled = r.has("sampling");
+    if (s.sampled) {
+        ObjectReader sm = r.child("sampling");
+        sm.u64("windows", s.sample.windows);
+        sm.u64("warmed_instrs", s.sample.warmedInstrs);
+        sm.f64("ipc_mean", s.sample.ipcMean);
+        sm.f64("ipc_variance", s.sample.ipcVariance);
+        sm.f64("ipc_min", s.sample.ipcMin);
+        sm.f64("ipc_max", s.sample.ipcMax);
+    }
 
     if (err)
         return *err;

@@ -6,6 +6,7 @@
 #include "common/host_clock.hh"
 #include "common/logging.hh"
 #include "criticality/heuristic_detector.hh"
+#include "sim/fast_forward.hh"
 #include "trace/suite.hh"
 #include "trace/trace_stream.hh"
 
@@ -110,31 +111,153 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
     // steps keeps the poll off the hot path while still bounding the
     // overrun to a handful of instructions (deterministically so).
     Watchdog wd(budget);
-    if (budget.limited()) {
-        while (core.instrsDone() < warmup && core.step()) {
-            if ((core.instrsDone() & 63) == 0)
-                if (auto err = wd.poll(core.now(), core.instrsDone()))
-                    return *err;
+    const SamplingConfig &sc = cfg.sampling;
+    SampleStats sample;
+    CoreStats sampled_core;
+    FrontendStats sampled_frontend;
+    double ipc_sum = 0, ipc_sq_sum = 0;
+    uint64_t measured_start_cycle = 0;
+
+    if (!sc.sampled()) {
+        if (budget.limited()) {
+            while (core.instrsDone() < warmup && core.step()) {
+                if ((core.instrsDone() & 63) == 0)
+                    if (auto err = wd.poll(core.now(), core.instrsDone()))
+                        return *err;
+            }
+        } else {
+            while (core.instrsDone() < warmup && core.step()) {
+            }
+        }
+        hierarchy.resetStats();
+        core.markMeasurementStart();
+        measured_start_cycle = core.now();
+        if (prof) {
+            profile->warmupSec = hostSeconds() - phase_start;
+            phase_start = hostSeconds();
+        }
+        if (budget.limited()) {
+            while (core.step()) {
+                if ((core.instrsDone() & 63) == 0)
+                    if (auto err = wd.poll(core.now(), core.instrsDone()))
+                        return *err;
+            }
+        } else {
+            while (core.step()) {
+            }
         }
     } else {
-        while (core.instrsDone() < warmup && core.step()) {
+        // Sampled mode: functional warming interleaved with detailed
+        // windows. The schedule is a pure function of the instruction
+        // counter (never wall clock), so results are bitwise-identical
+        // at any job count. Warming does not advance core time and the
+        // watchdog sees instruction progress, so one poll per phase
+        // bounds a cycle-ceiling overrun by a window's worth of steps.
+        FastForward ff(0, hierarchy, core.frontend().predictor(),
+                       tact.get());
+        if (stream)
+            ff.bind(*stream);
+        else
+            ff.bind(*trace);
+
+        auto accumulate = [](CoreStats &acc, const CoreStats &w) {
+            acc.instrs += w.instrs;
+            acc.cycles += w.cycles;
+            acc.loads += w.loads;
+            acc.stores += w.stores;
+            acc.forwardedLoads += w.forwardedLoads;
+            acc.branch.branches += w.branch.branches;
+            acc.branch.mispredicts += w.branch.mispredicts;
+            acc.branch.directionWrong += w.branch.directionWrong;
+            acc.branch.targetWrong += w.branch.targetWrong;
+        };
+
+        // Global warmup is warmed functionally — that is the point.
+        size_t before = core.tracePos();
+        core.skipTo(ff.warm(before, warmup, core.now()));
+        sample.warmedInstrs += core.tracePos() - before;
+        if (budget.limited())
+            if (auto err = wd.poll(core.now(), core.instrsDone()))
+                return *err;
+        hierarchy.resetStats();
+        if (prof) {
+            profile->warmupSec = hostSeconds() - phase_start;
+            phase_start = hostSeconds();
         }
-    }
-    hierarchy.resetStats();
-    core.markMeasurementStart();
-    uint64_t measured_start_cycle = core.now();
-    if (prof) {
-        profile->warmupSec = hostSeconds() - phase_start;
-        phase_start = hostSeconds();
-    }
-    if (budget.limited()) {
-        while (core.step()) {
-            if ((core.instrsDone() & 63) == 0)
+
+        // Where in each period the detailed (warmup + window) segment
+        // sits. A fixed offset aliases with any program periodicity
+        // near the interval length, so the segment is staggered by a
+        // Weyl sequence on the period index — deterministic, therefore
+        // still bitwise-identical at any job count.
+        const uint64_t slack =
+            sc.intervalInstrs - sc.warmupInstrs - sc.windowInstrs;
+        uint64_t period = 0;
+        while (!core.done()) {
+            // Functional warming up to this period's detailed segment.
+            uint64_t pre =
+                slack ? (period * 2654435761ULL) % (slack + 1) : 0;
+            if (pre) {
+                before = core.tracePos();
+                core.skipTo(ff.warm(before, pre, core.now()));
+                sample.warmedInstrs += core.tracePos() - before;
+                if (budget.limited())
+                    if (auto err =
+                            wd.poll(core.now(), core.instrsDone()))
+                        return *err;
+            }
+            if (core.done())
+                break;
+
+            // Detailed-but-unmeasured warmup: re-establishes pipeline,
+            // MSHR and DRAM timing state after the zero-time warming.
+            uint64_t t = core.instrsDone() + sc.warmupInstrs;
+            while (core.instrsDone() < t && core.step()) {
+            }
+            if (budget.limited())
                 if (auto err = wd.poll(core.now(), core.instrsDone()))
                     return *err;
-        }
-    } else {
-        while (core.step()) {
+            if (core.done())
+                break;
+
+            core.markMeasurementStart();
+            uint64_t w = core.instrsDone() + sc.windowInstrs;
+            while (core.instrsDone() < w && core.step()) {
+            }
+            if (budget.limited())
+                if (auto err = wd.poll(core.now(), core.instrsDone()))
+                    return *err;
+            CoreStats ws = core.stats();
+            if (ws.instrs == 0)
+                break;
+            double ipc_w =
+                ws.cycles ? static_cast<double>(ws.instrs) / ws.cycles
+                          : 0.0;
+            if (sample.windows == 0 || ipc_w < sample.ipcMin)
+                sample.ipcMin = ipc_w;
+            if (sample.windows == 0 || ipc_w > sample.ipcMax)
+                sample.ipcMax = ipc_w;
+            ++sample.windows;
+            ipc_sum += ipc_w;
+            ipc_sq_sum += ipc_w * ipc_w;
+            accumulate(sampled_core, ws);
+            const FrontendStats &fs = core.frontend().stats();
+            sampled_frontend.lineFetches += fs.lineFetches;
+            sampled_frontend.codeStallCycles += fs.codeStallCycles;
+            sampled_frontend.redirects += fs.redirects;
+
+            // Warm the rest of the period.
+            uint64_t post = slack - pre;
+            if (post) {
+                before = core.tracePos();
+                core.skipTo(ff.warm(before, post, core.now()));
+                sample.warmedInstrs += core.tracePos() - before;
+                if (budget.limited())
+                    if (auto err =
+                            wd.poll(core.now(), core.instrsDone()))
+                        return *err;
+            }
+            ++period;
         }
     }
     if (prof) {
@@ -148,8 +271,28 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
     r.workload = workload.name();
     r.config = cfg.name;
     r.category = workload.category();
-    r.core = core.stats();
-    r.ipc = r.core.ipc();
+    if (sc.sampled()) {
+        // Aggregate of the measured windows. The headline IPC is the
+        // ratio estimator (summed window instrs over summed window
+        // cycles) — the arithmetic mean of per-window IPCs is biased
+        // high whenever windows vary (it is bounded below by the
+        // harmonic mean, which is what aggregate IPC actually is). The
+        // per-window mean/variance stay in SampleStats as confidence
+        // diagnostics.
+        r.core = sampled_core;
+        r.ipc = r.core.ipc();
+        if (sample.windows) {
+            sample.ipcMean = ipc_sum / sample.windows;
+            double var = ipc_sq_sum / sample.windows -
+                         sample.ipcMean * sample.ipcMean;
+            sample.ipcVariance = var > 0 ? var : 0.0;
+        }
+        r.sampled = true;
+        r.sample = sample;
+    } else {
+        r.core = core.stats();
+        r.ipc = r.core.ipc();
+    }
     r.hier = hierarchy.stats();
     r.l1d = hierarchy.l1dStats(0);
     r.l1i = hierarchy.l1iStats(0);
@@ -158,7 +301,7 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
         r.l2 = *hierarchy.l2Stats(0);
     r.llc = hierarchy.llcStats();
     r.dram = hierarchy.dramStats();
-    r.frontend = core.frontend().stats();
+    r.frontend = sc.sampled() ? sampled_frontend : core.frontend().stats();
     if (detector) {
         if (ddg)
             r.ddg = ddg->stats();
@@ -181,7 +324,10 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
                       r.l1i.writeOps;
     uint64_t l2_ops = r.hasL2 ? r.l2.readOps + r.l2.writeOps : 0;
     uint64_t llc_ops = r.llc.readOps + r.llc.writeOps;
-    uint64_t cycles = core.now() - measured_start_cycle;
+    // Sampled runs leak the per-window warmup cycles into core.now();
+    // the summed window cycles are the honest measured-time base.
+    uint64_t cycles = sc.sampled() ? r.core.cycles
+                                   : core.now() - measured_start_cycle;
     r.energy = computeEnergy(EnergyParams{}, cfg, r.core.instrs, cycles,
                              l1_ops, l2_ops, llc_ops,
                              r.hier.ringTransfers, r.dram);

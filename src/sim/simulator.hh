@@ -27,6 +27,24 @@ namespace catchsim
 
 class JsonValue;
 
+/**
+ * Per-window aggregation of a sampled run (SampleMode::Sampled). The
+ * variance/min/max over window IPCs quantify how much confidence the
+ * sample schedule earned — a high variance says the workload's phases
+ * need a shorter interval (more windows) before the mean is trustworthy.
+ */
+struct SampleStats
+{
+    uint64_t windows = 0;      ///< measured detailed windows recorded
+    uint64_t warmedInstrs = 0; ///< instrs processed by functional warming
+    double ipcMean = 0;        ///< arithmetic mean of per-window IPCs
+                               ///< (SimResult::ipc uses the unbiased
+                               ///< ratio estimator instead)
+    double ipcVariance = 0;    ///< population variance over window IPCs
+    double ipcMin = 0;
+    double ipcMax = 0;
+};
+
 /** Everything a bench might want from one run. */
 struct SimResult
 {
@@ -59,6 +77,12 @@ struct SimResult
     double tactFromLlcFraction = 0;
 
     EnergyBreakdown energy;
+
+    /** Set iff the run used SampleMode::Sampled; detailed-mode results
+     *  carry neither the flag nor a "sampling" JSON object, keeping
+     *  their export byte-identical to pre-sampling trees. */
+    bool sampled = false;
+    SampleStats sample;
 
     /** Machine-readable form of every counter above (one JSON object). */
     std::string toJson() const;

@@ -39,6 +39,16 @@ Tact::Tact(const TactConfig &cfg, CoreId core, CacheHierarchy &hierarchy,
 Cycle
 Tact::issueData(Addr addr, Cycle now)
 {
+    if (warming_) {
+        // Learning plus functional placement: the same lines land in
+        // the same levels the detailed path would have put them
+        // (pollution included) with no timing or counters, and the
+        // arrival estimate mirrors the detailed return so the feeder's
+        // runahead pacing matches.
+        Level from = hierarchy_.warmTactPrefetch(core_, addr, false,
+                                                 now);
+        return now + hierarchy_.levelLatency(from);
+    }
     Level from = hierarchy_.prefetchToL1(core_, addr, now,
                                          CacheHierarchy::PfKind::TactData);
     return now + hierarchy_.levelLatency(from);

@@ -64,8 +64,20 @@ class Tact
 
     TactStats stats() const;
 
+    /**
+     * Functional warming: the components keep learning (trigger caches,
+     * safe strides, feeder chains) and issueData switches from timed
+     * prefetches to state-only placement via warmTactPrefetch, so
+     * warmed windows start with both trained tables and TACT's line
+     * placements — pollution included — while timing and counters stay
+     * detailed-mode effects.
+     */
+    void setWarming(bool warming) { warming_ = warming; }
+
   private:
     Cycle issueData(Addr addr, Cycle now);
+
+    bool warming_ = false;
 
     TactConfig cfg_;
     CoreId core_;

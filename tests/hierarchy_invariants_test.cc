@@ -5,6 +5,12 @@
  * oracle prefetches) against every topology and then verify structural
  * invariants by probing the line population. This is the property-based
  * safety net for the inclusion/exclusion state machines.
+ *
+ * The mixed-traffic tests interleave the functional-warming entry
+ * points (warmAccess, warmTactPrefetch) with demand traffic: warming
+ * funnels through the same per-level fill helpers as the demand paths,
+ * so the exclusive-duplication and inclusive-hole invariants must hold
+ * across any mix of warm and detailed accesses.
  */
 
 #include <gtest/gtest.h>
@@ -66,6 +72,32 @@ struct Driver
           default:
             h.inL2OrLlc(0, a);
             h.probeDataReady(0, a, t);
+            break;
+        }
+    }
+
+    /** One functional-warming access from the same address pool, so
+     *  warm and demand traffic fight over the same sets. */
+    void
+    warmStep(Cycle t)
+    {
+        Addr a = (rng.below(4096)) * 64;
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            h.warmAccess(0, 0x400000 + rng.below(64) * 4, a, t,
+                         CacheHierarchy::WarmKind::Load);
+            break;
+          case 2:
+            h.warmAccess(0, 0x400000 + rng.below(64) * 4, a, t,
+                         CacheHierarchy::WarmKind::Store);
+            break;
+          default:
+            if (rng.below(2))
+                h.warmAccess(0, 0, 0x400000 + rng.below(512) * 64, t,
+                             CacheHierarchy::WarmKind::Code);
+            else
+                h.warmTactPrefetch(0, a, false, t);
             break;
         }
     }
@@ -212,6 +244,76 @@ TEST(HierarchyInclusive, L2IsSubsetOfLlc)
                 probe_all(t);
         }
         probe_all(40000);
+    }
+}
+
+/**
+ * Exclusive-duplication invariant under mixed functional-warming and
+ * demand traffic: interleaving warmAccess / warmTactPrefetch with the
+ * demand paths (the exact mix a sampled run produces at every
+ * warm-to-detailed transition) must never leave a line valid in both
+ * the L2 and the LLC.
+ */
+TEST(HierarchyExclusive, NoDuplicationUnderMixedWarmAndDemandTraffic)
+{
+    for (uint64_t seed : {11u, 4242u, 777777u}) {
+        SimConfig cfg = tinyConfig(InclusionPolicy::Exclusive);
+        Driver d(cfg);
+        d.rng = Rng(seed);
+        auto probe_all = [&](Cycle t) {
+            for (Addr a = 0; a < 4096; ++a) {
+                Addr addr = a * 64;
+                EXPECT_FALSE(d.h.residentIn(0, addr, Level::L2) &&
+                             d.h.residentIn(0, addr, Level::LLC))
+                    << "duplicated line " << std::hex << addr
+                    << " (seed " << std::dec << seed << ", t " << t
+                    << ")";
+            }
+        };
+        // Alternate warm-heavy and demand-heavy phases like a sampled
+        // run does, probing at every phase boundary.
+        for (Cycle t = 0; t < 40000; ++t) {
+            bool warm_phase = (t / 5000) % 2 == 0;
+            if (warm_phase ? d.rng.below(4) != 0 : d.rng.below(4) == 0)
+                d.warmStep(t * 7);
+            else
+                d.step(t * 7);
+            if (t % 5000 == 4999)
+                probe_all(t);
+        }
+    }
+}
+
+/**
+ * Inclusive-hole invariant under the same mixed traffic: every
+ * L2-resident line stays LLC-resident no matter how warm and demand
+ * fills interleave.
+ */
+TEST(HierarchyInclusive, NoHoleUnderMixedWarmAndDemandTraffic)
+{
+    for (uint64_t seed : {11u, 4242u, 777777u}) {
+        SimConfig cfg = tinyConfig(InclusionPolicy::Inclusive);
+        Driver d(cfg);
+        d.rng = Rng(seed);
+        auto probe_all = [&](Cycle t) {
+            for (Addr a = 0; a < 4096; ++a) {
+                Addr addr = a * 64;
+                EXPECT_FALSE(d.h.residentIn(0, addr, Level::L2) &&
+                             !d.h.residentIn(0, addr, Level::LLC))
+                    << "inclusion hole at " << std::hex << addr
+                    << " (seed " << std::dec << seed << ", t " << t
+                    << ")";
+            }
+        };
+        for (Cycle t = 0; t < 40000; ++t) {
+            bool warm_phase = (t / 5000) % 2 == 0;
+            if (warm_phase ? d.rng.below(4) != 0 : d.rng.below(4) == 0)
+                d.warmStep(t * 7);
+            else
+                d.step(t * 7);
+            if (t % 5000 == 4999)
+                probe_all(t);
+        }
     }
 }
 

@@ -1,0 +1,17 @@
+#ifndef FAST_FORWARD_HH_
+#define FAST_FORWARD_HH_
+#include <vector>
+namespace fx
+{
+class FastForward
+{
+  public:
+    FastForward();
+    void bind(int n);
+    unsigned long warm(unsigned long n);
+
+  private:
+    std::vector<int> pending_;
+};
+} // namespace fx
+#endif

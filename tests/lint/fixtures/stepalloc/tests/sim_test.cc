@@ -1,0 +1,2 @@
+#include "sim/fast_forward.hh"
+int main() { return 0; }

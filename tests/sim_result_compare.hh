@@ -53,6 +53,10 @@ expectBitwiseEqual(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.activeCriticalPcs, b.activeCriticalPcs);
     EXPECT_TRUE(statsBitwiseEqual("tact", a.tact, b.tact));
     EXPECT_TRUE(statsBitwiseEqual("energy", a.energy, b.energy));
+    EXPECT_EQ(a.sampled, b.sampled);
+    if (a.sampled) {
+        EXPECT_TRUE(statsBitwiseEqual("sample", a.sample, b.sample));
+    }
 
     // Bitwise-equal doubles, reported readably.
     EXPECT_EQ(a.toJson(), b.toJson()) << a.workload;

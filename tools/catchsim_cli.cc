@@ -16,6 +16,16 @@
  *   --tact=cross,deep,feeder,code   enable specific TACT components
  *   --instr=<n>                 measured instructions   (default 300000)
  *   --warmup=<n>                warmup instructions     (default 100000)
+ *   --sample                    sampled simulation: functional warming
+ *                               with periodic detailed windows
+ *                               (Env: CATCH_SAMPLE=1)
+ *   --sample-interval=<n>       instrs per sampling period (default
+ *                               20000; env CATCH_SAMPLE_INTERVAL)
+ *   --sample-window=<n>         measured instrs per window (default
+ *                               2000; env CATCH_SAMPLE_WINDOW)
+ *   --sample-warmup=<n>         detailed-warmup instrs before each
+ *                               window (default 2000; env
+ *                               CATCH_SAMPLE_WARMUP)
  *   --llc-add=<cycles>          LLC latency adder
  *   --no-prefetchers            disable the baseline prefetchers
  *   --jobs=<n>                  parallel simulations (default CATCH_JOBS
@@ -43,6 +53,7 @@
  * (unknown option, unknown workload, invalid geometry).
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +82,15 @@ printReport(const SimResult &r)
     std::printf("IPC                : %.3f  (%llu instrs, %llu cycles)\n",
                 r.ipc, static_cast<unsigned long long>(r.core.instrs),
                 static_cast<unsigned long long>(r.core.cycles));
+    if (r.sampled) {
+        std::printf("sampling           : %llu windows, %llu warmed "
+                    "instrs, IPC sd %.3f [%.3f, %.3f]\n",
+                    static_cast<unsigned long long>(r.sample.windows),
+                    static_cast<unsigned long long>(
+                        r.sample.warmedInstrs),
+                    std::sqrt(r.sample.ipcVariance), r.sample.ipcMin,
+                    r.sample.ipcMax);
+    }
     std::printf("loads served       : L1 %.1f%%  L2 %.1f%%  LLC %.1f%%  "
                 "Mem %.1f%%  (fwd %llu)\n",
                 100 * r.hier.loadHitFraction(Level::L1),
@@ -152,6 +172,8 @@ usage()
                  "                [--detector=heuristic]\n"
                  "                [--tact=cross,deep,feeder,code] "
                  "[--instr=N] [--warmup=N]\n"
+                 "                [--sample] [--sample-interval=N] "
+                 "[--sample-window=N] [--sample-warmup=N]\n"
                  "                [--llc-add=N] [--no-prefetchers] "
                  "[--jobs=N] [--profile] [--json=FILE]\n"
                  "                [--journal=DIR] [--list] "
@@ -168,6 +190,7 @@ main(int argc, char **argv)
     bool client = false;
     int64_t no_l2_kb = -1;
     uint64_t instrs = 300000, warmup = 100000;
+    SamplingConfig sampling = SamplingConfig::fromEnvironment();
     unsigned jobs = suiteJobs();
     bool profile = false;
     std::string json_path;
@@ -204,6 +227,20 @@ main(int argc, char **argv)
             instrs = std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg.rfind("--warmup=", 0) == 0) {
             warmup = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--sample") {
+            sampling.mode = SampleMode::Sampled;
+        } else if (arg.rfind("--sample-interval=", 0) == 0) {
+            sampling.mode = SampleMode::Sampled;
+            sampling.intervalInstrs =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--sample-window=", 0) == 0) {
+            sampling.mode = SampleMode::Sampled;
+            sampling.windowInstrs =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--sample-warmup=", 0) == 0) {
+            sampling.mode = SampleMode::Sampled;
+            sampling.warmupInstrs =
+                std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg.rfind("--llc-add=", 0) == 0) {
             cfg.oracle.latAddLlc = static_cast<uint32_t>(
                 std::strtoul(value().c_str(), nullptr, 10));
@@ -246,6 +283,7 @@ main(int argc, char **argv)
         cfg.l1StridePrefetcher = false;
         cfg.l2StreamPrefetcher = false;
     }
+    cfg.sampling = sampling;
     if (cfg.tact.any())
         cfg.name += "+tact";
     else if (cfg.criticality.enabled)

@@ -13,8 +13,16 @@ tripwire against large regressions, not a benchmark target; refresh it
 (on the CI host class) when the simulator legitimately gets faster or
 slower.
 
+With --sampled, also pairs a sampled-mode document (bench_perf
+--mode=sampled) against the current detailed one and reports the
+sampled-over-detailed host-throughput speedup per cell plus the median.
+The speedup report is informational only — it never fails the check;
+docs/PERFORMANCE.md explains why the ceiling on this codebase is modest
+(the detailed model is already fast).
+
 Usage: check_perf.py --current BENCH_PERF.json \
                      [--baseline bench/perf/BENCH_PERF.json] \
+                     [--sampled BENCH_PERF_SAMPLED.json] \
                      [--tolerance 0.25]
 
 Exit status: 0 within tolerance, 1 regression, 2 bad input.
@@ -45,6 +53,30 @@ def cells(doc: dict) -> dict[tuple[str, str], dict]:
     return {(r["workload"], r["config"]): r for r in doc["results"]}
 
 
+def report_sampled(detailed: dict, sampled: dict) -> None:
+    """Informational sampled-over-detailed speedup; never fails."""
+    det_cells = cells(detailed)
+    speedups = []
+    print("sampled vs detailed (host kinstr/s, informational):")
+    for key, s in sorted(cells(sampled).items()):
+        d = det_cells.get(key)
+        if d is None:
+            print(f"  unpaired {key[0]:<12} {key[1]:<30} "
+                  f"{s['kips_median']:10.1f} kinstr/s (no detailed cell)")
+            continue
+        speedup = s["kips_median"] / d["kips_median"]
+        speedups.append(speedup)
+        print(f"  speedup  {key[0]:<12} {key[1]:<30} "
+              f"{d['kips_median']:10.1f} -> {s['kips_median']:10.1f} "
+              f"({speedup:.2f}x)")
+    if speedups:
+        speedups.sort()
+        n = len(speedups)
+        med = (speedups[n // 2] if n % 2
+               else 0.5 * (speedups[n // 2 - 1] + speedups[n // 2]))
+        print(f"sampled speedup median: {med:.2f}x over {n} cells")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     repo = Path(__file__).resolve().parents[2]
@@ -53,6 +85,9 @@ def main() -> int:
     ap.add_argument("--baseline", type=Path,
                     default=repo / "bench" / "perf" / "BENCH_PERF.json",
                     help="checked-in reference document")
+    ap.add_argument("--sampled", type=Path, default=None,
+                    help="bench_perf --mode=sampled document to compare "
+                         "against --current (informational)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional drop in the overall median")
     args = ap.parse_args()
@@ -72,6 +107,9 @@ def main() -> int:
         print(f"  {flag:<8} {key[0]:<12} {key[1]:<30} "
               f"{b['kips_median']:10.1f} -> {c['kips_median']:10.1f} "
               f"({ratio:.2f}x)")
+
+    if args.sampled is not None:
+        report_sampled(cur, load(args.sampled))
 
     b = base["median_kips_overall"]
     c = cur["median_kips_overall"]
