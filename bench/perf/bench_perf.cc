@@ -28,7 +28,17 @@
  *
  * Usage:
  *   bench_perf [--out=FILE] [--reps=N] [--instr=N] [--warmup=N]
- *              [--mode=detailed|sampled] [--quick]
+ *              [--mode=detailed|sampled] [--store=off|cold|warm]
+ *              [--quick]
+ *
+ * --store measures the memoized-generation pipeline (trace/chunk_store):
+ * "cold" gives every timed rep a fresh empty store (pays generation plus
+ * store bookkeeping), "warm" shares one store across the untimed warm
+ * rep and the timed reps so every refill is a memory-tier hit. The
+ * simulated results are bitwise-identical in all three settings (pinned
+ * by tests/chunk_store_test.cc); only host throughput moves. The cold
+ * and warm documents together bound the memoization ceiling in
+ * docs/PERFORMANCE.md.
  *
  * Writes a JSON document (default BENCH_PERF.json) of the shape
  * check_perf.py consumes:
@@ -56,11 +66,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/configs.hh"
 #include "sim/simulator.hh"
+#include "trace/chunk_store.hh"
 #include "trace/suite.hh"
 
 using namespace catchsim;
@@ -105,10 +117,10 @@ median(std::vector<double> v)
 /** One timed rep: a fresh Simulator + workload, full warmup+measure. */
 double
 timedRep(const SimConfig &cfg, const std::string &name, uint64_t instrs,
-         uint64_t warmup)
+         uint64_t warmup, ChunkStore *store = nullptr)
 {
     auto wl = makeWorkload(name);
-    Simulator sim(cfg);
+    Simulator sim(cfg, TraceMode::Streamed, store);
     double t0 = wallSeconds();
     SimResult r = sim.run(*wl, instrs, warmup);
     double sec = wallSeconds() - t0;
@@ -153,6 +165,7 @@ main(int argc, char **argv)
     uint64_t instrs = 300000, warmup = 100000;
     bool quick = false;
     bool sampled = false;
+    std::string store_mode = "off";
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -178,13 +191,22 @@ main(int argc, char **argv)
                              "sampled\n");
                 return 2;
             }
+        } else if (arg.rfind("--store=", 0) == 0) {
+            store_mode = value();
+            if (store_mode != "off" && store_mode != "cold" &&
+                store_mode != "warm") {
+                std::fprintf(stderr, "bench_perf: --store must be off, "
+                                     "cold, or warm\n");
+                return 2;
+            }
         } else if (arg == "--quick") {
             quick = true;
         } else {
             std::fprintf(stderr,
                          "usage: bench_perf [--out=FILE] [--reps=N] "
                          "[--instr=N] [--warmup=N] "
-                         "[--mode=detailed|sampled] [--quick]\n");
+                         "[--mode=detailed|sampled] "
+                         "[--store=off|cold|warm] [--quick]\n");
             return 2;
         }
     }
@@ -215,9 +237,26 @@ main(int argc, char **argv)
             Cell cell;
             cell.workload = name;
             cell.config = cfg.name;
-            timedRep(cfg, name, instrs, warmup); // warm, untimed
-            for (unsigned r = 0; r < reps; ++r)
-                cell.kips.push_back(timedRep(cfg, name, instrs, warmup));
+            // Memory-tier-only stores: "warm" shares one store across
+            // the cell so the untimed warm rep populates it and every
+            // timed rep is served from it; "cold" hands each timed rep
+            // a fresh empty store, so it pays generation plus store
+            // bookkeeping — the honest memoization overhead bound.
+            std::unique_ptr<ChunkStore> warm_store;
+            if (store_mode == "warm")
+                warm_store = std::make_unique<ChunkStore>();
+            timedRep(cfg, name, instrs, warmup,
+                     warm_store.get()); // warm, untimed
+            for (unsigned r = 0; r < reps; ++r) {
+                std::unique_ptr<ChunkStore> cold_store;
+                if (store_mode == "cold")
+                    cold_store = std::make_unique<ChunkStore>();
+                ChunkStore *store = store_mode == "warm"
+                                        ? warm_store.get()
+                                        : cold_store.get();
+                cell.kips.push_back(
+                    timedRep(cfg, name, instrs, warmup, store));
+            }
             cell.kipsMedian = median(cell.kips);
             cell.peakRssBytes = processPeakRssBytes();
             cell.peakRssDeltaBytes = cell.peakRssBytes - rss_before;
@@ -247,6 +286,7 @@ main(int argc, char **argv)
                       ", \"reps\": " + std::to_string(reps) +
                       ", \"mode\": \"" +
                       (sampled ? "sampled" : "detailed") +
+                      "\", \"store\": \"" + store_mode +
                       "\", \"results\": [\n";
     for (size_t i = 0; i < cells.size(); ++i) {
         const Cell &c = cells[i];

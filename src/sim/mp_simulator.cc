@@ -39,8 +39,9 @@ MpSimulator::run(const MpMix &mix, uint64_t instrs_per_core,
     streams.reserve(mix.workloads.size());
     for (const auto &name : mix.workloads) {
         workloads.push_back(makeWorkload(name));
-        streams.push_back(
-            std::make_unique<TraceStream>(*workloads.back(), total));
+        streams.push_back(std::make_unique<TraceStream>(
+            *workloads.back(), total, TraceStream::kDefaultChunkOps,
+            std::function<double()>(), ChunkStore::global()));
     }
 
     CacheHierarchy hierarchy(cfg_);

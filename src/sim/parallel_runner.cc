@@ -102,7 +102,8 @@ workloadCostEstimate(const std::string &name)
 
 void
 runTasksLongestFirst(std::vector<std::function<void()>> tasks,
-                     const std::vector<double> &cost, unsigned jobs)
+                     const std::vector<double> &cost, unsigned jobs,
+                     ChunkStore *store)
 {
     CATCHSIM_ASSERT(cost.size() == tasks.size(),
                     "cost/task vector size mismatch");
@@ -122,6 +123,10 @@ runTasksLongestFirst(std::vector<std::function<void()>> tasks,
     for (size_t i : order)
         sorted.push_back(std::move(tasks[i]));
     ThreadPool pool(std::min<size_t>(jobs, sorted.size()));
+    // Declared after the pool so it detaches the producer BEFORE the
+    // pool destructor drains in-flight tasks: nothing can chain a new
+    // producer task onto a dying pool.
+    ProducerPoolGuard producer(store, &pool);
     pool.runAll(std::move(sorted));
 }
 
@@ -137,7 +142,7 @@ namespace
 RunOutcome
 executeIsolated(const SimConfig &cfg, const std::string &name,
                 uint64_t instrs, uint64_t warmup,
-                const IsolationOptions &opts)
+                const IsolationOptions &opts, ChunkStore *store)
 {
     RunOutcome out;
     out.workload = name;
@@ -151,7 +156,8 @@ executeIsolated(const SimConfig &cfg, const std::string &name,
             RunProfile prof;
             auto r = runWorkloadGuarded(cfg, name, instrs, warmup,
                                         opts.budget, plan, attempt,
-                                        opts.profile ? &prof : nullptr);
+                                        opts.profile ? &prof : nullptr,
+                                        store);
             if (r.ok()) {
                 out.result = std::move(r).value();
                 out.status =
@@ -214,6 +220,10 @@ runWorkloadsIsolated(const SimConfig &cfg,
     std::vector<double> cost;
     tasks.reserve(names.size());
     cost.reserve(names.size());
+    // Resolve the store once on the calling thread: ChunkStore::global()
+    // reads the environment on first use, which must not happen
+    // concurrently from workers (env.hh startup contract).
+    ChunkStore *store = opts.store ? *opts.store : ChunkStore::global();
     for (size_t i = 0; i < names.size(); ++i) {
         // Journal replay happens here on the calling thread, before any
         // worker starts: resumed runs never occupy a worker slot.
@@ -231,11 +241,13 @@ runWorkloadsIsolated(const SimConfig &cfg,
                 continue;
             }
         }
-        tasks.push_back([&, i] {
+        tasks.push_back([&, i, store] {
             // Fully private run: own workload (re-seeded from its suite
-            // entry), own Simulator, own outcome slot.
+            // entry), own Simulator, own outcome slot. The store (when
+            // present) is shared deliberately — chunks are immutable
+            // and content-addressed, so sharing cannot couple runs.
             outcomes[i] = executeIsolated(cfg, names[i], instrs, warmup,
-                                          opts);
+                                          opts, store);
             if (opts.journal)
                 opts.journal->append(outcomes[i], instrs, warmup);
             if (progress)
@@ -243,7 +255,7 @@ runWorkloadsIsolated(const SimConfig &cfg,
         });
         cost.push_back(workloadCostEstimate(names[i]));
     }
-    runTasksLongestFirst(std::move(tasks), cost, jobs);
+    runTasksLongestFirst(std::move(tasks), cost, jobs, store);
     return outcomes;
 }
 

@@ -126,6 +126,11 @@ struct IsolationOptions
     /// Injection plan override; null = FaultPlan::global(). Lets tests
     /// drive the harness in-process without touching the environment.
     const FaultPlan *plan = nullptr;
+    /// Chunk-store override: unset = ChunkStore::global(); an explicit
+    /// value (possibly nullptr, i.e. store disabled) wins. Lets tests
+    /// permute store states in-process without touching the
+    /// environment. Resolved once on the calling thread.
+    std::optional<ChunkStore *> store;
 
     static IsolationOptions fromEnvironment();
 };
@@ -161,9 +166,12 @@ double workloadCostEstimate(const std::string &name);
  * Runs @p tasks on @p jobs threads, dispatching in descending @p cost
  * order. Each task must write only to its own pre-assigned output.
  * @p jobs <= 1 runs serially, in index order, on the calling thread.
+ * While the pool exists its idle capacity is offered to @p store's
+ * background chunk producer (no-op when @p store is null or serial).
  */
 void runTasksLongestFirst(std::vector<std::function<void()>> tasks,
-                          const std::vector<double> &cost, unsigned jobs);
+                          const std::vector<double> &cost, unsigned jobs,
+                          ChunkStore *store = ChunkStore::global());
 
 /**
  * Legacy results-only wrapper over runWorkloadsIsolated: results[i] is

@@ -555,6 +555,10 @@ writeSuiteJson(const std::string &path, const SimConfig &cfg,
                 w.field("warmup_sec", o.profile->warmupSec);
                 w.field("measured_sec", o.profile->measuredSec);
                 w.field("peak_rss_bytes", o.profile->peakRssBytes);
+                // Per-run (never campaign-cumulative) chunk-store
+                // counters: hit-rate stays attributable to this cell.
+                w.field("store_hit_chunks", o.profile->storeHitChunks);
+                w.field("store_miss_chunks", o.profile->storeMissChunks);
                 w.close();
             }
             w.rawField("result", o.result.toJson());

@@ -13,8 +13,9 @@
 namespace catchsim
 {
 
-Simulator::Simulator(const SimConfig &cfg, TraceMode mode)
-    : cfg_(cfg), mode_(mode)
+Simulator::Simulator(const SimConfig &cfg, TraceMode mode,
+                     ChunkStore *store)
+    : cfg_(cfg), mode_(mode), store_(store)
 {
     auto valid = cfg_.validate();
     CATCHSIM_ASSERT(valid.ok(), "invalid config reached the Simulator: ",
@@ -58,7 +59,8 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
         stream.emplace(workload, instrs + warmup,
                        TraceStream::kDefaultChunkOps,
                        prof ? std::function<double()>(hostSeconds)
-                            : std::function<double()>());
+                            : std::function<double()>(),
+                       store_);
         mem = stream->mem().get();
     }
     CacheHierarchy hierarchy(cfg);
@@ -262,8 +264,11 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
     }
     if (prof) {
         profile->measuredSec = hostSeconds() - phase_start;
-        if (stream)
+        if (stream) {
             profile->traceGenSec = stream->genSeconds();
+            profile->storeHitChunks = stream->storeHits();
+            profile->storeMissChunks = stream->storeMisses();
+        }
         profile->peakRssBytes = peakRssBytes();
     }
 
@@ -347,7 +352,8 @@ Expected<SimResult>
 runWorkloadGuarded(const SimConfig &cfg, const std::string &name,
                    uint64_t instrs, uint64_t warmup,
                    const RunBudget &budget, const FaultPlan &plan,
-                   unsigned attempt, RunProfile *profile)
+                   unsigned attempt, RunProfile *profile,
+                   ChunkStore *store)
 {
     if (plan.enabled()) {
         if (plan.shouldInject(FaultKind::TraceCorrupt, name, attempt))
@@ -380,7 +386,7 @@ runWorkloadGuarded(const SimConfig &cfg, const std::string &name,
     auto wl = findWorkload(name);
     if (!wl.ok())
         return wl.error();
-    Simulator sim(cfg);
+    Simulator sim(cfg, TraceMode::Streamed, store);
     return sim.runGuarded(*wl.value(), instrs, warmup, budget, profile);
 }
 

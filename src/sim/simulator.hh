@@ -20,6 +20,7 @@
 #include "power/power_model.hh"
 #include "sim/run_guard.hh"
 #include "tact/tact.hh"
+#include "trace/chunk_store.hh"
 #include "trace/workload.hh"
 
 namespace catchsim
@@ -127,14 +128,26 @@ struct RunProfile
     double warmupSec = 0;
     double measuredSec = 0;
     uint64_t peakRssBytes = 0;
+    /** Chunk refills served by / missed in the chunk store for THIS
+     *  run (zero when no store is attached). Per-run, never cumulative
+     *  across a campaign, so store hit-rate is attributable per cell. */
+    uint64_t storeHitChunks = 0;
+    uint64_t storeMissChunks = 0;
 };
 
 /** Runs one workload on one machine configuration. */
 class Simulator
 {
   public:
+    /**
+     * @param store memoized chunk store feeding streamed-mode refills;
+     *        defaults to the process-wide store (null unless enabled
+     *        via CATCH_TRACE_STORE / CATCH_TRACE_CACHE). Results are
+     *        bitwise-identical with or without one.
+     */
     explicit Simulator(const SimConfig &cfg,
-                       TraceMode mode = TraceMode::Streamed);
+                       TraceMode mode = TraceMode::Streamed,
+                       ChunkStore *store = ChunkStore::global());
 
     /**
      * @param instrs measured instructions
@@ -159,6 +172,7 @@ class Simulator
   private:
     SimConfig cfg_;
     TraceMode mode_;
+    ChunkStore *store_;
 };
 
 /** Convenience: build + run in one call. */
@@ -180,7 +194,9 @@ Expected<SimResult> runWorkloadGuarded(const SimConfig &cfg,
                                        const RunBudget &budget,
                                        const FaultPlan &plan,
                                        unsigned attempt = 1,
-                                       RunProfile *profile = nullptr);
+                                       RunProfile *profile = nullptr,
+                                       ChunkStore *store =
+                                           ChunkStore::global());
 
 } // namespace catchsim
 

@@ -1,0 +1,539 @@
+#include "trace/chunk_store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/env.hh"
+#include "common/fault_inject.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "trace/suite.hh"
+#include "trace/trace_io.hh"
+
+namespace catchsim
+{
+
+namespace
+{
+
+// Chunk-record magic, distinct from full-trace files ("CTSIM\0") so a
+// misplaced file of either kind is rejected by the first six bytes.
+constexpr char kChunkMagic[6] = {'C', 'T', 'C', 'H', 'K', '\0'};
+
+// Fixed prefix of a chunk record before the kernel-name bytes:
+// magic, u32 version, u64 seed, u64 index, u32 chunkOps, u32 name len.
+constexpr uint64_t kChunkHeaderBytes = sizeof(kChunkMagic) + 4 + 8 + 8 + 4 + 4;
+
+/** Exact byte size of @p key's disk record (header + ops + checksum). */
+uint64_t
+chunkRecordBytes(const ChunkKey &key)
+{
+    return kChunkHeaderBytes + key.kernel.size() +
+           uint64_t(key.chunkOps) * kTraceOpRecordBytes + 8;
+}
+
+void
+putBytes(std::vector<uint8_t> &out, size_t at, const void *src, size_t n)
+{
+    std::memcpy(out.data() + at, src, n);
+}
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+// --- ChunkGenerator ----------------------------------------------------
+
+void
+ChunkGenerator::reset(Workload &wl, uint32_t chunk_ops)
+{
+    mem_ = std::make_unique<FunctionalMemory>();
+    rng_.emplace(wl.seed());
+    buf_.clear();
+    // Unbounded op budget: kernels only ever observe done(), which
+    // stays false, so the emitted stream is the canonical prefix
+    // function of (kernel, seed) regardless of any consumer's total.
+    em_.emplace(*mem_, buf_, /*limit=*/~size_t(0),
+                /*reserve_hint=*/2 * size_t(chunk_ops));
+    wl.setup(*mem_, *rng_);
+    nextIdx_ = 0;
+    started_ = true;
+}
+
+void
+ChunkGenerator::discard()
+{
+    em_.reset();
+    rng_.reset();
+    mem_.reset();
+    buf_.clear();
+    buf_.shrink_to_fit();
+    started_ = false;
+    // The next chunk produced is chunk 0 again; callers that read
+    // nextIndex() before calling next() must see that, not the index
+    // the discarded engine had reached.
+    nextIdx_ = 0;
+}
+
+std::vector<MicroOp>
+ChunkGenerator::next(Workload &wl, uint32_t chunk_ops)
+{
+    if (!started_)
+        reset(wl, chunk_ops);
+    const size_t want = chunk_ops;
+    while (buf_.size() < want) {
+        const size_t before = em_->emitted();
+        wl.run(*em_, *rng_);
+        CATCHSIM_ASSERT(em_->emitted() > before,
+                        "workload kernel made no forward progress");
+    }
+    std::vector<MicroOp> out(buf_.begin(),
+                             buf_.begin() + static_cast<ptrdiff_t>(want));
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(want));
+    ++nextIdx_;
+    return out;
+}
+
+// --- ChunkStore: producer state ----------------------------------------
+
+/**
+ * Per-(kernel, seed, chunkOps) background generation state. The
+ * atomics publish consumer progress without locks; the engine itself
+ * (workload instance + ChunkGenerator) is serialised by engineMu —
+ * generation is sequential by nature, so one producer task at a time
+ * advances it (`active` elects that task).
+ */
+struct ChunkStore::Producer
+{
+    std::string kernel;
+    uint64_t seed = 0;
+    uint32_t chunkOps = 0;
+    std::atomic<uint64_t> consumerIndex{0}; ///< furthest consumer chunk
+    std::atomic<uint64_t> maxChunks{0};     ///< furthest consumer's end
+    std::atomic<bool> active{false};        ///< a task owns the engine
+    std::mutex engineMu;
+    bool broken = false; ///< kernel not instantiable; stay off
+    std::unique_ptr<Workload> wl;
+    ChunkGenerator gen;
+};
+
+// --- ChunkStore --------------------------------------------------------
+
+ChunkStore::ChunkStore() : ChunkStore(Config()) {}
+
+// Callers must detach any producer pool first (ProducerPoolGuard does);
+// no task can then hold a reference into producers_.
+ChunkStore::~ChunkStore() = default;
+
+ChunkStore::ChunkStore(Config cfg)
+    : cfg_(std::move(cfg))
+{
+    if (!cfg_.diskDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.diskDir, ec);
+        if (ec) {
+            warn("chunk store: cannot create cache dir '", cfg_.diskDir,
+                 "': ", ec.message(), " — disk tier disabled");
+            cfg_.diskDir.clear();
+        }
+    }
+}
+
+std::string
+ChunkStore::mapKey(const ChunkKey &key)
+{
+    return key.kernel + '|' + std::to_string(key.seed) + '|' +
+           std::to_string(key.chunkOps) + '|' + std::to_string(key.index);
+}
+
+std::string
+ChunkStore::diskPath(const ChunkKey &key) const
+{
+    return cfg_.diskDir + '/' + key.kernel + "-s" +
+           std::to_string(key.seed) + "-c" + std::to_string(key.chunkOps) +
+           "-v" + std::to_string(kTraceFormatVersion) + "-i" +
+           std::to_string(key.index) + ".ctc";
+}
+
+ChunkStore::ChunkPtr
+ChunkStore::find(const ChunkKey &key)
+{
+    const std::string mk = mapKey(key);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(mk);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.hits;
+            return it->second->chunk;
+        }
+    }
+    if (!cfg_.diskDir.empty()) {
+        auto loaded = loadDiskChecked(key);
+        if (loaded.ok()) {
+            ChunkPtr c = std::move(loaded).value();
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = map_.find(mk);
+            if (it != map_.end()) {
+                // A writer published while we read the file; serve the
+                // resident copy (the bytes are identical either way).
+                lru_.splice(lru_.begin(), lru_, it->second);
+            } else {
+                const size_t bytes = c->size() * sizeof(MicroOp);
+                lru_.push_front(Entry{mk, c, bytes}); // catch-lint: allow(step-alloc) once per 64K-op chunk, not per cycle
+                map_[mk] = lru_.begin();
+                residentBytes_ += bytes;
+                evictOverBudgetLocked();
+            }
+            ++stats_.hits;
+            ++stats_.diskHits;
+            return c;
+        }
+        const SimError &e = loaded.error();
+        if (e.category == ErrorCategory::TraceCorrupt) {
+            // Contain, don't crash: drop the bad record so the slot is
+            // rewritten from regenerated (canonical) bytes, and report
+            // a miss — the caller regenerates deterministically.
+            warn(e.message, " — dropping the record and regenerating");
+            std::remove(diskPath(key).c_str());
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.corrupt;
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return nullptr;
+}
+
+ChunkStore::ChunkPtr
+ChunkStore::put(const ChunkKey &key, Chunk chunk)
+{
+    CATCHSIM_ASSERT(chunk.size() == key.chunkOps,
+                    "chunk store only holds full chunks: got ",
+                    chunk.size(), " ops for a ", key.chunkOps,
+                    "-op key");
+    const std::string mk = mapKey(key);
+    ChunkPtr c;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(mk);
+        if (it != map_.end()) {
+            // First writer wins; every writer holds identical bytes.
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return it->second->chunk;
+        }
+        c = std::make_shared<const Chunk>(std::move(chunk)); // catch-lint: allow(step-alloc) once per 64K-op chunk, not per cycle
+        const size_t bytes = c->size() * sizeof(MicroOp);
+        lru_.push_front(Entry{mk, c, bytes}); // catch-lint: allow(step-alloc) once per 64K-op chunk, not per cycle
+        map_[mk] = lru_.begin();
+        residentBytes_ += bytes;
+        ++stats_.puts;
+        evictOverBudgetLocked();
+    }
+    if (!cfg_.diskDir.empty()) {
+        auto w = writeDisk(key, *c);
+        if (!w.ok())
+            warn(w.error().message, " — disk tier skipped for this chunk");
+    }
+    return c;
+}
+
+void
+ChunkStore::evictOverBudgetLocked()
+{
+    // Never evict below one resident chunk: the entry just inserted
+    // must survive long enough to be returned to its requester.
+    while (residentBytes_ > cfg_.memBudgetBytes && lru_.size() > 1) {
+        const Entry &victim = lru_.back();
+        residentBytes_ -= victim.bytes;
+        map_.erase(victim.mapKey);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+Expected<void>
+ChunkStore::writeDisk(const ChunkKey &key, const Chunk &chunk)
+{
+    const std::string path = diskPath(key);
+    {
+        // Already persisted (by an earlier run or another worker racing
+        // on the same identity): the bytes are canonical, keep them.
+        FilePtr probe(std::fopen(path.c_str(), "rb"));
+        if (probe)
+            return {};
+    }
+    const uint64_t total = chunkRecordBytes(key);
+    std::vector<uint8_t> out(total);
+    size_t at = 0;
+    putBytes(out, at, kChunkMagic, sizeof(kChunkMagic));
+    at += sizeof(kChunkMagic);
+    const uint32_t version = kTraceFormatVersion;
+    putBytes(out, at, &version, 4);
+    at += 4;
+    putBytes(out, at, &key.seed, 8);
+    at += 8;
+    putBytes(out, at, &key.index, 8);
+    at += 8;
+    putBytes(out, at, &key.chunkOps, 4);
+    at += 4;
+    const uint32_t name_len = static_cast<uint32_t>(key.kernel.size());
+    putBytes(out, at, &name_len, 4);
+    at += 4;
+    putBytes(out, at, key.kernel.data(), key.kernel.size());
+    at += key.kernel.size();
+    for (const MicroOp &op : chunk) {
+        encodeOpRecord(op, out.data() + at);
+        at += kTraceOpRecordBytes;
+    }
+    const uint64_t sum = fnv1a(out.data(), at);
+    putBytes(out, at, &sum, 8);
+    at += 8;
+    CATCHSIM_ASSERT(at == total, "chunk record layout mismatch");
+
+    // Write to a unique temp name, then rename: readers only ever see
+    // complete, checksummed records, even across concurrent writers.
+    const std::string tmp =
+        path + ".tmp" +
+        std::to_string(tmpSerial_.fetch_add(1, std::memory_order_relaxed));
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f)
+        return simError(ErrorCategory::IoTransient,
+                        "chunk store: cannot open '", tmp,
+                        "' for writing");
+    if (std::fwrite(out.data(), 1, out.size(), f.get()) != out.size() ||
+        std::fflush(f.get()) != 0) {
+        f.reset();
+        std::remove(tmp.c_str());
+        return simError(ErrorCategory::IoTransient,
+                        "chunk store: write to '", tmp, "' failed");
+    }
+    f.reset();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return simError(ErrorCategory::IoTransient,
+                        "chunk store: cannot rename '", tmp, "' to '",
+                        path, "'");
+    }
+    return {};
+}
+
+Expected<ChunkStore::ChunkPtr>
+ChunkStore::loadDiskChecked(const ChunkKey &key)
+{
+    const std::string path = diskPath(key);
+    auto corrupt = [&path](auto &&...what) {
+        return simError(ErrorCategory::TraceCorrupt, "chunk file '",
+                        path, "': ", what...);
+    };
+    // Deterministic fault injection: the reserved "chunk-store" target
+    // corrupts every disk read so CI can drive the containment path
+    // (drop + regenerate) without manufacturing real bit flips.
+    if (cfg_.plan &&
+        cfg_.plan->shouldInject(FaultKind::TraceCorrupt, "chunk-store"))
+        return corrupt("injected chunk-store corruption");
+
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return simError(ErrorCategory::Config, "no chunk file '", path,
+                        "'");
+    // The expected size is a pure function of the key, so it bounds the
+    // read buffer before anything in the file is trusted.
+    const uint64_t expected = chunkRecordBytes(key);
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return simError(ErrorCategory::IoTransient, "cannot seek in '",
+                        path, "'");
+    const long told = std::ftell(f.get());
+    if (told < 0)
+        return simError(ErrorCategory::IoTransient, "cannot size '",
+                        path, "'");
+    if (static_cast<uint64_t>(told) != expected)
+        return corrupt(told, " bytes on disk, expected ", expected,
+                       " (truncated or foreign record)");
+    std::rewind(f.get());
+    std::vector<uint8_t> buf(expected);
+    if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size())
+        return corrupt("short read of ", expected, " bytes");
+
+    uint64_t sum = 0;
+    std::memcpy(&sum, buf.data() + buf.size() - 8, 8);
+    if (fnv1a(buf.data(), buf.size() - 8) != sum)
+        return corrupt("FNV-1a checksum mismatch (bit flip?)");
+
+    size_t at = 0;
+    if (std::memcmp(buf.data(), kChunkMagic, sizeof(kChunkMagic)) != 0)
+        return corrupt("bad magic");
+    at += sizeof(kChunkMagic);
+    uint32_t version = 0;
+    std::memcpy(&version, buf.data() + at, 4);
+    at += 4;
+    if (version != kTraceFormatVersion)
+        return corrupt("unsupported version ", version, ", expected ",
+                       kTraceFormatVersion);
+    uint64_t seed = 0;
+    std::memcpy(&seed, buf.data() + at, 8);
+    at += 8;
+    uint64_t index = 0;
+    std::memcpy(&index, buf.data() + at, 8);
+    at += 8;
+    uint32_t chunk_ops = 0;
+    std::memcpy(&chunk_ops, buf.data() + at, 4);
+    at += 4;
+    uint32_t name_len = 0;
+    std::memcpy(&name_len, buf.data() + at, 4);
+    at += 4;
+    if (seed != key.seed || index != key.index ||
+        chunk_ops != key.chunkOps || name_len != key.kernel.size() ||
+        std::memcmp(buf.data() + at, key.kernel.data(), name_len) != 0)
+        return corrupt("header does not match the requested key");
+    at += name_len;
+
+    auto chunk = std::make_shared<Chunk>(size_t(chunk_ops)); // catch-lint: allow(step-alloc) once per 64K-op chunk, not per cycle
+    for (uint32_t i = 0; i < chunk_ops; ++i) {
+        if (const char *defect =
+                decodeOpRecord(buf.data() + at, &(*chunk)[i]))
+            return corrupt("op ", i, ": ", defect);
+        at += kTraceOpRecordBytes;
+    }
+    return ChunkPtr(std::move(chunk));
+}
+
+ChunkStore::Stats
+ChunkStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+size_t
+ChunkStore::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return residentBytes_;
+}
+
+// --- producer stage ----------------------------------------------------
+
+void
+ChunkStore::setProducerPool(ThreadPool *pool)
+{
+    pool_.store(pool, std::memory_order_release);
+}
+
+void
+ChunkStore::kickProducer(const ChunkKey &key, uint64_t max_chunks)
+{
+    ThreadPool *pool = pool_.load(std::memory_order_acquire);
+    if (!pool)
+        return;
+    Producer *st = nullptr;
+    {
+        const std::string pk = key.kernel + '|' +
+                               std::to_string(key.seed) + '|' +
+                               std::to_string(key.chunkOps);
+        std::lock_guard<std::mutex> lock(producerMu_);
+        auto &slot = producers_[pk];
+        if (!slot) {
+            slot = std::make_unique<Producer>(); // catch-lint: allow(step-alloc) once per (kernel, seed) identity
+            slot->kernel = key.kernel;
+            slot->seed = key.seed;
+            slot->chunkOps = key.chunkOps;
+        }
+        st = slot.get();
+    }
+    // Advance the published consumer frontier monotonically: several
+    // streams of the same identity may progress at different rates and
+    // the producer chases the furthest one.
+    uint64_t cur = st->consumerIndex.load(std::memory_order_relaxed);
+    while (cur < key.index &&
+           !st->consumerIndex.compare_exchange_weak(cur, key.index)) {
+    }
+    cur = st->maxChunks.load(std::memory_order_relaxed);
+    while (cur < max_chunks &&
+           !st->maxChunks.compare_exchange_weak(cur, max_chunks)) {
+    }
+    if (st->active.exchange(true))
+        return; // a task already owns the engine
+    if (!pool->trySubmitDetached([this, st] { produceSome(*st); }))
+        st->active.store(false); // no idle capacity; retry on next kick
+}
+
+void
+ChunkStore::produceSome(Producer &st)
+{
+    bool more = false;
+    {
+        std::lock_guard<std::mutex> lock(st.engineMu);
+        if (st.broken) {
+            st.active.store(false);
+            return;
+        }
+        if (!st.wl) {
+            auto wl = findWorkload(st.kernel);
+            if (!wl.ok() || wl.value()->seed() != st.seed) {
+                // Not a suite kernel (custom test workload) or a seed
+                // the suite would not produce: the producer cannot
+                // regenerate this identity, so it stays off and the
+                // consumer generates inline as before.
+                st.broken = true;
+                st.active.store(false);
+                return;
+            }
+            st.wl = std::move(wl).value();
+        }
+        uint64_t produced = 0;
+        while (produced < kProducerBatchChunks) {
+            const uint64_t goal =
+                std::min(st.consumerIndex.load(std::memory_order_relaxed) +
+                             kProducerAheadChunks,
+                         st.maxChunks.load(std::memory_order_relaxed));
+            const uint64_t idx = st.gen.nextIndex();
+            if (idx >= goal)
+                break;
+            put(ChunkKey{st.kernel, st.seed, st.chunkOps, idx},
+                st.gen.next(*st.wl, st.chunkOps));
+            ++produced;
+        }
+        more = st.gen.nextIndex() <
+               std::min(st.consumerIndex.load(std::memory_order_relaxed) +
+                            kProducerAheadChunks,
+                        st.maxChunks.load(std::memory_order_relaxed));
+    }
+    if (more) {
+        // Chain a fresh task instead of looping: between batches the
+        // pool re-decides whether simulation work needs the worker.
+        ThreadPool *pool = pool_.load(std::memory_order_acquire);
+        if (pool && pool->trySubmitDetached([this, &st] { produceSome(st); }))
+            return; // ownership passes to the chained task
+    }
+    st.active.store(false);
+}
+
+// --- process-wide store ------------------------------------------------
+
+ChunkStore *
+ChunkStore::global()
+{
+    // Leaked singleton (never destructed): detached producer tasks may
+    // still publish chunks while static destructors would run.
+    static ChunkStore *const store = []() -> ChunkStore * {
+        const std::string dir = envString("CATCH_TRACE_CACHE");
+        if (!envFlag("CATCH_TRACE_STORE") && dir.empty())
+            return nullptr;
+        Config cfg;
+        cfg.memBudgetBytes = envU64("CATCH_TRACE_STORE_MB", 256) << 20;
+        cfg.diskDir = dir;
+        cfg.plan = &FaultPlan::global();
+        return new ChunkStore(std::move(cfg)); // catch-lint: allow(raw-new-delete) intentionally leaked process singleton
+    }();
+    return store;
+}
+
+} // namespace catchsim

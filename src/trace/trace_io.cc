@@ -15,13 +15,11 @@ namespace
 {
 
 constexpr char kMagic[6] = {'C', 'T', 'S', 'I', 'M', '\0'};
-// Version 2 packs each op into 30 bytes: pc, memAddr/target (one u64 —
-// they share storage in MicroOp), value, then the six byte-wide fields.
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = kTraceFormatVersion;
 
 // Fixed record sizes the bounds checks are computed from.
 constexpr uint64_t kHeaderBytes = sizeof(kMagic) + 4 + 8;
-constexpr uint64_t kOpBytes = 3 * 8 + 6 * 1;
+constexpr uint64_t kOpBytes = kTraceOpRecordBytes;
 constexpr uint64_t kPageRecordBytes = 8 + kPageBytes;
 
 // Format-level validity limits: OpClass tops out at Nop, and no
@@ -58,6 +56,41 @@ regIndexOk(int8_t r)
 
 } // namespace
 
+void
+encodeOpRecord(const MicroOp &op, uint8_t *out)
+{
+    std::memcpy(out, &op.pc, 8);
+    std::memcpy(out + 8, &op.memAddr, 8);
+    std::memcpy(out + 16, &op.value, 8);
+    out[24] = static_cast<uint8_t>(op.cls);
+    out[25] = static_cast<uint8_t>(op.dst);
+    out[26] = static_cast<uint8_t>(op.src[0]);
+    out[27] = static_cast<uint8_t>(op.src[1]);
+    out[28] = static_cast<uint8_t>(op.src[2]);
+    out[29] = op.taken ? 1 : 0;
+}
+
+const char *
+decodeOpRecord(const uint8_t *in, MicroOp *op)
+{
+    std::memcpy(&op->pc, in, 8);
+    std::memcpy(&op->memAddr, in + 8, 8);
+    std::memcpy(&op->value, in + 16, 8);
+    const uint8_t cls = in[24];
+    op->dst = static_cast<int8_t>(in[25]);
+    op->src[0] = static_cast<int8_t>(in[26]);
+    op->src[1] = static_cast<int8_t>(in[27]);
+    op->src[2] = static_cast<int8_t>(in[28]);
+    if (cls > kMaxOpClass)
+        return "invalid class byte";
+    if (!regIndexOk(op->dst) || !regIndexOk(op->src[0]) ||
+        !regIndexOk(op->src[1]) || !regIndexOk(op->src[2]))
+        return "out-of-range register index";
+    op->cls = static_cast<OpClass>(cls);
+    op->taken = in[29] != 0;
+    return nullptr;
+}
+
 Expected<void>
 saveTraceChecked(const Trace &trace, const std::string &path)
 {
@@ -73,14 +106,10 @@ saveTraceChecked(const Trace &trace, const std::string &path)
         !put(f.get(), kVersion) ||
         !put(f.get(), static_cast<uint64_t>(trace.ops.size())))
         return io_error();
+    uint8_t rec[kTraceOpRecordBytes];
     for (const MicroOp &op : trace.ops) {
-        if (!put(f.get(), op.pc) || !put(f.get(), op.memAddr) ||
-            !put(f.get(), op.value) ||
-            !put(f.get(), static_cast<uint8_t>(op.cls)) ||
-            !put(f.get(), static_cast<int8_t>(op.dst)) ||
-            !put(f.get(), op.src[0]) || !put(f.get(), op.src[1]) ||
-            !put(f.get(), op.src[2]) ||
-            !put(f.get(), static_cast<uint8_t>(op.taken)))
+        encodeOpRecord(op, rec);
+        if (std::fwrite(rec, sizeof(rec), 1, f.get()) != 1)
             return io_error();
     }
     // Serialise the pages the trace actually references: the addresses
@@ -166,23 +195,13 @@ loadTraceChecked(const std::string &path)
 
     Trace trace;
     trace.ops.reserve(count);
+    uint8_t rec[kTraceOpRecordBytes];
     for (uint64_t i = 0; i < count; ++i) {
-        MicroOp op;
-        uint8_t cls = 0, taken = 0;
-        if (!get(f.get(), &op.pc) || !get(f.get(), &op.memAddr) ||
-            !get(f.get(), &op.value) ||
-            !get(f.get(), &cls) || !get(f.get(), &op.dst) ||
-            !get(f.get(), &op.src[0]) || !get(f.get(), &op.src[1]) ||
-            !get(f.get(), &op.src[2]) || !get(f.get(), &taken))
+        if (std::fread(rec, sizeof(rec), 1, f.get()) != 1)
             return corrupt("truncated at op ", i, " of ", count);
-        if (cls > kMaxOpClass)
-            return corrupt("op ", i, " has invalid class ",
-                           unsigned(cls));
-        if (!regIndexOk(op.dst) || !regIndexOk(op.src[0]) ||
-            !regIndexOk(op.src[1]) || !regIndexOk(op.src[2]))
-            return corrupt("op ", i, " names an out-of-range register");
-        op.cls = static_cast<OpClass>(cls);
-        op.taken = taken != 0;
+        MicroOp op;
+        if (const char *defect = decodeOpRecord(rec, &op))
+            return corrupt("op ", i, ": ", defect);
         trace.ops.push_back(op);
     }
 

@@ -23,6 +23,8 @@
 #ifndef CATCHSIM_TRACE_TRACE_IO_HH_
 #define CATCHSIM_TRACE_TRACE_IO_HH_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/error.hh"
@@ -30,6 +32,37 @@
 
 namespace catchsim
 {
+
+/** On-disk trace format version; shared by full-trace files and the
+ *  chunk store's per-chunk records (trace/chunk_store.hh). */
+constexpr uint32_t kTraceFormatVersion = 2;
+
+/** Packed size of one version-2 op record: pc, memAddr-or-target,
+ *  value (u64 each), then cls, dst, src[3], taken (one byte each). */
+constexpr size_t kTraceOpRecordBytes = 3 * 8 + 6 * 1;
+
+/** Packs @p op into exactly kTraceOpRecordBytes at @p out. */
+void encodeOpRecord(const MicroOp &op, uint8_t *out);
+
+/**
+ * Unpacks one op record from @p in (kTraceOpRecordBytes long) into
+ * @p op. Returns nullptr on success or a static defect description
+ * ("invalid class ...", "out-of-range register ...") when a field is
+ * outside the format's validity limits; @p op is unspecified then.
+ */
+const char *decodeOpRecord(const uint8_t *in, MicroOp *op);
+
+/** Incremental 64-bit FNV-1a over @p n bytes; chain via @p h. */
+inline uint64_t
+fnv1a(const void *data, size_t n, uint64_t h = 1469598103934665603ULL)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
 
 /** Writes @p trace to @p path; the error names the path and cause. */
 Expected<void> saveTraceChecked(const Trace &trace,

@@ -9,10 +9,11 @@ namespace catchsim
 {
 
 TraceStream::TraceStream(Workload &wl, size_t total_ops, size_t chunk_ops,
-                         std::function<double()> gen_clock)
+                         std::function<double()> gen_clock,
+                         ChunkStore *store)
     : wl_(&wl), total_(total_ops), chunk_(chunk_ops),
       mem_(std::make_shared<FunctionalMemory>()),
-      genClock_(std::move(gen_clock))
+      genClock_(std::move(gen_clock)), store_(store)
 {
     CATCHSIM_ASSERT(chunk_ > 0 && (chunk_ & (chunk_ - 1)) == 0,
                     "TraceStream chunk size must be a power of two");
@@ -32,8 +33,22 @@ TraceStream::start()
     // public contract (mem() stays valid across rewind()).
     *mem_ = FunctionalMemory();
     rng_.emplace(wl_->seed());
-    em_.emplace(*mem_, pending_, total_, /*reserve_hint=*/2 * chunk_);
-    wl_->setup(*mem_, *rng_);
+    if (store_) {
+        // Store mode: setup still builds the pointer structures the
+        // feeder chases in the consumer-visible memory, but the kernel
+        // itself runs inside gen_ (or inside whoever generated the
+        // stored chunk) against a private memory; mem_ is then kept
+        // canonical by replaying each served chunk's Store ops.
+        // Dropping the engine here is what makes rewind() (and a first
+        // miss after it) deterministic: the next miss restarts the
+        // kernel from chunk 0 with a re-seeded RNG.
+        gen_.discard();
+        em_.reset();
+        wl_->setup(*mem_, *rng_);
+    } else {
+        em_.emplace(*mem_, pending_, total_, /*reserve_hint=*/2 * chunk_);
+        wl_->setup(*mem_, *rng_);
+    }
     if (genClock_)
         genSeconds_ += genClock_() - t0;
     // Prime both halves of the ring so the consumer starts with a full
@@ -51,9 +66,63 @@ TraceStream::rewind()
     start();
 }
 
+ChunkKey
+TraceStream::keyFor(uint64_t index) const
+{
+    return ChunkKey{wl_->name(), wl_->seed(),
+                    static_cast<uint32_t>(chunk_), index};
+}
+
+void
+TraceStream::generateChunkFromStore()
+{
+    const double t0 = genClock_ ? genClock_() : 0;
+    const size_t want = std::min(chunk_, total_ - genEnd_);
+    const uint64_t idx = genEnd_ / chunk_;
+    ChunkStore::ChunkPtr c = store_->find(keyFor(idx));
+    if (c) {
+        ++storeHitChunks_;
+    } else {
+        // Regenerate from wherever the engine stands. A fresh (or
+        // rewound) engine replays from chunk 0; intermediate chunks
+        // are republished so evicted entries repopulate. put() dedups
+        // against concurrent producers, and every generator emits
+        // identical bytes, so the served chunk is canonical either way.
+        ++storeMissChunks_;
+        while (gen_.nextIndex() <= idx) {
+            const uint64_t at = gen_.nextIndex();
+            c = store_->put(keyFor(at),
+                            gen_.next(*wl_, static_cast<uint32_t>(chunk_)));
+        }
+    }
+    CATCHSIM_ASSERT(c && c->size() == chunk_,
+                    "chunk store served a malformed chunk");
+    for (size_t i = 0; i < want; ++i) {
+        const MicroOp &op = (*c)[i];
+        ring_[(genEnd_ + i) & mask_] = op;
+        // Replay the chunk's stores so the consumer-visible memory
+        // tracks generation progress exactly as the in-place emitter
+        // would have left it (all run()-time writes flow through
+        // Emitter::store and are Store-class ops in the trace).
+        if (op.isStore())
+            mem_->write(op.memAddr, op.value);
+    }
+    genEnd_ += want;
+    refillAt_ = genEnd_ >= total_ ? ~size_t(0) : genEnd_ - chunk_;
+    const uint64_t nchunks = (total_ + chunk_ - 1) / chunk_;
+    if (idx + 1 < nchunks)
+        store_->kickProducer(keyFor(idx + 1), nchunks);
+    if (genClock_)
+        genSeconds_ += genClock_() - t0;
+}
+
 void
 TraceStream::generateChunk()
 {
+    if (store_) {
+        generateChunkFromStore();
+        return;
+    }
     const double t0 = genClock_ ? genClock_() : 0;
     const size_t want = std::min(chunk_, total_ - genEnd_);
     while (pending_.size() < want && !em_->done()) {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "trace/chunk_store.hh"
 #include "trace/trace_view.hh"
 #include "trace/workload.hh"
 
@@ -61,10 +62,16 @@ class TraceStream
      *        spent generating (setup + every refill) accrues into
      *        genSeconds() for host-side profiling. Never affects the
      *        generated ops.
+     * @param store optional memoized chunk store: refills become store
+     *        lookups (kernel runs only on a miss, and misses publish
+     *        the generated chunk for every later consumer). The served
+     *        ops are bitwise-identical to the storeless path; null
+     *        keeps the legacy generate-in-place behaviour exactly.
      */
     TraceStream(Workload &wl, size_t total_ops,
                 size_t chunk_ops = kDefaultChunkOps,
-                std::function<double()> gen_clock = {});
+                std::function<double()> gen_clock = {},
+                ChunkStore *store = nullptr);
 
     /** Total ops this stream will serve. */
     size_t size() const { return total_; }
@@ -108,12 +115,23 @@ class TraceStream
      */
     const std::shared_ptr<FunctionalMemory> &mem() const { return mem_; }
 
-    /** Host seconds spent generating; 0 unless a gen_clock was given. */
+    /** Host seconds spent generating; 0 unless a gen_clock was given.
+     *  With a store this covers the whole refill path (lookups and
+     *  regeneration), so hit-rate shows up as the ratio of this number
+     *  across cold and warm runs. */
     double genSeconds() const { return genSeconds_; }
+
+    /** Chunk refills served from the store (0 without a store). */
+    uint64_t storeHits() const { return storeHitChunks_; }
+
+    /** Chunk refills that ran the kernel (with a store: misses). */
+    uint64_t storeMisses() const { return storeMissChunks_; }
 
   private:
     void start();
     void generateChunk();
+    void generateChunkFromStore();
+    ChunkKey keyFor(uint64_t index) const;
 
     Workload *wl_;
     size_t total_;
@@ -134,6 +152,15 @@ class TraceStream
 
     std::function<double()> genClock_;
     double genSeconds_ = 0;
+
+    /** Memoized-pipeline state; unused (and gen_ never started) when
+     *  store_ is null. The consumer-visible mem_ stays canonical by
+     *  replaying the Store-class ops of every served chunk; gen_ runs
+     *  the kernel against its own private memory on misses. */
+    ChunkStore *store_ = nullptr;
+    ChunkGenerator gen_;
+    uint64_t storeHitChunks_ = 0;
+    uint64_t storeMissChunks_ = 0;
 };
 
 static_assert(kCodeRunaheadHorizonOps <= TraceStream::kDefaultChunkOps / 2,

@@ -94,6 +94,8 @@ class Workload
   private:
     /** Drives setup()/run() incrementally instead of via generate(). */
     friend class TraceStream;
+    /** Same incremental drive, for the memoized chunk pipeline. */
+    friend class ChunkGenerator;
 
     std::string name_;
     Category category_;

@@ -1,0 +1,653 @@
+/**
+ * @file
+ * The chunk store's correctness contract, pinned exhaustively:
+ *
+ *  1. Equivalence — full-campaign SimResults are bitwise-identical with
+ *     the store disabled, cold, warm, eviction-thrashing or disk-backed,
+ *     at jobs 1/8/16, in detailed and sampled modes. The store may only
+ *     ever be a speed lever, never a correctness hazard.
+ *  2. LRU mechanics — exact-budget eviction order, find() recency
+ *     touches, and the one-resident-chunk floor.
+ *  3. Disk-tier validation — every corruption mode (missing file,
+ *     truncation, bit flip, key/header mismatch) surfaces as the
+ *     documented taxonomy, drops the bad record, and falls back to
+ *     deterministic regeneration. Never a crash, never silently wrong.
+ *  4. Concurrency — producer/consumer stress across a shared store and
+ *     a live thread pool (the TSan CI job runs the *Concurrent* cases).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_inject.hh"
+#include "common/thread_pool.hh"
+#include "sim/configs.hh"
+#include "sim/parallel_runner.hh"
+#include "sim_result_compare.hh"
+#include "trace/chunk_store.hh"
+#include "trace/suite.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stream.hh"
+#include "trace/trace_view.hh"
+
+namespace catchsim
+{
+namespace
+{
+
+constexpr uint64_t kInstr = 20000;
+constexpr uint64_t kWarm = 5000;
+constexpr size_t kChunk = 1024; // small power-of-two chunk for tests
+
+const FaultPlan kNoFaults;
+
+/** Campaign workloads spanning every suite category. */
+std::vector<std::string>
+campaignNames()
+{
+    return {"mcf", "omnetpp", "hmmer", "hplinpack", "tpcc", "gobmk"};
+}
+
+ChunkKey
+keyAt(const std::string &kernel, uint64_t index,
+      uint32_t chunk_ops = kChunk)
+{
+    auto wl = makeWorkload(kernel);
+    return ChunkKey{kernel, wl->seed(), chunk_ops, index};
+}
+
+/** An arbitrary full chunk for LRU unit tests (content irrelevant). */
+ChunkStore::Chunk
+dummyChunk(uint32_t chunk_ops, uint8_t tag)
+{
+    ChunkStore::Chunk chunk(chunk_ops);
+    for (auto &op : chunk)
+        op.pc = tag;
+    return chunk;
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::vector<MicroOp>
+drain(TraceStream &stream)
+{
+    std::vector<MicroOp> out;
+    out.reserve(stream.size());
+    TraceView view = stream.view();
+    for (size_t p = 0; p < stream.size(); ++p) {
+        stream.ensure(p);
+        out.push_back(view.at(p));
+    }
+    return out;
+}
+
+void
+expectOpsEqual(const std::vector<MicroOp> &got,
+               const std::vector<MicroOp> &want, const std::string &what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    // Field-wise, not memcmp: the struct carries tail padding.
+    for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].pc, want[i].pc) << what << " op " << i;
+        ASSERT_EQ(got[i].cls, want[i].cls) << what << " op " << i;
+        ASSERT_EQ(got[i].memAddr, want[i].memAddr) << what << " op " << i;
+        ASSERT_EQ(got[i].value, want[i].value) << what << " op " << i;
+        ASSERT_EQ(got[i].dst, want[i].dst) << what << " op " << i;
+        ASSERT_EQ(got[i].taken, want[i].taken) << what << " op " << i;
+        for (uint32_t s = 0; s < kMaxSrcs; ++s)
+            ASSERT_EQ(got[i].src[s], want[i].src[s])
+                << what << " op " << i;
+    }
+}
+
+IsolationOptions
+optsWithStore(ChunkStore *store)
+{
+    IsolationOptions opts;
+    opts.plan = &kNoFaults;
+    opts.backoffMs = 0;
+    opts.store = store;
+    return opts;
+}
+
+/** FNV-1a golden over a whole campaign's serialized results. */
+uint64_t
+campaignHash(const std::vector<RunOutcome> &outcomes)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (const auto &o : outcomes) {
+        EXPECT_TRUE(o.ok()) << o.workload;
+        const std::string json = o.result.toJson();
+        h = fnv1a(json.data(), json.size(), h);
+    }
+    return h;
+}
+
+// --------------------- ChunkGenerator ----------------------------
+
+TEST(ChunkGenerator, ChunksAreThePrefixFunctionOfKernelAndSeed)
+{
+    // The store's addressing invariant: chunk k of (kernel, seed,
+    // chunkOps) has one canonical content, independent of any
+    // consumer's total op budget — the generator's emitter budget is
+    // unbounded and kernels only observe done().
+    for (const std::string name : {"mcf", "tpcc", "hplinpack"}) {
+        auto oracle_wl = makeWorkload(name);
+        Trace oracle = oracle_wl->generate(4 * kChunk);
+
+        auto wl = makeWorkload(name);
+        ChunkGenerator gen;
+        std::vector<MicroOp> got;
+        for (uint64_t i = 0; i < 4; ++i) {
+            EXPECT_EQ(gen.nextIndex(), i);
+            std::vector<MicroOp> chunk = gen.next(*wl, kChunk);
+            ASSERT_EQ(chunk.size(), kChunk) << name;
+            got.insert(got.end(), chunk.begin(), chunk.end());
+        }
+        expectOpsEqual(got, oracle.ops, name);
+
+        // discard() + regenerate restarts at canonical chunk 0.
+        gen.discard();
+        EXPECT_FALSE(gen.started());
+        std::vector<MicroOp> again = gen.next(*wl, kChunk);
+        expectOpsEqual(again,
+                       {oracle.ops.begin(), oracle.ops.begin() + kChunk},
+                       name + " after discard");
+    }
+}
+
+// ----------------------- LRU mechanics ---------------------------
+
+TEST(ChunkStoreLru, FindMissesColdThenHitsAfterPut)
+{
+    ChunkStore store;
+    ChunkKey key = keyAt("mcf", 0, 64);
+    EXPECT_EQ(store.find(key), nullptr);
+    auto put = store.put(key, dummyChunk(64, 1));
+    ASSERT_NE(put, nullptr);
+    auto hit = store.find(key);
+    EXPECT_EQ(hit, put) << "the resident chunk is shared, not copied";
+    auto s = store.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.puts, 1u);
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_EQ(store.residentBytes(), 64 * sizeof(MicroOp));
+}
+
+TEST(ChunkStoreLru, FirstWriterWinsOnDuplicatePut)
+{
+    ChunkStore store;
+    ChunkKey key = keyAt("mcf", 0, 64);
+    auto first = store.put(key, dummyChunk(64, 1));
+    auto second = store.put(key, dummyChunk(64, 1));
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(store.stats().puts, 1u) << "duplicates are not re-published";
+    EXPECT_EQ(store.residentBytes(), 64 * sizeof(MicroOp));
+}
+
+TEST(ChunkStoreLru, EvictsLeastRecentlyUsedAtExactBudget)
+{
+    constexpr uint32_t ops = 64;
+    const size_t chunk_bytes = ops * sizeof(MicroOp);
+    ChunkStore::Config cfg;
+    cfg.memBudgetBytes = 3 * chunk_bytes; // exactly three chunks
+    ChunkStore store(cfg);
+
+    store.put(keyAt("mcf", 0, ops), dummyChunk(ops, 0));
+    store.put(keyAt("mcf", 1, ops), dummyChunk(ops, 1));
+    store.put(keyAt("mcf", 2, ops), dummyChunk(ops, 2));
+    EXPECT_EQ(store.stats().evictions, 0u)
+        << "at budget is not over budget";
+    EXPECT_EQ(store.residentBytes(), 3 * chunk_bytes);
+
+    // Touch chunk 0: it becomes most-recent, chunk 1 the LRU victim.
+    EXPECT_NE(store.find(keyAt("mcf", 0, ops)), nullptr);
+    store.put(keyAt("mcf", 3, ops), dummyChunk(ops, 3));
+    EXPECT_EQ(store.stats().evictions, 1u);
+    EXPECT_EQ(store.residentBytes(), 3 * chunk_bytes);
+    EXPECT_EQ(store.find(keyAt("mcf", 1, ops)), nullptr)
+        << "the least-recently-used chunk is the victim";
+    EXPECT_NE(store.find(keyAt("mcf", 0, ops)), nullptr);
+    EXPECT_NE(store.find(keyAt("mcf", 2, ops)), nullptr);
+    EXPECT_NE(store.find(keyAt("mcf", 3, ops)), nullptr);
+}
+
+TEST(ChunkStoreLru, BudgetFloorKeepsTheNewestChunkResident)
+{
+    ChunkStore::Config cfg;
+    cfg.memBudgetBytes = 1; // below a single chunk
+    ChunkStore store(cfg);
+    auto a = store.put(keyAt("mcf", 0, 64), dummyChunk(64, 0));
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(store.residentBytes(), 64 * sizeof(MicroOp))
+        << "never evicted below one resident chunk";
+    auto b = store.put(keyAt("mcf", 1, 64), dummyChunk(64, 1));
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(store.stats().evictions, 1u);
+    EXPECT_EQ(store.find(keyAt("mcf", 0, 64)), nullptr);
+    // Shared ownership keeps an evicted-then-reheld chunk valid.
+    EXPECT_EQ(a->size(), 64u);
+}
+
+// ------------------------ Disk tier ------------------------------
+
+/** Writes one real chunk's record to @p dir and returns its path. */
+std::string
+writeOneRecord(const std::string &dir)
+{
+    auto wl = makeWorkload("mcf");
+    ChunkGenerator gen;
+    ChunkStore::Config cfg;
+    cfg.diskDir = dir;
+    ChunkStore writer(cfg);
+    writer.put(keyAt("mcf", 0), gen.next(*wl, kChunk));
+    return writer.diskPath(keyAt("mcf", 0));
+}
+
+void
+rewriteFile(const std::string &path, const std::vector<char> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+}
+
+std::vector<char>
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::fseek(f, 0, SEEK_END);
+    std::vector<char> bytes(static_cast<size_t>(std::ftell(f)));
+    std::rewind(f);
+    EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+    return bytes;
+}
+
+TEST(ChunkStoreDisk, RoundTripServesWarmStartAcrossStoreInstances)
+{
+    const std::string dir = freshDir("chunk_store_roundtrip");
+    auto wl = makeWorkload("mcf");
+    ChunkGenerator gen;
+    std::vector<MicroOp> original = gen.next(*wl, kChunk);
+
+    {
+        ChunkStore::Config cfg;
+        cfg.diskDir = dir;
+        ChunkStore writer(cfg);
+        writer.put(keyAt("mcf", 0), original);
+        EXPECT_TRUE(std::filesystem::exists(writer.diskPath(keyAt("mcf", 0))));
+    }
+
+    ChunkStore::Config cfg;
+    cfg.diskDir = dir;
+    ChunkStore reader(cfg);
+    auto loaded = reader.loadDiskChecked(keyAt("mcf", 0));
+    ASSERT_TRUE(loaded.ok())
+        << (loaded.ok() ? "" : loaded.error().message);
+    expectOpsEqual(*loaded.value(), original, "disk round trip");
+
+    auto hit = reader.find(keyAt("mcf", 0));
+    ASSERT_NE(hit, nullptr);
+    expectOpsEqual(*hit, original, "disk-tier find");
+    auto s = reader.stats();
+    EXPECT_EQ(s.diskHits, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.corrupt, 0u);
+
+    // Second find comes from the memory tier.
+    ASSERT_NE(reader.find(keyAt("mcf", 0)), nullptr);
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ChunkStoreDisk, UnwritableCacheDirDegradesToMemoryTier)
+{
+    // A path below a regular file cannot be created, even by root.
+    const std::string blocker = freshDir("chunk_store_blocker");
+    rewriteFile(blocker, {'x'});
+    ChunkStore::Config cfg;
+    cfg.diskDir = blocker + "/nested/cache";
+    ChunkStore store(cfg);
+    EXPECT_TRUE(store.diskDir().empty())
+        << "an uncreatable dir disables the disk tier, not the store";
+    EXPECT_NE(store.put(keyAt("mcf", 0, 64), dummyChunk(64, 0)), nullptr);
+    EXPECT_NE(store.find(keyAt("mcf", 0, 64)), nullptr);
+}
+
+TEST(ChunkStoreDisk, MissingFileIsAPlainMissNotCorruption)
+{
+    const std::string dir = freshDir("chunk_store_missing");
+    std::string path = writeOneRecord(dir);
+    std::filesystem::remove(path);
+
+    ChunkStore::Config cfg;
+    cfg.diskDir = dir;
+    ChunkStore store(cfg);
+    auto loaded = store.loadDiskChecked(keyAt("mcf", 0));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::Config)
+        << "absence is a config-level miss, not data corruption";
+    EXPECT_EQ(store.find(keyAt("mcf", 0)), nullptr);
+    auto s = store.stats();
+    EXPECT_EQ(s.corrupt, 0u);
+    EXPECT_EQ(s.misses, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ChunkStoreDisk, TruncatedRecordIsCorruptAndDropped)
+{
+    const std::string dir = freshDir("chunk_store_truncated");
+    std::string path = writeOneRecord(dir);
+    std::vector<char> bytes = readAll(path);
+    bytes.pop_back();
+    rewriteFile(path, bytes);
+
+    ChunkStore::Config cfg;
+    cfg.diskDir = dir;
+    ChunkStore store(cfg);
+    auto loaded = store.loadDiskChecked(keyAt("mcf", 0));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::TraceCorrupt);
+    EXPECT_NE(loaded.error().message.find("truncated or foreign"),
+              std::string::npos)
+        << loaded.error().message;
+
+    EXPECT_EQ(store.find(keyAt("mcf", 0)), nullptr)
+        << "corruption reports a miss so the caller regenerates";
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_FALSE(std::filesystem::exists(path))
+        << "the bad record is dropped so the slot can be rewritten";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ChunkStoreDisk, BitFlipFailsTheChecksumAndIsDropped)
+{
+    const std::string dir = freshDir("chunk_store_bitflip");
+    std::string path = writeOneRecord(dir);
+    std::vector<char> bytes = readAll(path);
+    bytes[bytes.size() / 2] ^= 0x40; // one flipped bit mid-payload
+    rewriteFile(path, bytes);
+
+    ChunkStore::Config cfg;
+    cfg.diskDir = dir;
+    ChunkStore store(cfg);
+    auto loaded = store.loadDiskChecked(keyAt("mcf", 0));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::TraceCorrupt);
+    EXPECT_NE(loaded.error().message.find("FNV-1a checksum mismatch"),
+              std::string::npos)
+        << loaded.error().message;
+    EXPECT_EQ(store.find(keyAt("mcf", 0)), nullptr);
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ChunkStoreDisk, ForeignRecordAtTheWrongPathFailsTheHeaderCheck)
+{
+    // A checksum-valid record renamed onto another key's path (same
+    // kernel and chunk size, different index → same byte size) must be
+    // rejected by the header/key cross-check, not served as chunk 1.
+    const std::string dir = freshDir("chunk_store_foreign");
+    std::string path0 = writeOneRecord(dir);
+
+    ChunkStore::Config cfg;
+    cfg.diskDir = dir;
+    ChunkStore store(cfg);
+    std::string path1 = store.diskPath(keyAt("mcf", 1));
+    std::filesystem::rename(path0, path1);
+
+    auto loaded = store.loadDiskChecked(keyAt("mcf", 1));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::TraceCorrupt);
+    EXPECT_NE(
+        loaded.error().message.find("does not match the requested key"),
+        std::string::npos)
+        << loaded.error().message;
+    EXPECT_EQ(store.find(keyAt("mcf", 1)), nullptr);
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ChunkStoreDisk, CorruptedCacheRegeneratesBitwiseIdenticalStream)
+{
+    // End-to-end containment: corrupt three chunks of a warm disk cache
+    // three different ways, then demand the stream still serve exactly
+    // the canonical op sequence.
+    const std::string dir = freshDir("chunk_store_regen");
+    auto oracle_wl = makeWorkload("mcf");
+    const size_t total = 5 * kChunk + 123;
+    Trace oracle = oracle_wl->generate(total);
+
+    {
+        ChunkStore::Config cfg;
+        cfg.diskDir = dir;
+        ChunkStore warm(cfg);
+        auto wl = makeWorkload("mcf");
+        TraceStream stream(*wl, total, kChunk,
+                           std::function<double()>(), &warm);
+        drain(stream);
+        EXPECT_EQ(stream.storeMisses(), 6u) << "cold store: all misses";
+    }
+
+    ChunkStore::Config cfg;
+    cfg.diskDir = dir;
+    ChunkStore store(cfg);
+    { // chunk 1: truncation
+        std::string p = store.diskPath(keyAt("mcf", 1));
+        std::vector<char> bytes = readAll(p);
+        bytes.resize(bytes.size() / 2);
+        rewriteFile(p, bytes);
+    }
+    { // chunk 2: bit flip
+        std::string p = store.diskPath(keyAt("mcf", 2));
+        std::vector<char> bytes = readAll(p);
+        bytes[10] ^= 0x01;
+        rewriteFile(p, bytes);
+    }
+    // chunk 3: missing entirely
+    std::filesystem::remove(store.diskPath(keyAt("mcf", 3)));
+
+    auto wl = makeWorkload("mcf");
+    TraceStream stream(*wl, total, kChunk, std::function<double()>(),
+                       &store);
+    std::vector<MicroOp> streamed = drain(stream);
+    expectOpsEqual(streamed, oracle.ops, "regenerated stream");
+    EXPECT_EQ(store.stats().corrupt, 2u)
+        << "truncation and bit flip count; absence is a plain miss";
+    EXPECT_GT(stream.storeHits(), 0u) << "intact chunks still serve";
+    EXPECT_GT(stream.storeMisses(), 0u);
+    std::filesystem::remove_all(dir);
+}
+
+// ------------------ Campaign equivalence -------------------------
+
+/**
+ * The acceptance matrix: one fault-free baseline without a store, then
+ * every store state at every job count must hash to the same campaign
+ * golden and compare bitwise-equal slot by slot.
+ */
+void
+expectStoreStateEquivalence(const SimConfig &cfg)
+{
+    const std::vector<std::string> names = campaignNames();
+    auto baseline = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                         optsWithStore(nullptr));
+    const uint64_t golden = campaignHash(baseline);
+
+    const std::string dir = freshDir(std::string("chunk_store_equiv_") +
+                                     cfg.name);
+    ChunkStore::Config disk_cfg;
+    disk_cfg.diskDir = dir;
+    ChunkStore warm(disk_cfg); // shared across job counts: stays warm
+    ChunkStore::Config tiny_cfg;
+    tiny_cfg.memBudgetBytes = 1; // evicts after every insertion
+    ChunkStore evicting(tiny_cfg);
+
+    for (unsigned jobs : {1u, 8u, 16u}) {
+        SCOPED_TRACE(cfg.name + " jobs=" + std::to_string(jobs));
+
+        auto off = runWorkloadsIsolated(cfg, names, kInstr, kWarm, jobs,
+                                        optsWithStore(nullptr));
+        EXPECT_EQ(campaignHash(off), golden);
+
+        ChunkStore cold;
+        auto with_cold = runWorkloadsIsolated(cfg, names, kInstr, kWarm,
+                                              jobs, optsWithStore(&cold));
+        EXPECT_EQ(campaignHash(with_cold), golden);
+        EXPECT_GT(cold.stats().puts, 0u);
+
+        auto with_warm = runWorkloadsIsolated(cfg, names, kInstr, kWarm,
+                                              jobs, optsWithStore(&warm));
+        EXPECT_EQ(campaignHash(with_warm), golden);
+
+        auto thrash = runWorkloadsIsolated(cfg, names, kInstr, kWarm,
+                                           jobs,
+                                           optsWithStore(&evicting));
+        EXPECT_EQ(campaignHash(thrash), golden);
+
+        for (size_t i = 0; i < names.size(); ++i) {
+            expectBitwiseEqual(with_cold[i].result, baseline[i].result);
+            expectBitwiseEqual(with_warm[i].result, baseline[i].result);
+            expectBitwiseEqual(thrash[i].result, baseline[i].result);
+        }
+    }
+    EXPECT_GT(warm.stats().hits, 0u) << "the warm store actually served";
+    EXPECT_GT(evicting.stats().evictions, 0u)
+        << "the tiny store actually thrashed";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ChunkStoreEquivalence, DetailedBaselineCampaigns)
+{
+    expectStoreStateEquivalence(baselineSkx());
+}
+
+TEST(ChunkStoreEquivalence, DetailedCatchCampaigns)
+{
+    // The CATCH config exercises the TACT feeder, which reads the
+    // stream's functional memory — the path the store keeps canonical
+    // by replaying Store ops.
+    expectStoreStateEquivalence(withCatch(baselineSkx()));
+}
+
+TEST(ChunkStoreEquivalence, SampledCampaigns)
+{
+    SimConfig cfg = baselineSkx();
+    cfg.sampling.mode = SampleMode::Sampled;
+    cfg.sampling.intervalInstrs = 5000;
+    cfg.sampling.windowInstrs = 2000;
+    cfg.sampling.warmupInstrs = 2000;
+    expectStoreStateEquivalence(cfg);
+}
+
+TEST(ChunkStoreEquivalence, InjectedChunkStoreFaultTaxonomy)
+{
+    // The reserved "chunk-store" injection target corrupts every disk
+    // read deterministically; the taxonomy must be trace-corrupt.
+    auto parsed = FaultPlan::parse("trace-corrupt:chunk-store");
+    ASSERT_TRUE(parsed.ok());
+    FaultPlan plan = std::move(parsed).value();
+    const std::string dir = freshDir("chunk_store_inject_taxonomy");
+    std::string path = writeOneRecord(dir);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    ChunkStore::Config cfg;
+    cfg.diskDir = dir;
+    cfg.plan = &plan;
+    ChunkStore store(cfg);
+    auto loaded = store.loadDiskChecked(keyAt("mcf", 0));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::TraceCorrupt);
+    EXPECT_NE(loaded.error().message.find("injected"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+// ------------------------ Concurrency ----------------------------
+
+TEST(ChunkStoreConcurrent, SharedStoreProducerConsumerStress)
+{
+    // Eight consumer threads drain store-backed streams of two kernel
+    // identities against a shared evicting, disk-backed store while a
+    // pool-attached producer races them. Every drained sequence must be
+    // canonical; TSan (CI) watches the synchronization.
+    const std::string dir = freshDir("chunk_store_stress");
+    ChunkStore::Config cfg;
+    cfg.memBudgetBytes = 8 * kChunk * sizeof(MicroOp);
+    cfg.diskDir = dir;
+    ChunkStore store(cfg);
+
+    const size_t total = 6 * kChunk + 123;
+    auto mcf_wl = makeWorkload("mcf");
+    auto omnetpp_wl = makeWorkload("omnetpp");
+    Trace mcf_oracle = mcf_wl->generate(total);
+    Trace omnetpp_oracle = omnetpp_wl->generate(total);
+
+    ThreadPool pool(4);
+    ProducerPoolGuard producer(&store, &pool);
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < 8; ++t) {
+        consumers.emplace_back([&, t] {
+            const std::string name = t % 2 ? "omnetpp" : "mcf";
+            const Trace &oracle = t % 2 ? omnetpp_oracle : mcf_oracle;
+            for (int rep = 0; rep < 2; ++rep) {
+                auto wl = makeWorkload(name);
+                TraceStream stream(*wl, total, kChunk,
+                                   std::function<double()>(), &store);
+                std::vector<MicroOp> got = drain(stream);
+                expectOpsEqual(got, oracle.ops,
+                               name + " thread " + std::to_string(t));
+            }
+        });
+    }
+    for (auto &c : consumers)
+        c.join();
+    // The guard (declared after the pool) detaches the producer before
+    // the pool destructor drains; this ordering is part of the API.
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ChunkStoreConcurrent, ParallelCampaignSharesOneDiskStore)
+{
+    // jobs=16 over a store whose pool also runs the producer: the
+    // complete production path (find/put/disk/eviction/producer) under
+    // real campaign concurrency must stay bitwise-equivalent.
+    const std::string dir = freshDir("chunk_store_campaign_stress");
+    SimConfig cfg = baselineSkx();
+    const std::vector<std::string> names = campaignNames();
+    auto baseline = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                         optsWithStore(nullptr));
+
+    ChunkStore::Config store_cfg;
+    store_cfg.diskDir = dir;
+    store_cfg.memBudgetBytes = 4 * TraceStream::kDefaultChunkOps *
+                               sizeof(MicroOp);
+    ChunkStore store(store_cfg);
+    for (int rep = 0; rep < 2; ++rep) {
+        auto got = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 16,
+                                        optsWithStore(&store));
+        for (size_t i = 0; i < names.size(); ++i)
+            expectBitwiseEqual(got[i].result, baseline[i].result);
+    }
+    EXPECT_GT(store.stats().hits, 0u);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace catchsim

@@ -13,10 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "common/fault_inject.hh"
+#include "trace/chunk_store.hh"
 #include "sim/configs.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
@@ -328,6 +330,62 @@ TEST(IsolatedExecution, SummaryTalliesEveryStatus)
     EXPECT_EQ(sum.resumed, 0u);
     EXPECT_EQ(sum.total(), 4u);
     EXPECT_FALSE(sum.allOk());
+}
+
+/**
+ * Disk-tier corruption injected through the reserved "chunk-store"
+ * target: every chunk read from the cache dir is reported corrupt, so
+ * the store must drop each record and regenerate deterministically.
+ * The campaign itself never observes a fault — zero failed slots,
+ * bitwise-identical results — because a corrupt cache entry is a
+ * containable store-internal event, not a run-level error.
+ */
+TEST(IsolatedExecution, InjectedChunkStoreCorruptionRegeneratesBitwise)
+{
+    const std::vector<std::string> names = {"mcf", "hmmer", "omnetpp",
+                                            "tpcc"};
+    SimConfig cfg = withCatch(baselineSkx());
+    auto baseline = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                         optsWith(kNoFaults));
+    for (const auto &o : baseline)
+        ASSERT_TRUE(o.ok()) << o.workload;
+
+    const std::string dir =
+        ::testing::TempDir() + "fault_inject_chunk_cache";
+    std::filesystem::remove_all(dir);
+    { // Warm the disk tier with intact records first.
+        ChunkStore::Config store_cfg;
+        store_cfg.diskDir = dir;
+        ChunkStore warm(store_cfg);
+        IsolationOptions opts = optsWith(kNoFaults);
+        opts.store = &warm;
+        auto warmup = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 4,
+                                           opts);
+        for (size_t i = 0; i < names.size(); ++i)
+            expectBitwiseEqual(warmup[i].result, baseline[i].result);
+    }
+
+    FaultPlan plan = mustParse("trace-corrupt:chunk-store");
+    ChunkStore::Config store_cfg;
+    store_cfg.diskDir = dir;
+    store_cfg.plan = &plan;
+    ChunkStore poisoned(store_cfg);
+    for (unsigned jobs : {1u, 8u}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        IsolationOptions opts = optsWith(plan);
+        opts.store = &poisoned;
+        auto faulty = runWorkloadsIsolated(cfg, names, kInstr, kWarm,
+                                           jobs, opts);
+        for (size_t i = 0; i < names.size(); ++i) {
+            ASSERT_TRUE(faulty[i].ok())
+                << names[i]
+                << ": cache corruption must stay store-internal";
+            expectBitwiseEqual(faulty[i].result, baseline[i].result);
+        }
+    }
+    EXPECT_GT(poisoned.stats().corrupt, 0u)
+        << "the injected corruption was actually exercised";
+    std::filesystem::remove_all(dir);
 }
 
 TEST(IsolatedExecution, RunStatusWireNamesRoundTrip)

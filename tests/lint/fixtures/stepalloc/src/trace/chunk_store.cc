@@ -1,0 +1,24 @@
+#include "trace/chunk_store.hh"
+
+namespace fx
+{
+
+ChunkStore::ChunkStore()
+{
+    entries_.resize(64); // constructors may size hot structures
+}
+
+void
+ChunkStore::bind(int n)
+{
+    entries_.reserve(n); // setup-time binding may allocate
+}
+
+int
+ChunkStore::find(int key)
+{
+    entries_.push_back(key); // store lookup hot path: must be flagged
+    return static_cast<int>(entries_.size());
+}
+
+} // namespace fx

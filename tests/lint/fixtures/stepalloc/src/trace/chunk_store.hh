@@ -1,0 +1,17 @@
+#ifndef CHUNK_STORE_HH_
+#define CHUNK_STORE_HH_
+#include <vector>
+namespace fx
+{
+class ChunkStore
+{
+  public:
+    ChunkStore();
+    void bind(int n);
+    int find(int key);
+
+  private:
+    std::vector<int> entries_;
+};
+} // namespace fx
+#endif

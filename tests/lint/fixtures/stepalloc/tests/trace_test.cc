@@ -1,0 +1,2 @@
+#include "trace/chunk_store.hh"
+int main() { return 0; }

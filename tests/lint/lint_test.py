@@ -84,17 +84,21 @@ class CatchLintFixtures(unittest.TestCase):
         self.assertIn("CATCHSIM_FATAL", proc.stdout)
 
     def test_step_alloc_scopes_to_hot_functions(self):
-        # Exactly two findings: step()'s push_back in the core file and
-        # warm()'s push_back in the warming engine. The constructors'
-        # resize and the bind()s' reserve are setup-time and stay legal.
+        # Exactly three findings: step()'s push_back in the core file,
+        # warm()'s push_back in the warming engine, and find()'s
+        # push_back in the chunk store's lookup hot path. The
+        # constructors' resize and the bind()s' reserve are setup-time
+        # and stay legal.
         proc = run_linter(FIXTURES / "stepalloc")
         findings = [l for l in proc.stdout.splitlines()
                     if "[step-alloc]" in l]
-        self.assertEqual(len(findings), 2, proc.stdout)
+        self.assertEqual(len(findings), 3, proc.stdout)
         joined = "\n".join(findings)
         self.assertIn("push_back in step()", joined)
         self.assertIn("push_back in warm()", joined)
+        self.assertIn("push_back in find()", joined)
         self.assertIn("fast_forward.cc", joined)
+        self.assertIn("chunk_store.cc", joined)
 
     def test_real_repo_is_clean(self):
         repo = LINTER.parents[2]

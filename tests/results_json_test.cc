@@ -21,6 +21,7 @@
 #include "sim/parallel_runner.hh"
 #include "sim/simulator.hh"
 #include "sim_result_compare.hh"
+#include "trace/chunk_store.hh"
 
 namespace catchsim
 {
@@ -169,6 +170,52 @@ TEST(ResultsJson, ProfiledOutcomeExportsHostPerf)
     expectBitwiseEqual(outcomes[0].result, plain[0].result);
     EXPECT_FALSE(plain[0].profile.has_value());
 
+    std::filesystem::remove(path);
+}
+
+TEST(ResultsJson, HostPerfReportsPerRunStoreCounters)
+{
+    // The store counters are per-run (this run's refill hits/misses),
+    // never campaign-cumulative: a cold campaign then a warm campaign
+    // against the same store must report miss-only then hit-only.
+    SimConfig cfg = baselineSkx();
+    ExperimentEnv env;
+    env.names = {"mcf"};
+    env.instrs = kInstr;
+    env.warmup = kWarm;
+    ChunkStore store;
+    IsolationOptions opts = optsWith(kNoFaults);
+    opts.profile = true;
+    opts.store = &store;
+
+    auto cold = runWorkloadsIsolated(cfg, env.names, kInstr, kWarm, 1,
+                                     opts);
+    ASSERT_TRUE(cold[0].ok());
+    ASSERT_TRUE(cold[0].profile.has_value());
+    EXPECT_GT(cold[0].profile->storeMissChunks, 0u);
+    EXPECT_EQ(cold[0].profile->storeHitChunks, 0u);
+
+    auto warm = runWorkloadsIsolated(cfg, env.names, kInstr, kWarm, 1,
+                                     opts);
+    ASSERT_TRUE(warm[0].ok());
+    ASSERT_TRUE(warm[0].profile.has_value());
+    EXPECT_GT(warm[0].profile->storeHitChunks, 0u);
+    EXPECT_EQ(warm[0].profile->storeMissChunks, 0u)
+        << "a cumulative counter would still show the cold misses";
+    expectBitwiseEqual(warm[0].result, cold[0].result);
+
+    std::string path = ::testing::TempDir() + "store_counters.json";
+    ASSERT_TRUE(writeSuiteJson(path, cfg, env, warm).ok());
+    auto doc = parseJson(readFile(path));
+    ASSERT_TRUE(doc.ok()) << (doc.ok() ? "" : doc.error().message);
+    const JsonValue *perf =
+        doc.value().member("results")->at(0)->member("hostPerf");
+    ASSERT_NE(perf, nullptr);
+    ASSERT_NE(perf->member("store_hit_chunks"), nullptr);
+    ASSERT_NE(perf->member("store_miss_chunks"), nullptr);
+    EXPECT_EQ(perf->member("store_hit_chunks")->asU64(),
+              warm[0].profile->storeHitChunks);
+    EXPECT_EQ(perf->member("store_miss_chunks")->asU64(), 0u);
     std::filesystem::remove(path);
 }
 

@@ -176,7 +176,8 @@ usage()
                  "[--sample-window=N] [--sample-warmup=N]\n"
                  "                [--llc-add=N] [--no-prefetchers] "
                  "[--jobs=N] [--profile] [--json=FILE]\n"
-                 "                [--journal=DIR] [--list] "
+                 "                [--journal=DIR] [--trace-store] "
+                 "[--trace-cache-dir=DIR] [--list] "
                  "<workload>...\n");
     std::exit(2);
 }
@@ -256,6 +257,16 @@ main(int argc, char **argv)
             json_path = value();
         } else if (arg.rfind("--journal=", 0) == 0) {
             journal_dir = value();
+        } else if (arg == "--trace-store") {
+            // Memoize trace generation in memory for this process
+            // (CATCH_TRACE_STORE). Safe here: we are single-threaded
+            // until the first ThreadPool, and ChunkStore::global()
+            // reads the environment lazily on first use after parsing.
+            ::setenv("CATCH_TRACE_STORE", "1", 1);
+        } else if (arg.rfind("--trace-cache-dir=", 0) == 0) {
+            // Same, plus a persistent on-disk tier shared across runs
+            // and processes (CATCH_TRACE_CACHE).
+            ::setenv("CATCH_TRACE_CACHE", value().c_str(), 1);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();

@@ -20,9 +20,16 @@ The speedup report is informational only — it never fails the check;
 docs/PERFORMANCE.md explains why the ceiling on this codebase is modest
 (the detailed model is already fast).
 
+--sampled-warm takes a warm-store sampled document (bench_perf
+--mode=sampled --store=warm) and reports it the same way: against the
+detailed run (the end-to-end memoized speedup) and, when --sampled is
+also given, against the cold/plain sampled run (the isolated
+memoization win). Informational only, like --sampled.
+
 Usage: check_perf.py --current BENCH_PERF.json \
                      [--baseline bench/perf/BENCH_PERF.json] \
                      [--sampled BENCH_PERF_SAMPLED.json] \
+                     [--sampled-warm BENCH_PERF_SAMPLED_WARM.json] \
                      [--tolerance 0.25]
 
 Exit status: 0 within tolerance, 1 regression, 2 bad input.
@@ -53,16 +60,17 @@ def cells(doc: dict) -> dict[tuple[str, str], dict]:
     return {(r["workload"], r["config"]): r for r in doc["results"]}
 
 
-def report_sampled(detailed: dict, sampled: dict) -> None:
-    """Informational sampled-over-detailed speedup; never fails."""
+def report_sampled(detailed: dict, sampled: dict,
+                   label: str = "sampled vs detailed") -> None:
+    """Informational paired-document speedup report; never fails."""
     det_cells = cells(detailed)
     speedups = []
-    print("sampled vs detailed (host kinstr/s, informational):")
+    print(f"{label} (host kinstr/s, informational):")
     for key, s in sorted(cells(sampled).items()):
         d = det_cells.get(key)
         if d is None:
             print(f"  unpaired {key[0]:<12} {key[1]:<30} "
-                  f"{s['kips_median']:10.1f} kinstr/s (no detailed cell)")
+                  f"{s['kips_median']:10.1f} kinstr/s (no paired cell)")
             continue
         speedup = s["kips_median"] / d["kips_median"]
         speedups.append(speedup)
@@ -74,7 +82,7 @@ def report_sampled(detailed: dict, sampled: dict) -> None:
         n = len(speedups)
         med = (speedups[n // 2] if n % 2
                else 0.5 * (speedups[n // 2 - 1] + speedups[n // 2]))
-        print(f"sampled speedup median: {med:.2f}x over {n} cells")
+        print(f"{label} speedup median: {med:.2f}x over {n} cells")
 
 
 def main() -> int:
@@ -88,6 +96,10 @@ def main() -> int:
     ap.add_argument("--sampled", type=Path, default=None,
                     help="bench_perf --mode=sampled document to compare "
                          "against --current (informational)")
+    ap.add_argument("--sampled-warm", type=Path, default=None,
+                    help="bench_perf --mode=sampled --store=warm "
+                         "document; reported against --current and, if "
+                         "given, --sampled (informational)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional drop in the overall median")
     args = ap.parse_args()
@@ -108,8 +120,15 @@ def main() -> int:
               f"{b['kips_median']:10.1f} -> {c['kips_median']:10.1f} "
               f"({ratio:.2f}x)")
 
-    if args.sampled is not None:
-        report_sampled(cur, load(args.sampled))
+    sampled = load(args.sampled) if args.sampled is not None else None
+    if sampled is not None:
+        report_sampled(cur, sampled)
+    if args.sampled_warm is not None:
+        warm = load(args.sampled_warm)
+        report_sampled(cur, warm, label="warm-store sampled vs detailed")
+        if sampled is not None:
+            report_sampled(sampled, warm,
+                           label="warm-store vs cold-store sampled")
 
     b = base["median_kips_overall"]
     c = cur["median_kips_overall"]

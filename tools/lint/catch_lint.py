@@ -100,6 +100,7 @@ STEP_ALLOC_SCOPE = (
     "src/core/frontend.cc",
     "src/cache/cache.cc",
     "src/sim/fast_forward.cc",
+    "src/trace/chunk_store.cc",
 )
 STEP_ALLOC_SETUP_RE = re.compile(r"^(bind\w*|rewind|reset\w*)$")
 STEP_ALLOC_RE = re.compile(
