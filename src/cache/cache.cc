@@ -29,12 +29,13 @@ Cache::lookup(Addr addr, bool is_demand)
     uint32_t set = setIndex(addr);
     CacheLine *row = &lines_[static_cast<size_t>(set) * geom_.ways];
     if (is_demand) {
-        ++stats_.demandAccesses;
-        ++stats_.readOps;
+        ++stats_.demandAccesses; // catch-analyze: allow(warming-purity)
+        ++stats_.readOps;        // catch-analyze: allow(warming-purity)
     }
     for (uint32_t w = 0; w < geom_.ways; ++w) {
         if (row[w].valid && row[w].tag == tag) {
             if (is_demand) {
+                // catch-analyze: allow(warming-purity)
                 ++stats_.demandHits;
                 repl_->onHit(set, w);
                 // usedSinceFill is managed by the hierarchy, which needs
@@ -96,7 +97,7 @@ Cache::fillImpl(Addr addr, bool dirty, Cycle ready_at, FillSource source,
     uint32_t set = setIndex(addr);
     CacheLine *row = &lines_[static_cast<size_t>(set) * geom_.ways];
     if (count)
-        ++stats_.writeOps;
+        ++stats_.writeOps; // catch-analyze: allow(warming-purity)
 
     // Merge if already present (e.g. a writeback landing on a prefetched
     // copy, or a duplicate fill).
@@ -142,13 +143,17 @@ Cache::fillImpl(Addr addr, bool dirty, Cycle ready_at, FillSource source,
         victim.source = v.source;
         victim.usedSinceFill = v.usedSinceFill;
         if (count) {
-            ++stats_.evictions;
-            if (v.dirty)
+            ++stats_.evictions; // catch-analyze: allow(warming-purity)
+            if (v.dirty) {
+                // catch-analyze: allow(warming-purity)
                 ++stats_.dirtyEvictions;
+            }
             bool was_prefetch = v.source != FillSource::Demand &&
                                 v.source != FillSource::Writeback;
-            if (was_prefetch && !v.usedSinceFill)
+            if (was_prefetch && !v.usedSinceFill) {
+                // catch-analyze: allow(warming-purity)
                 ++stats_.uselessPrefetchEvictions;
+            }
         }
     }
 
@@ -162,7 +167,7 @@ Cache::fillImpl(Addr addr, bool dirty, Cycle ready_at, FillSource source,
     line.usedSinceFill = false;
     repl_->onFill(set, way);
     if (count)
-        ++stats_.fills;
+        ++stats_.fills; // catch-analyze: allow(warming-purity)
     return victim;
 }
 
@@ -175,8 +180,10 @@ Cache::invalidate(Addr addr, bool *was_present, bool count)
     for (uint32_t w = 0; w < geom_.ways; ++w) {
         if (row[w].valid && row[w].tag == tag) {
             row[w].valid = false;
-            if (count)
+            if (count) {
+                // catch-analyze: allow(warming-purity)
                 ++stats_.invalidations;
+            }
             if (was_present)
                 *was_present = true;
             return row[w].dirty;

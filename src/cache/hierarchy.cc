@@ -24,6 +24,7 @@ CacheHierarchy::CacheHierarchy(const SimConfig &cfg)
         stream_.emplace_back(64, cfg.streamDegree);
     }
     llc_ = std::make_unique<Cache>("llc", cfg.llc, ReplKind::Lru, cfg.seed);
+    streamCandidates_.reserve(cfg.streamDegree);
 }
 
 void
@@ -61,8 +62,10 @@ CacheHierarchy::fillL1(CoreId core, bool code, Addr addr, bool dirty,
                warm);
     } else {
         // Two-level: the writeback crosses the interconnect to the LLC.
-        if (!warm)
+        if (!warm) {
+            // catch-analyze: allow(warming-purity)
             ++stats_.ringTransfers;
+        }
         if (CacheLine *line = llc_->lookup(victim.addr, false))
             line->dirty = true;
         else
@@ -94,16 +97,20 @@ CacheHierarchy::fillL2(CoreId core, Addr addr, bool dirty, Cycle ready_at,
       case InclusionPolicy::Exclusive:
         // Every L2 victim's data moves to the LLC (the exclusive-LLC
         // victim traffic the paper's power analysis highlights).
-        if (!warm)
+        if (!warm) {
+            // catch-analyze: allow(warming-purity)
             ++stats_.ringTransfers;
+        }
         fillLlc(victim.addr, victim.dirty, now, FillSource::Writeback,
                 now, warm);
         break;
       case InclusionPolicy::Inclusive:
         // The line is guaranteed LLC-resident; only dirty data moves.
         if (victim.dirty) {
-            if (!warm)
+            if (!warm) {
+                // catch-analyze: allow(warming-purity)
                 ++stats_.ringTransfers;
+            }
             if (CacheLine *line = llc_->lookup(victim.addr, false))
                 line->dirty = true;
             else
@@ -113,8 +120,10 @@ CacheHierarchy::fillL2(CoreId core, Addr addr, bool dirty, Cycle ready_at,
         break;
       case InclusionPolicy::Nine:
         if (victim.dirty) {
-            if (!warm)
+            if (!warm) {
+                // catch-analyze: allow(warming-purity)
                 ++stats_.ringTransfers;
+            }
             if (CacheLine *line = llc_->lookup(victim.addr, false))
                 line->dirty = true;
             else
@@ -149,8 +158,8 @@ CacheHierarchy::fillLlc(Addr addr, bool dirty, Cycle ready_at,
         // Warming drops dirty victims silently: data correctness lives
         // in the functional memory, and DRAM timing state is rebuilt by
         // the per-window detailed warmup.
-        ++stats_.memTransfers;
-        dram_.write(victim.addr, now);
+        ++stats_.memTransfers;         // catch-analyze: allow(warming-purity)
+        dram_.write(victim.addr, now); // catch-analyze: allow(warming-purity)
     }
 }
 

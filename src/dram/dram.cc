@@ -126,6 +126,8 @@ Dram::write(Addr addr, Cycle now)
 {
     uint32_t ch = channelIndex(addr);
     ++stats_.writes;
+    // Bounded by writeQueueDepth; capacity is reserved at construction.
+    // catch-analyze: allow(step-alloc-transitive)
     channels_[ch].writeQueue.push_back(addr);
     maybeDrainWrites(ch, now, channels_[ch].writeQueue.size() >=
                                   cfg_.writeQueueDepth);

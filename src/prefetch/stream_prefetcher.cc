@@ -94,6 +94,9 @@ StreamPrefetcher::observe(Addr addr, std::vector<Addr> &out)
         int32_t target = line + dir * static_cast<int32_t>(k);
         if (target < 0 || target > 63)
             break;
+        // Bounded by degree_; the caller's scratch vector is reserved
+        // once at construction and keeps its capacity across calls.
+        // catch-analyze: allow(step-alloc-transitive)
         out.push_back(page + static_cast<Addr>(target) * kLineBytes);
         ++issued_;
     }

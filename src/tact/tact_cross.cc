@@ -55,6 +55,9 @@ TactCross::train(TargetState &st, Addr target_pc, Addr addr)
         st.haveTrigger = true;
         st.instances = 0;
         st.deltaConf.reset();
+        // Learning-table churn: one entry per candidate trigger PC,
+        // bounded by the static PC set, not per-cycle.
+        // catch-analyze: allow(step-alloc-transitive)
         triggerLastAddr_.emplace(cand, 0);
         return;
     }
@@ -73,6 +76,9 @@ TactCross::train(TargetState &st, Addr target_pc, Addr addr)
         if (st.deltaConf.increment() >= st.deltaConf.max()) {
             st.learned = true;
             st.delta = delta;
+            // One entry per learned (trigger, target) association;
+            // learning stops once confirmed, so growth is bounded.
+            // catch-analyze: allow(step-alloc-transitive)
             firing_[st.triggerPc].push_back(target_pc);
             return;
         }

@@ -1,0 +1,19 @@
+#include "core.hh"
+
+void
+OooCore::bind(int n)
+{
+    buf_.reserve(n); // setup-time allocation is legal
+}
+
+void
+OooCore::step()
+{
+    helperTick(tick_);
+}
+
+void
+OooCore::helperTick(int t)
+{
+    tick_ = t + 1;
+}

@@ -1,0 +1,13 @@
+#pragma once
+#include <vector>
+
+class OooCore {
+  public:
+    void bind(int n);
+    void step();
+
+  private:
+    void helperTick(int t);
+    std::vector<int> buf_;
+    int tick_ = 0;
+};

@@ -1,0 +1,16 @@
+#include "counters.hh"
+
+// Positive: namespace-scope mutable state.
+int g_callCount;
+
+// Negatives: immutable namespace-scope data is fine.
+constexpr int kStride = 64;
+const int kWays = 8;
+static const char *const kName = "fixture";
+
+int
+bump()
+{
+    g_callCount += kStride + kWays;
+    return g_callCount + static_cast<int>(kName[0]);
+}

@@ -1,0 +1,15 @@
+#include "core.hh"
+
+void
+OooCore::bind(int n)
+{
+    helper_.sizeTables(n); // setup path: its reserve stays legal
+}
+
+void
+OooCore::step()
+{
+    // The allocation is two edges away, in another TU: only the
+    // call graph sees it.
+    helper_.record(42);
+}

@@ -1,0 +1,11 @@
+#pragma once
+#include "helper.hh"
+
+class OooCore {
+  public:
+    void bind(int n);
+    void step();
+
+  private:
+    Helper helper_;
+};

@@ -1,0 +1,19 @@
+#include "helper.hh"
+
+void
+Helper::sizeTables(int n)
+{
+    log_.reserve(n); // reached only through bind(): setup, legal
+}
+
+void
+Helper::record(int v)
+{
+    append(v);
+}
+
+void
+Helper::append(int v)
+{
+    log_.push_back(v); // reachable from OooCore::step via record()
+}

@@ -1,0 +1,12 @@
+#pragma once
+#include <vector>
+
+class Helper {
+  public:
+    void sizeTables(int n);
+    void record(int v);
+
+  private:
+    void append(int v);
+    std::vector<int> log_;
+};

@@ -1,0 +1,16 @@
+#include "table.hh"
+
+std::uint64_t
+sumAll()
+{
+    std::unordered_map<int, int> lookup_;
+    std::map<int, int> ordered_;
+    std::uint64_t sum = 0;
+    for (const auto &kv : lookup_) { // order is unspecified
+        sum += static_cast<std::uint64_t>(kv.second);
+    }
+    for (const auto &kv : ordered_) { // fine: std::map is ordered
+        sum += static_cast<std::uint64_t>(kv.second);
+    }
+    return sum;
+}

@@ -1,0 +1,6 @@
+#pragma once
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+std::uint64_t sumAll();

@@ -1,0 +1,9 @@
+#include "core.hh"
+
+void
+OooCore::step()
+{
+    // Stale: nothing on the next line allocates.
+    // catch-analyze: allow(step-alloc-transitive)
+    tick_ += 1;
+}

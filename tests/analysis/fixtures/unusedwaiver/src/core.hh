@@ -1,0 +1,9 @@
+#pragma once
+
+class OooCore {
+  public:
+    void step();
+
+  private:
+    int tick_ = 0;
+};

@@ -1,0 +1,17 @@
+#include "core.hh"
+
+void
+OooCore::step()
+{
+    // Inline waiver, next-line form (the trailing form works too).
+    // catch-analyze: allow(step-alloc-transitive)
+    buf_.push_back(1);
+    refill();
+}
+
+void
+OooCore::refill()
+{
+    // Cut by the boundary waiver on OooCore::refill.
+    chunk_.push_back(2);
+}

@@ -1,0 +1,12 @@
+#pragma once
+#include <vector>
+
+class OooCore {
+  public:
+    void step();
+
+  private:
+    void refill();
+    std::vector<int> buf_;
+    std::vector<int> chunk_;
+};

@@ -1,0 +1,10 @@
+#include "host.hh"
+#include <chrono>
+
+double
+hostSeconds()
+{
+    // Suppressed by the file waiver on src/host.cc.
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(t).count();
+}

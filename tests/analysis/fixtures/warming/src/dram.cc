@@ -1,0 +1,10 @@
+#include "dram.hh"
+
+unsigned long
+Dram::read(int addr)
+{
+    // Legal here: stats inside the timing model belong to the
+    // detailed path; the finding is the *edge* into Dram.
+    ++reads_;
+    return static_cast<unsigned long>(addr) + 200;
+}

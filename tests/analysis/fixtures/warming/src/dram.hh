@@ -1,0 +1,9 @@
+#pragma once
+
+class Dram {
+  public:
+    unsigned long read(int addr);
+
+  private:
+    unsigned long reads_ = 0;
+};

@@ -1,0 +1,14 @@
+#include "warm.hh"
+
+void
+FastForward::warm(int pos)
+{
+    touch(pos);
+}
+
+void
+FastForward::touch(int pos)
+{
+    ++stats_.warmHits;    // stats mutation on the warming path
+    dram_.read(pos);      // timing-model call on the warming path
+}

@@ -1,0 +1,16 @@
+#pragma once
+#include "dram.hh"
+
+struct WarmStats {
+    unsigned long warmHits = 0;
+};
+
+class FastForward {
+  public:
+    void warm(int pos);
+
+  private:
+    void touch(int pos);
+    WarmStats stats_;
+    Dram dram_;
+};

@@ -1,0 +1,34 @@
+#include "widget.hh"
+namespace fx {
+
+// Raw string literals must be blanked without desyncing the stripper.
+// Every banned token below lives inside string data, not code.
+static const char *kDoc = R"(
+    std::mt19937 rng;       // looks like a determinism violation
+    auto *p = new int[8];   // looks like raw new
+    delete[] p;
+)";
+
+static const char *kDelim = R"x(quote " and paren )" inside)x";
+
+// An ordinary string right after, and a genuine quote in code: if the
+// raw-string scan consumed too much, the stripper would treat the rest
+// of this file as string data and miss real code — widget() below
+// would vanish and test-coverage would fire.
+static const char *kPlain = "rand()";
+
+int widget()
+{
+    // Not a raw string: FooR is an identifier, so the quote opens an
+    // ordinary literal and the ) " sequence inside stays string data.
+    struct FooR {
+        const char *v;
+    };
+    FooR f{"(not raw)"};
+    (void)kDoc;
+    (void)kDelim;
+    (void)kPlain;
+    (void)f;
+    return 42;
+}
+}

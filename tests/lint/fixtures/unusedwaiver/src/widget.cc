@@ -1,0 +1,9 @@
+#include "widget.hh"
+namespace fx {
+int widget()
+{
+    // Stale inline waiver: nothing on this line violates determinism.
+    int x = 41 + 1; // catch-lint: allow(determinism)
+    return x;
+}
+}

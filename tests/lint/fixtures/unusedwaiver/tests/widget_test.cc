@@ -1,0 +1,2 @@
+#include "widget.hh"
+int main() { return fx::widget() == 42 ? 0 : 1; }

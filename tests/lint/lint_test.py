@@ -22,6 +22,8 @@ EXPECTATIONS = {
     "clean": None,
     "statsonce_ok": None,
     "waived": None,
+    "rawstring": None,
+    "unusedwaiver": None,  # clean by default; fails --check-waivers
     "determinism": "determinism",
     "env": "env-gateway",
     "rawnew": "raw-new-delete",
@@ -33,9 +35,9 @@ EXPECTATIONS = {
 }
 
 
-def run_linter(root: Path) -> subprocess.CompletedProcess:
+def run_linter(root: Path, *extra: str) -> subprocess.CompletedProcess:
     return subprocess.run(
-        [sys.executable, str(LINTER), "--root", str(root)],
+        [sys.executable, str(LINTER), "--root", str(root), *extra],
         capture_output=True, text=True, timeout=60)
 
 
@@ -100,12 +102,39 @@ class CatchLintFixtures(unittest.TestCase):
         self.assertIn("fast_forward.cc", joined)
         self.assertIn("chunk_store.cc", joined)
 
+    def test_raw_strings_do_not_desync_the_stripper(self):
+        # Every banned token in the fixture lives inside raw string
+        # data; a desynced stripper reports determinism/raw-new, or
+        # eats the rest of the file and reports test-coverage.
+        proc = run_linter(FIXTURES / "rawstring")
+        output = proc.stdout + proc.stderr
+        self.assertEqual(proc.returncode, 0, output)
+        self.assertNotIn("[determinism]", output)
+        self.assertNotIn("[raw-new-delete]", output)
+
+    def test_check_waivers_flags_stale_entries(self):
+        proc = run_linter(FIXTURES / "unusedwaiver", "--check-waivers")
+        output = proc.stdout + proc.stderr
+        self.assertEqual(proc.returncode, 1, output)
+        self.assertIn("[unused-waiver]", output)
+        # Both the stale inline waiver and both stale file waivers.
+        self.assertIn("allow(determinism)", output)
+        self.assertIn("determinism src/widget.cc", output)
+        self.assertIn("test-coverage src/widget.cc", output)
+
+    def test_check_waivers_passes_when_waivers_are_live(self):
+        # The waived fixture's waiver still suppresses a finding, so
+        # --check-waivers must stay green there.
+        proc = run_linter(FIXTURES / "waived", "--check-waivers")
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+
     def test_real_repo_is_clean(self):
         repo = LINTER.parents[2]
-        proc = run_linter(repo)
+        proc = run_linter(repo, "--check-waivers")
         self.assertEqual(
             proc.returncode, 0,
-            "the real tree must stay lint-clean:\n"
+            "the real tree must stay lint-clean (waivers included):\n"
             + proc.stdout + proc.stderr)
 
 

@@ -1,0 +1,1326 @@
+#!/usr/bin/env python3
+"""catch_analyze — whole-program call-graph contract checker.
+
+The regex rules in tools/lint/catch_lint.py see one line of one file at
+a time, so a helper in another translation unit that allocates or
+touches Stats from the hot loop compiles, passes lint, and silently
+erodes the throughput and determinism contracts. This analyzer builds a
+qualified-name call graph across every TU and checks *reachability*
+contracts:
+
+  step-alloc-transitive
+      No allocation (operator new, container growth, make_unique /
+      make_shared) is reachable from the per-cycle entry points
+      (OooCore::step, Frontend::fetchCycle, Cache::lookup/fill,
+      Dram::read/write, FastForward::warm, ...) through any call
+      chain. Setup-time functions (bind*/rewind/reset*, constructors,
+      destructors) are not traversed: they may size structures.
+  warming-purity
+      Nothing reachable from the functional-warming entry points
+      (FastForward::warm, CacheHierarchy::warmAccess) mutates a stats
+      object or calls into the timing model (Dram::*,
+      IssueCalendar::*, OooCore::*). This turns the PR 5 "stats-free
+      contract" test into a static guarantee.
+  determinism-ast
+      Entropy/clock calls that reach through type aliases the line
+      regexes cannot see (`using Clk = std::chrono::steady_clock;`
+      in one header, `Clk::now()` in another file).
+  unordered-iter
+      Range-for iteration over std::unordered_* containers in src/ —
+      iteration order is unspecified, so any result or stat produced
+      from it is not bitwise-reproducible across libraries.
+  global-state
+      Non-const namespace-scope variables in src/ — shared mutable
+      state that TSan only catches on executed interleavings and that
+      breaks the any-job-count determinism contract.
+
+Two frontends produce the same intermediate representation:
+
+  clang  parses `clang++ -Xclang -ast-dump=json` for every src/ TU in
+         compile_commands.json. Extracted per-TU IR is cached keyed on
+         (clang version, command, TU content, src-header digest), so
+         re-runs on an unchanged tree are near-instant; CI persists
+         the cache per-SHA next to the clang-tidy cache and shares the
+         same compile database build.
+  text   a pure-python scanner over the repo house style (return type
+         on its own line, qualified function names at column 0,
+         members declared in headers). No toolchain needed; this is
+         what ctest runs everywhere, and the fallback when clang is
+         absent.
+
+Known limits (both frontends, documented in docs/ANALYSIS.md): virtual
+dispatch and function pointers are not resolved (the repo has no hot
+virtual calls by design); the text frontend drops member-call edges
+whose receiver type it cannot infer and does not model operator
+overloads; allocation detection covers explicit growth calls and
+new/make_*, not std::string temporaries.
+
+Waivers (both require a reason a reviewer can check):
+  inline      `// catch-analyze: allow(<rule>)` on the offending line
+              or on its own comment line directly above (so waivers
+              never fight the 79-column limit).
+              For step-alloc-transitive, an existing
+              `// catch-lint: allow(step-alloc)` is honoured too, so
+              a line is never annotated twice for the same contract.
+  file-level  `<rule> <repo-relative-path>  # reason` in
+              tools/analysis/waivers.txt
+  boundary    `<rule> boundary:<Qualified::Name>  # reason` in
+              tools/analysis/waivers.txt — the rule's traversal stops
+              at that function (for amortized-cost boundaries like the
+              O(chunk) trace refill, or flag-guarded dual-mode code
+              whose purity a dynamic contract test pins).
+
+`--check-waivers` fails when any waiver no longer suppresses anything.
+
+Exit status: 0 clean, 1 findings, 2 setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "lint"))
+from catch_lint import DETERMINISM_BANNED  # noqa: E402
+from catch_lint import strip_comments_and_strings  # noqa: E402
+
+EXTRACTOR_VERSION = "1"  # bump to invalidate cached clang IR
+
+INLINE_WAIVER_RE = re.compile(
+    r"catch-analyze:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+LINT_STEP_ALLOC_WAIVER_RE = re.compile(
+    r"catch-lint:\s*allow\([^)]*\bstep-alloc\b[^)]*\)")
+
+SETUP_FUNC_RE = re.compile(r"^(bind\w*|rewind|reset\w*)$")
+
+# Per-cycle entry points: one detailed step, one warm step, and the
+# module-level operations those invoke per instruction. Names missing
+# from the graph are ignored (the list survives refactors gracefully;
+# --list-entries shows what resolved).
+STEP_ENTRY_POINTS = (
+    "OooCore::step",
+    "Frontend::fetchCycle",
+    "Frontend::redirect",
+    "Cache::lookup",
+    "Cache::fill",
+    "Cache::warmFill",
+    "CacheHierarchy::load",
+    "CacheHierarchy::storeCommit",
+    "CacheHierarchy::codeFetch",
+    "CacheHierarchy::warmAccess",
+    "Dram::read",
+    "Dram::write",
+    "FastForward::warm",
+)
+WARM_ENTRY_POINTS = (
+    "FastForward::warm",
+    "CacheHierarchy::warmAccess",
+)
+# The timing model, off-limits from the warming path.
+TIMING_MODEL_RE = re.compile(r"^(Dram|IssueCalendar|OooCore)::")
+
+ALLOC_MEMBER_RE = re.compile(
+    r"[.\->]\s*(push_back|emplace_back|emplace|emplace_front|"
+    r"emplace_hint|insert|insert_or_assign|try_emplace|resize|reserve|"
+    r"assign|push_front|append)\s*\(")
+ALLOC_MAKE_RE = re.compile(r"\bmake_(unique|shared)\s*[<(]")
+ALLOC_NEW_RE = re.compile(r"[^_\w]new\s+[A-Za-z_:<(]")
+ALLOC_NAMES = frozenset((
+    "push_back", "emplace_back", "emplace", "emplace_front",
+    "emplace_hint", "insert", "insert_or_assign", "try_emplace",
+    "resize", "reserve", "assign", "push_front", "append",
+))
+
+STATS_WRITE_RE = re.compile(
+    r"\b(?:this->)?stats_?\b\s*(?:\[[^\]]*\])?\s*(?:\.|->)\s*"
+    r"[A-Za-z_][\w.\[\]]*\s*(?:\+\+|--|[-+*/|&^]?=(?!=))"
+    r"|(?:\+\+|--)\s*(?:this->)?stats_?\b")
+
+CLOCK_TYPE_RE = re.compile(
+    r"\b(system_clock|steady_clock|high_resolution_clock|file_clock|"
+    r"utc_clock|tai_clock|gps_clock|random_device)\b")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+"
+    r"([A-Za-z_]\w*)\s*[;{=]")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*[^;()]*?:\s*\(?\s*([A-Za-z_][\w.\->\[\]]*)\s*\)")
+
+USING_ALIAS_RE = re.compile(r"\busing\s+([A-Za-z_]\w*)\s*=\s*([^;]+);")
+TYPEDEF_RE = re.compile(r"\btypedef\s+([^;]+?)\s+([A-Za-z_]\w*)\s*;")
+
+KW_NOT_FUNCS = frozenset((
+    "if", "for", "while", "switch", "catch", "do", "else", "try",
+    "return", "sizeof", "alignof", "decltype", "noexcept",
+    "static_assert", "defined", "new", "delete", "throw", "case",
+    "assert",
+))
+CAST_NAMES = frozenset((
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+))
+# Method names so common on std types (atomics, streams, containers)
+# that linking an unknown-receiver call to a same-named repo method
+# would fabricate edges (e.g. `flag.load()` -> CacheHierarchy::load).
+AMBIGUOUS_METHODS = frozenset((
+    "load", "store", "read", "write", "get", "reset", "size", "empty",
+    "begin", "end", "push", "pop", "front", "back", "at", "clear",
+    "data", "swap", "count", "find", "erase", "open", "close", "str",
+    "c_str", "lock", "unlock", "wait", "join", "detach", "test",
+    "value", "min", "max", "fill", "good", "fail", "eof", "tellg",
+    "seekg", "exchange", "notify_one", "notify_all",
+))
+
+GLOBAL_SKIP_HEADS = (
+    "using", "typedef", "template", "extern", "friend",
+    "static_assert", "struct", "class", "enum", "union", "namespace",
+    "public", "private", "protected", "case", "goto", "return",
+)
+GLOBAL_VAR_RE = re.compile(
+    r"^(?:(?:static|inline|thread_local)\s+)*"
+    r"[A-Za-z_][\w:<>,\s*&]*[\s*&]"
+    r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?$")
+
+
+class Func:
+    """One function definition (overloads of one qualified name are
+    merged: calls and events are unioned, which over-approximates
+    safely for reachability)."""
+
+    __slots__ = ("qname", "cls", "name", "file", "line", "calls",
+                 "events", "is_setup", "is_ctor")
+
+    def __init__(self, qname, cls, name, file, line):
+        self.qname = qname
+        self.cls = cls
+        self.name = name
+        self.file = file
+        self.line = line
+        # calls: ('free'|'qual', text, line) | ('member', base, m, line)
+        #        | ('typed', TypeName, method, line)
+        self.calls = []
+        # events: (kind, line, detail); kind in
+        #   alloc | clock | stats | uiter
+        self.events = []
+        self.is_setup = bool(SETUP_FUNC_RE.match(name))
+        self.is_ctor = (cls is not None and (name == cls
+                                             or name == "~" + cls))
+
+
+class Program:
+    """The whole-program IR both frontends produce."""
+
+    def __init__(self):
+        self.funcs: dict[str, Func] = {}
+        # (file, line, name, detail) for namespace-scope mutable state
+        self.globals: list[tuple[str, int, str, str]] = []
+        self.aliases: dict[str, str] = {}
+        self.unordered_vars: set[str] = set()
+        self.member_types: dict[str, dict[str, str]] = {}
+
+    def func(self, qname, cls, name, file, line) -> Func:
+        f = self.funcs.get(qname)
+        if f is None:
+            f = Func(qname, cls, name, file, line)
+            self.funcs[qname] = f
+        return f
+
+    def banned_aliases(self) -> set[str]:
+        """Alias names that (transitively) denote a banned clock or
+        entropy type."""
+        banned = set()
+        for _ in range(4):  # bounded transitive closure
+            for name, rhs in self.aliases.items():
+                if name in banned:
+                    continue
+                if CLOCK_TYPE_RE.search(rhs):
+                    banned.add(name)
+                    continue
+                for tok in re.findall(r"[A-Za-z_]\w*", rhs):
+                    if tok in banned:
+                        banned.add(name)
+                        break
+        return banned
+
+
+# ---------------------------------------------------------------------
+# Text frontend
+# ---------------------------------------------------------------------
+
+def _blank_preprocessor(code: str) -> str:
+    out = []
+    cont = False
+    for line in code.split("\n"):
+        if cont or line.lstrip().startswith("#"):
+            cont = line.rstrip().endswith("\\")
+            out.append("")
+        else:
+            cont = False
+            out.append(line)
+    return "\n".join(out)
+
+
+FUNC_NAME_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*(?:operator\s*[^\s(]+|~?[A-Za-z_]\w*))"
+    r"\s*\(")
+CLASS_RE = re.compile(
+    r"\b(class|struct|union)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
+    r"(?::[^{]*)?$")
+MEMBER_VAR_RE = re.compile(
+    r"^(?:(?:static|mutable|const|constexpr|inline)\s+)*"
+    r"([A-Za-z_][\w:]*(?:\s*<[^;]*>)?)\s*((?:[&*]\s*)*)"
+    r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:=[^;]*|\{[^;]*\})?$")
+LOCAL_VAR_RE = re.compile(
+    r"^\s*(?:const\s+)?([A-Za-z_][\w:]*(?:<[^;()=]*>)?)"
+    r"\s*[&*]*\s*([A-Za-z_]\w*)\s*[=;({]")
+FREE_CALL_RE = re.compile(
+    r"(?<![\w.>:])([A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*)\s*\(")
+MEMBER_CALL_RE = re.compile(
+    r"([A-Za-z_]\w*(?:\[[^\]]*\])?)\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+
+
+def _clean_type(t: str) -> str:
+    """Reduce a declared type to the class name that owns the methods
+    a member call on it would hit."""
+    t = re.sub(r"\b(const|volatile|struct|class|typename|mutable)\b",
+               " ", t)
+    m = re.search(
+        r"\b(?:unique_ptr|shared_ptr|vector|array|deque|optional|"
+        r"reference_wrapper)\s*<\s*([A-Za-z_][\w:]*)", t)
+    if m:
+        t = m.group(1)
+    t = re.sub(r"<.*", "", t).strip().rstrip("&* ")
+    return t.split("::")[-1].strip()
+
+
+PARAM_RE = re.compile(
+    r"(?:const\s+)?([A-Za-z_][\w:]*(?:\s*<[^<>]*>)?)\s*[&*]*\s*"
+    r"([A-Za-z_]\w*)\s*(?:=[^,]*)?$")
+
+
+def _param_types(sig: str) -> dict[str, str]:
+    """Receiver types for function parameters, from the signature text
+    accumulated in pass 1 (`Victim fill(Addr addr, bool dirty, ...)`)."""
+    o = sig.find("(")
+    if o < 0:
+        return {}
+    depth, close = 0, -1
+    for i in range(o, len(sig)):
+        if sig[i] == "(":
+            depth += 1
+        elif sig[i] == ")":
+            depth -= 1
+            if depth == 0:
+                close = i
+                break
+    if close < 0:
+        return {}
+    out: dict[str, str] = {}
+    part, depth2 = [], 0
+    for ch in sig[o + 1:close] + ",":
+        if ch in "<([":
+            depth2 += 1
+        elif ch in ">)]":
+            depth2 -= 1
+        if ch == "," and depth2 == 0:
+            m = PARAM_RE.match(" ".join("".join(part).split()))
+            if m and m.group(1) not in ("void",):
+                out[m.group(2)] = _clean_type(m.group(1))
+            part = []
+        else:
+            part.append(ch)
+    return out
+
+
+def _classify_block(stmt: str, in_func: bool):
+    """Decide what an opening `{` introduces, from the statement text
+    accumulated since the previous `;`/`{`/`}`."""
+    s = " ".join(stmt.split())
+    if in_func or not s:
+        return ("block", None)
+    if s[-1] in "=,(" or s.endswith("return"):
+        return ("block", None)  # brace initializer / lambda-ish
+    if re.match(r"^(inline\s+)?namespace\b", s) and "(" not in s:
+        m = re.match(r"^(?:inline\s+)?namespace\s*([A-Za-z_]\w*)?", s)
+        return ("namespace", m.group(1) if m else None)
+    if re.match(r'^extern\s*"', s):
+        return ("namespace", None)
+    if s.startswith("enum") or re.search(r"\benum\s+(class\s+)?\w*$", s):
+        return ("enum", None)
+    cm = CLASS_RE.search(s)
+    if cm and not s.startswith("enum"):
+        return ("class", cm.group(2))
+    # The first call-shaped identifier is the function name: the house
+    # style puts the return type before it and a constructor
+    # initializer list after it, so taking the first match is exact
+    # for both.
+    for m in FUNC_NAME_RE.finditer(s):
+        name = re.sub(r"\s", "", m.group(1))
+        last = name.rsplit("::", 1)[-1]
+        if last in KW_NOT_FUNCS or last in CAST_NAMES:
+            continue
+        return ("func", name)
+    if "(" in s and s.rstrip().endswith(")"):
+        return ("func", None)  # operator or otherwise unnamed
+    return ("block", None)
+
+
+def parse_text_file(prog: Program, rel: str, text: str) -> None:
+    """Scanner for the repo house style: tracks namespace/class/function
+    nesting by brace depth, records function extents, then extracts
+    calls and rule events from each body."""
+    code = _blank_preprocessor(strip_comments_and_strings(text))
+    lines = code.split("\n")
+
+    for m in USING_ALIAS_RE.finditer(code):
+        prog.aliases[m.group(1)] = m.group(2)
+    for m in TYPEDEF_RE.finditer(code):
+        prog.aliases[m.group(2)] = m.group(1)
+    for m in UNORDERED_DECL_RE.finditer(code):
+        prog.unordered_vars.add(m.group(1))
+
+    # -- pass 1: block structure ---------------------------------------
+    stack = [{"kind": "top", "name": None, "func": None}]
+    stmt: list[str] = []
+    stmt_line = 1
+    line_no = 1
+    # entries: (func, start_line, [end_line], signature_text)
+    func_spans: list[tuple] = []
+    anon = [0]
+
+    def innermost(kind):
+        for ctx in reversed(stack):
+            if ctx["kind"] == kind:
+                return ctx
+        return None
+
+    def in_function():
+        return any(c["kind"] == "func" for c in stack)
+
+    def handle_statement(s_text, s_line):
+        top = stack[-1]["kind"]
+        s = " ".join(s_text.split())
+        if not s:
+            return
+        if top == "class":
+            mv = MEMBER_VAR_RE.match(s)
+            if mv and "(" not in mv.group(1):
+                cls = stack[-1]["name"]
+                if cls:
+                    prog.member_types.setdefault(cls, {})[
+                        mv.group(3)] = _clean_type(mv.group(1))
+            return
+        if top not in ("top", "namespace"):
+            return
+        head = s.split(None, 1)[0] if s.split() else ""
+        head = head.split("<")[0]
+        if head in GLOBAL_SKIP_HEADS or head.startswith("#"):
+            return
+        lhs = s.split("=", 1)[0].strip() if "=" in s else s
+        if "(" in lhs or re.search(r"\b(const|constexpr|concept)\b", lhs):
+            return
+        gv = GLOBAL_VAR_RE.match(lhs)
+        if gv:
+            prog.globals.append((rel, s_line, gv.group(1), s[:60]))
+
+    i, n = 0, len(code)
+    has_content = False
+    while i < n:
+        c = code[i]
+        if c == "\n":
+            line_no += 1
+            stmt.append(" ")
+        elif c == "{":
+            kind, name = _classify_block("".join(stmt), in_function())
+            ctx = {"kind": kind, "name": name, "func": None}
+            if kind == "func":
+                if name is None:
+                    anon[0] += 1
+                    name = f"@anon{anon[0]}"
+                cls = None
+                fname = name
+                if "::" in name:
+                    cls, fname = name.rsplit("::", 1)
+                    cls = cls.split("::")[-1]
+                else:
+                    encl = innermost("class")
+                    if encl is not None:
+                        cls = encl["name"]
+                qname = f"{cls}::{fname}" if cls else fname
+                f = prog.func(qname, cls, fname, rel, stmt_line)
+                ctx["func"] = f
+                func_spans.append(
+                    (f, line_no, [line_no], "".join(stmt)))
+                ctx["span"] = func_spans[-1]
+            stack.append(ctx)
+            stmt = []
+            has_content = False
+            stmt_line = line_no
+        elif c == "}":
+            if len(stack) > 1:
+                popped = stack.pop()
+                if popped["kind"] == "func" and "span" in popped:
+                    popped["span"][2][0] = line_no
+            stmt = []
+            has_content = False
+            stmt_line = line_no
+        elif c == ";":
+            handle_statement("".join(stmt), stmt_line)
+            stmt = []
+            has_content = False
+            stmt_line = line_no
+        else:
+            if not has_content and not c.isspace():
+                stmt_line = line_no
+                has_content = True
+            stmt.append(c)
+        i += 1
+
+    # -- pass 2: per-function body extraction --------------------------
+    banned_aliases = prog.banned_aliases()
+    for f, start, end_box, sig in func_spans:
+        end = end_box[0]
+        local_types = _param_types(sig)
+        for ln in range(start, min(end, len(lines)) + 1):
+            line = lines[ln - 1]
+            lv = LOCAL_VAR_RE.match(line)
+            if lv and lv.group(1) not in ("return", "delete", "throw",
+                                          "auto", "else", "new"):
+                local_types[lv.group(2)] = _clean_type(lv.group(1))
+            for m in MEMBER_CALL_RE.finditer(line):
+                base = re.sub(r"\[[^\]]*\]", "", m.group(1))
+                method = m.group(2)
+                t = local_types.get(base)
+                if t is None and base == "this":
+                    t = f.cls
+                if t is None:
+                    t = prog.member_types.get(f.cls or "", {}).get(base)
+                if t is not None:
+                    f.calls.append(("typed", t, method, ln))
+                else:
+                    f.calls.append(("member", base, method, ln))
+            for m in FREE_CALL_RE.finditer(line):
+                name = re.sub(r"\s", "", m.group(1))
+                last = name.rsplit("::", 1)[-1]
+                if last in KW_NOT_FUNCS or last in CAST_NAMES:
+                    continue
+                f.calls.append(
+                    ("qual" if "::" in name else "free", name, ln))
+            if ALLOC_MEMBER_RE.search(line):
+                f.events.append(
+                    ("alloc", ln,
+                     ALLOC_MEMBER_RE.search(line).group(1)))
+            if ALLOC_MAKE_RE.search(line):
+                f.events.append(("alloc", ln, "make_unique/make_shared"))
+            if ALLOC_NEW_RE.search(f" {line}"):
+                if "= delete" not in line:
+                    f.events.append(("alloc", ln, "operator new"))
+            if STATS_WRITE_RE.search(line):
+                f.events.append(("stats", ln, "stats write"))
+            for pat, what in DETERMINISM_BANNED:
+                if pat.search(line):
+                    f.events.append(("clock", ln, what))
+            for alias in banned_aliases:
+                if re.search(rf"\b{alias}\s*::\s*\w+\s*\(", line) or \
+                        re.search(rf"\b{alias}\s+\w+\s*[;({{=]", line):
+                    f.events.append(
+                        ("clock", ln,
+                         f"banned clock/entropy via alias '{alias}' = "
+                         f"{prog.aliases.get(alias, '?').strip()}"))
+            rf = RANGE_FOR_RE.search(line)
+            if rf:
+                var = re.sub(r"\[[^\]]*\]", "", rf.group(1))
+                var = re.split(r"\.|->", var)[-1]
+                if var in prog.unordered_vars:
+                    f.events.append(("uiter", ln, var))
+
+
+# ---------------------------------------------------------------------
+# Clang AST frontend
+# ---------------------------------------------------------------------
+
+def find_clangxx() -> str | None:
+    cand = os.environ.get("CATCH_CLANGXX")
+    if cand:
+        return cand
+    for name in ("clang++", "clang++-19", "clang++-18", "clang++-17",
+                 "clang++-16", "clang++-15", "clang++-14"):
+        for d in os.environ.get("PATH", "").split(os.pathsep):
+            p = Path(d) / name
+            if p.is_file() and os.access(p, os.X_OK):
+                return str(p)
+    return None
+
+
+def load_compdb(compdb: Path, root: Path) -> list[dict]:
+    entries = json.loads(compdb.read_text())
+    src = (root / "src").resolve()
+    out, seen = [], set()
+    for e in entries:
+        f = Path(e["file"])
+        if not f.is_absolute():
+            f = Path(e.get("directory", ".")) / f
+        f = f.resolve()
+        if src not in f.parents:
+            continue
+        if f in seen:
+            continue
+        seen.add(f)
+        out.append({"file": f, "directory": e.get("directory", "."),
+                    "command": e.get("command")
+                    or shlex.join(e.get("arguments", []))})
+    return out
+
+
+def clang_astdump_cmd(clangxx: str, entry: dict) -> list[str]:
+    args = shlex.split(entry["command"])
+    out = [clangxx]
+    skip = False
+    for a in args[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-c"):
+            skip = a == "-o"
+            continue
+        if a == str(entry["file"]):
+            continue
+        out.append(a)
+    out += ["-w", "-fsyntax-only", "-Xclang", "-ast-dump=json",
+            str(entry["file"])]
+    return out
+
+
+def _qt(node) -> str:
+    t = node.get("type") or {}
+    return (t.get("desugaredQualType") or t.get("qualType") or "")
+
+
+class ClangExtractor:
+    """Walks one TU's JSON AST into the shared IR. Location tracking is
+    stateful: clang omits repeated file/line fields."""
+
+    def __init__(self, prog: Program, root: Path):
+        self.prog = prog
+        self.root = root.resolve()
+        self.cur_file = ""
+        self.cur_line = 0
+        self.record_by_id: dict[str, str] = {}
+        self.record_stack: list[str] = []
+        self.func: Func | None = None
+        self.out_funcs: list[dict] = []
+        self.out_globals: list[tuple] = []
+
+    def _update_loc(self, node) -> None:
+        loc = node.get("loc") or {}
+        for part in (loc.get("spellingLoc"), loc.get("expansionLoc"),
+                     loc):
+            if not part:
+                continue
+            if "file" in part:
+                self.cur_file = part["file"]
+            if "line" in part:
+                self.cur_line = part["line"]
+
+    def _rel(self) -> str | None:
+        try:
+            p = Path(self.cur_file).resolve()
+        except OSError:
+            return None
+        try:
+            return p.relative_to(self.root).as_posix()
+        except ValueError:
+            return None
+
+    def walk_tu(self, tu: dict) -> None:
+        self._collect_record_ids(tu)
+        for child in tu.get("inner", []) or []:
+            self.visit(child)
+
+    def _collect_record_ids(self, node) -> None:
+        """Map AST node ids of class/struct decls to their names, so
+        out-of-line method definitions (whose parent record is not on
+        the visit stack) resolve via parentDeclContextId."""
+        if not isinstance(node, dict):
+            return
+        if node.get("kind") in ("CXXRecordDecl", "ClassTemplateDecl") \
+                and node.get("name") and node.get("id"):
+            self.record_by_id.setdefault(node["id"], node["name"])
+        for ch in node.get("inner", []) or []:
+            self._collect_record_ids(ch)
+
+    def visit(self, node) -> None:
+        if not isinstance(node, dict):
+            return
+        kind = node.get("kind", "")
+        self._update_loc(node)
+
+        if kind in ("NamespaceDecl", "LinkageSpecDecl",
+                    "ExternCContextDecl"):
+            for ch in node.get("inner", []) or []:
+                self.visit(ch)
+            return
+        if kind == "CXXRecordDecl":
+            name = node.get("name")
+            self.record_stack.append(name or "")
+            for ch in node.get("inner", []) or []:
+                self.visit(ch)
+            self.record_stack.pop()
+            return
+        if kind in ("FunctionDecl", "CXXMethodDecl",
+                    "CXXConstructorDecl", "CXXDestructorDecl",
+                    "CXXConversionDecl"):
+            self.visit_function(node)
+            return
+        if kind == "VarDecl" and self.func is None \
+                and not self.record_stack:
+            self.visit_global(node)
+            return
+        if kind in ("TypeAliasDecl", "TypedefDecl"):
+            name = node.get("name")
+            under = ((node.get("type") or {}).get("qualType")) or ""
+            if name:
+                self.prog.aliases.setdefault(name, under)
+        for ch in node.get("inner", []) or []:
+            self.visit(ch)
+
+    def visit_global(self, node) -> None:
+        rel = self._rel()
+        if rel is None or not rel.startswith("src/"):
+            return
+        if node.get("constexpr"):
+            return
+        qt = ((node.get("type") or {}).get("qualType")) or ""
+        if qt.startswith("const ") or " const" in qt.split("[")[0]:
+            return
+        if node.get("storageClass") == "extern":
+            return
+        name = node.get("name") or "?"
+        self.out_globals.append((rel, self.cur_line, name, qt[:60]))
+
+    def visit_function(self, node) -> None:
+        body = None
+        for ch in node.get("inner", []) or []:
+            if isinstance(ch, dict) and ch.get("kind") == "CompoundStmt":
+                body = ch
+        rel = self._rel()
+        if body is None or rel is None or not rel.startswith("src/"):
+            for ch in node.get("inner", []) or []:
+                self.visit(ch)
+            return
+        name = node.get("name") or "@anon"
+        cls = None
+        kind = node.get("kind")
+        if kind in ("CXXMethodDecl", "CXXConstructorDecl",
+                    "CXXDestructorDecl", "CXXConversionDecl"):
+            # In-class definitions find the record on the visit stack;
+            # out-of-line ones resolve via parentDeclContextId.
+            cls = (self.record_stack[-1] if self.record_stack else None)
+            if cls is None:
+                cls = self.record_by_id.get(
+                    node.get("parentDeclContextId") or "")
+        fdesc = {
+            "name": name, "cls": cls, "file": rel,
+            "line": self.cur_line, "calls": [], "events": [],
+        }
+        prev = self.func
+        self.func = fdesc  # duck-typed container during walk
+        self.scan_body(body)
+        self.func = prev
+        self.out_funcs.append(fdesc)
+
+    # -- body scanning -------------------------------------------------
+
+    def scan_body(self, node) -> None:
+        if not isinstance(node, dict):
+            return
+        kind = node.get("kind", "")
+        self._update_loc(node)
+        line = self.cur_line
+        f = self.func
+
+        if kind == "CXXNewExpr":
+            f["events"].append(("alloc", line, "operator new"))
+        elif kind == "CXXForRangeStmt":
+            if "unordered_" in json.dumps(
+                    [_qt(ch) for ch in (node.get("inner") or [])
+                     if isinstance(ch, dict)]):
+                f["events"].append(("uiter", line, "range-for"))
+        elif kind in ("UnaryOperator", "CompoundAssignOperator",
+                      "BinaryOperator"):
+            op = node.get("opcode", "")
+            writes = (kind == "CompoundAssignOperator"
+                      or op in ("++", "--", "="))
+            if writes and self._lhs_is_stats(node):
+                f["events"].append(("stats", line, f"'{op}' on stats"))
+        elif kind == "CXXMemberCallExpr":
+            me = None
+            inner = node.get("inner") or []
+            if inner and isinstance(inner[0], dict) \
+                    and inner[0].get("kind") == "MemberExpr":
+                me = inner[0]
+            if me is not None:
+                method = (me.get("name") or "").lstrip("->.")
+                base_t = ""
+                for ch in me.get("inner") or []:
+                    if isinstance(ch, dict):
+                        base_t = _qt(ch) or base_t
+                t = _clean_type(base_t) if base_t else ""
+                if method in ALLOC_NAMES and (
+                        "std::" in base_t or "basic_string" in base_t
+                        or not t or t[0].islower()):
+                    f["events"].append(("alloc", line, method))
+                if t:
+                    f["calls"].append(("typed", t, method, line))
+                else:
+                    f["calls"].append(("member", "?", method, line))
+        elif kind == "CallExpr":
+            callee = self._callee_name(node)
+            if callee:
+                if callee in ("make_unique", "make_shared"):
+                    f["events"].append(
+                        ("alloc", line, "make_unique/make_shared"))
+                elif callee in ("rand", "srand", "random",
+                                "gettimeofday", "clock_gettime",
+                                "timespec_get", "time"):
+                    f["events"].append(
+                        ("clock", line, f"libc {callee}()"))
+                else:
+                    f["calls"].append(("free", callee, line))
+        elif kind in ("DeclRefExpr", "CXXConstructExpr",
+                      "CXXTemporaryObjectExpr"):
+            qt = _qt(node)
+            if CLOCK_TYPE_RE.search(qt) and "time_point" not in qt:
+                f["events"].append(
+                    ("clock", line, f"clock/entropy type {qt[:40]}"))
+
+        for ch in node.get("inner", []) or []:
+            self.scan_body(ch)
+
+    def _lhs_is_stats(self, node) -> bool:
+        inner = node.get("inner") or []
+        if not inner:
+            return False
+        return self._subtree_has_stats_base(inner[0], depth=0)
+
+    def _subtree_has_stats_base(self, node, depth) -> bool:
+        if not isinstance(node, dict) or depth > 8:
+            return False
+        if node.get("kind") in ("MemberExpr", "DeclRefExpr"):
+            nm = node.get("name") or \
+                ((node.get("referencedDecl") or {}).get("name")) or ""
+            if nm.lstrip("->.") in ("stats_", "stats"):
+                return True
+        return any(self._subtree_has_stats_base(ch, depth + 1)
+                   for ch in (node.get("inner") or []))
+
+    @staticmethod
+    def _callee_name(node) -> str | None:
+        inner = node.get("inner") or []
+        if not inner:
+            return None
+        cur = inner[0]
+        for _ in range(4):
+            if not isinstance(cur, dict):
+                return None
+            if cur.get("kind") == "DeclRefExpr":
+                rd = cur.get("referencedDecl") or {}
+                return rd.get("name")
+            nxt = cur.get("inner") or []
+            if not nxt:
+                return None
+            cur = nxt[0]
+        return None
+
+
+def _headers_digest(root: Path) -> str:
+    h = hashlib.sha256()
+    for p in sorted((root / "src").rglob("*.hh")):
+        h.update(p.relative_to(root).as_posix().encode())
+        h.update(p.read_bytes())
+    return h.hexdigest()
+
+
+def run_clang_frontend(prog: Program, root: Path, compdb: Path,
+                       cache_dir: Path | None, clangxx: str,
+                       verbose: bool) -> list[str]:
+    """Returns a list of TU files that fell back to the text frontend
+    (clang failed or produced unparseable output)."""
+    entries = load_compdb(compdb, root)
+    if not entries:
+        raise RuntimeError(f"no src/ TUs in {compdb}")
+    ver = subprocess.run([clangxx, "--version"], capture_output=True,
+                         text=True).stdout.splitlines()[:1]
+    hdr_digest = _headers_digest(root)
+    fallbacks = []
+    if cache_dir:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+    for e in entries:
+        tu = e["file"]
+        rel = tu.resolve().relative_to(root.resolve()).as_posix()
+        key = hashlib.sha256()
+        key.update(EXTRACTOR_VERSION.encode())
+        key.update((ver[0] if ver else "?").encode())
+        key.update(e["command"].encode())
+        key.update(tu.read_bytes())
+        key.update(hdr_digest.encode())
+        marker = (cache_dir / f"{tu.name}.{key.hexdigest()[:24]}.json"
+                  ) if cache_dir else None
+        ir = None
+        if marker is not None and marker.is_file():
+            try:
+                ir = json.loads(marker.read_text())
+            except (OSError, json.JSONDecodeError):
+                ir = None
+        if ir is None:
+            cmd = clang_astdump_cmd(clangxx, e)
+            if verbose:
+                print(f"catch_analyze: clang {rel}", file=sys.stderr)
+            try:
+                proc = subprocess.run(
+                    cmd, cwd=e["directory"], capture_output=True,
+                    text=True, timeout=300)
+                ast = json.loads(proc.stdout)
+                ex = ClangExtractor(prog, root)
+                ex.walk_tu(ast)
+                ir = {"funcs": ex.out_funcs,
+                      "globals": [list(g) for g in ex.out_globals],
+                      "aliases": dict(prog.aliases)}
+            except (subprocess.SubprocessError, OSError,
+                    json.JSONDecodeError, RecursionError) as err:
+                if verbose:
+                    print(f"catch_analyze: clang failed on {rel}: "
+                          f"{err}; using text frontend", file=sys.stderr)
+                fallbacks.append(rel)
+                parse_text_file(prog, rel,
+                                tu.read_text(errors="replace"))
+                continue
+            if marker is not None:
+                tmp = marker.with_suffix(".tmp")
+                tmp.write_text(json.dumps(ir))
+                tmp.replace(marker)
+        merge_ir(prog, ir)
+    # Headers still need the text scan for member types, aliases and
+    # inline definitions in TUs clang skipped.
+    return fallbacks
+
+
+def merge_ir(prog: Program, ir: dict) -> None:
+    for fd in ir.get("funcs", []):
+        cls = fd.get("cls")
+        name = fd["name"]
+        qname = f"{cls}::{name}" if cls else name
+        f = prog.func(qname, cls, name, fd["file"], fd["line"])
+        f.calls.extend(tuple(c) for c in fd.get("calls", []))
+        existing = set(f.events)
+        for ev in fd.get("events", []):
+            t = tuple(ev)
+            if t not in existing:
+                existing.add(t)
+                f.events.append(t)
+    for g in ir.get("globals", []):
+        t = tuple(g)
+        if t not in prog.globals:
+            prog.globals.append(t)
+    for k, v in (ir.get("aliases") or {}).items():
+        prog.aliases.setdefault(k, v)
+
+
+# ---------------------------------------------------------------------
+# Rules engine
+# ---------------------------------------------------------------------
+
+class Analyzer:
+    def __init__(self, root: Path, prog: Program):
+        self.root = root
+        self.prog = prog
+        self.findings: list[tuple[str, int, str, str]] = []
+        self.file_waivers: dict[tuple[str, str], int] = {}
+        self.boundaries: dict[tuple[str, str], int] = {}
+        self.used_file_waivers: set[tuple[str, str]] = set()
+        self.used_boundaries: set[tuple[str, str]] = set()
+        self.declared_inline: set[tuple[str, int, str]] = set()
+        self.used_inline: set[tuple[str, int, str]] = set()
+        # file -> line -> rule -> line the waiver comment is on (a
+        # waiver applies to its own line and the next, so it can sit
+        # NOLINTNEXTLINE-style above a guarded statement).
+        self.inline: dict[str, dict[int, dict[str, int]]] = {}
+        self._load_waivers()
+        self._load_inline()
+        self._link()
+
+    # -- waivers -------------------------------------------------------
+
+    def _load_waivers(self) -> None:
+        wf = self.root / "tools" / "analysis" / "waivers.txt"
+        if not wf.is_file():
+            return
+        for lineno, raw in enumerate(wf.read_text().splitlines(), 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                print(f"catch_analyze: malformed waiver: {raw!r}",
+                      file=sys.stderr)
+                sys.exit(2)
+            rule, target = parts
+            if target.startswith("boundary:"):
+                self.boundaries[(rule, target[len("boundary:"):])] = \
+                    lineno
+            else:
+                self.file_waivers[(rule, target)] = lineno
+
+    def _load_inline(self) -> None:
+        files = {f.file for f in self.prog.funcs.values()}
+        files |= {g[0] for g in self.prog.globals}
+        for rel in sorted(files):
+            p = self.root / rel
+            if not p.is_file():
+                continue
+            per: dict[int, dict[str, int]] = {}
+            for lineno, line in enumerate(
+                    p.read_text(errors="replace").splitlines(), 1):
+                m = INLINE_WAIVER_RE.search(line)
+                if m:
+                    rules = {r.strip() for r in m.group(1).split(",")}
+                    for r in rules:
+                        # A waiver on the line itself beats one
+                        # spilling down from the previous line.
+                        per.setdefault(lineno, {})[r] = lineno
+                        per.setdefault(lineno + 1, {}).setdefault(
+                            r, lineno)
+                        self.declared_inline.add((rel, lineno, r))
+                if LINT_STEP_ALLOC_WAIVER_RE.search(line):
+                    # A line already waived for the regex step-alloc
+                    # rule is waived for the transitive rule too.
+                    per.setdefault(lineno, {}).setdefault(
+                        "step-alloc-transitive", lineno)
+            self.inline[rel] = per
+
+    def waived(self, rule: str, rel: str, lineno: int) -> bool:
+        if (rule, rel) in self.file_waivers:
+            self.used_file_waivers.add((rule, rel))
+            return True
+        decl = self.inline.get(rel, {}).get(lineno, {}).get(rule)
+        if decl is not None:
+            if (rel, decl, rule) in self.declared_inline:
+                self.used_inline.add((rel, decl, rule))
+            return True
+        return False
+
+    def boundary(self, rule: str, qname: str) -> bool:
+        if (rule, qname) in self.boundaries:
+            self.used_boundaries.add((rule, qname))
+            return True
+        return False
+
+    # -- call graph ----------------------------------------------------
+
+    def _link(self) -> None:
+        by_name: dict[str, list[Func]] = {}
+        for f in self.prog.funcs.values():
+            by_name.setdefault(f.name, []).append(f)
+        self.edges: dict[str, list[tuple[str, int]]] = {}
+        for f in self.prog.funcs.values():
+            out = []
+            for call in f.calls:
+                if call[0] == "typed":
+                    _, t, method, ln = call
+                    target = self.prog.funcs.get(f"{t}::{method}")
+                    if target is not None:
+                        out.append((target.qname, ln))
+                    continue
+                if call[0] == "member":
+                    _, _base, method, ln = call
+                    if method in AMBIGUOUS_METHODS:
+                        # std types share this name; an edge guessed
+                        # here is more likely wrong than right.
+                        continue
+                    cands = by_name.get(method, [])
+                    if len(cands) == 1:
+                        out.append((cands[0].qname, ln))
+                    elif 1 < len(cands) <= 6:
+                        # Unknown receiver: over-approximate.
+                        out.extend((c.qname, ln) for c in cands)
+                    continue
+                kind, name, ln = call
+                if kind == "qual":
+                    cls, fname = name.rsplit("::", 1)
+                    cls = cls.split("::")[-1]
+                    target = self.prog.funcs.get(f"{cls}::{fname}")
+                    if target is not None:
+                        out.append((target.qname, ln))
+                    continue
+                # free call: prefer a method of the same class, then
+                # free functions of that name.
+                if f.cls and f"{f.cls}::{name}" in self.prog.funcs:
+                    out.append((f"{f.cls}::{name}", ln))
+                    continue
+                if name in self.prog.funcs:
+                    out.append((name, ln))
+            self.edges[f.qname] = out
+
+    def _reach(self, rule: str, entries: list[str], cut=None):
+        """BFS honouring setup/ctor/boundary cuts; returns {qname:
+        chain} where chain is the qname path from the entry."""
+        parent: dict[str, str | None] = {}
+        queue = []
+        for e in entries:
+            if e in self.prog.funcs and not self.boundary(rule, e):
+                parent[e] = None
+                queue.append(e)
+        head = 0
+        while head < len(queue):
+            cur = queue[head]
+            head += 1
+            for callee, _ln in self.edges.get(cur, ()):
+                if callee in parent:
+                    continue
+                f = self.prog.funcs[callee]
+                if f.is_setup or f.is_ctor:
+                    continue
+                if cut is not None and cut(callee):
+                    continue
+                if self.boundary(rule, callee):
+                    continue
+                parent[callee] = cur
+                queue.append(callee)
+        chains = {}
+        for q in parent:
+            path = [q]
+            while parent[path[-1]] is not None:
+                path.append(parent[path[-1]])
+            chains[q] = list(reversed(path))
+        return chains
+
+    def report(self, rel, lineno, rule, msg) -> None:
+        if not self.waived(rule, rel, lineno):
+            self.findings.append((rel, lineno, rule, msg))
+
+    # -- rules ---------------------------------------------------------
+
+    def check_step_alloc_transitive(self) -> None:
+        rule = "step-alloc-transitive"
+        chains = self._reach(rule, list(STEP_ENTRY_POINTS))
+        for qname, chain in sorted(chains.items()):
+            f = self.prog.funcs[qname]
+            for kind, ln, detail in f.events:
+                if kind != "alloc":
+                    continue
+                path = " -> ".join(chain)
+                self.report(
+                    f.file, ln, rule,
+                    f"{detail} in {qname}() is reachable from "
+                    f"per-cycle entry {chain[0]}() (path: {path}) — "
+                    "the hot loop must not allocate; hoist the "
+                    "allocation to construction/bind time or add a "
+                    "boundary waiver with a reason")
+
+    def check_warming_purity(self) -> None:
+        rule = "warming-purity"
+        # The timing-model *edge* is the finding; don't traverse into
+        # the timing model looking for stats (they're legitimate
+        # there — that's the detailed path).
+        chains = self._reach(rule, list(WARM_ENTRY_POINTS),
+                             cut=lambda q: TIMING_MODEL_RE.match(q))
+        for qname, chain in sorted(chains.items()):
+            f = self.prog.funcs[qname]
+            for kind, ln, detail in f.events:
+                if kind != "stats":
+                    continue
+                path = " -> ".join(chain)
+                self.report(
+                    f.file, ln, rule,
+                    f"stats mutation ({detail}) in {qname}() is "
+                    f"reachable from warming entry {chain[0]}() "
+                    f"(path: {path}) — functional warming must be "
+                    "stats-free (the FastForward contract)")
+            for callee, ln in self.edges.get(qname, ()):
+                if TIMING_MODEL_RE.match(callee):
+                    path = " -> ".join(chain)
+                    self.report(
+                        f.file, ln, rule,
+                        f"call into the timing model ({callee}) from "
+                        f"{qname}() on the warming path (path: {path} "
+                        f"-> {callee}) — warming consumes no simulated "
+                        "time")
+
+    def check_determinism_ast(self) -> None:
+        for f in self.prog.funcs.values():
+            if not f.file.startswith("src/"):
+                continue
+            for kind, ln, detail in f.events:
+                if kind == "clock":
+                    self.report(
+                        f.file, ln, "determinism-ast",
+                        f"{detail} in {f.qname}() — breaks bitwise "
+                        "reproducibility; use the seeded catchsim::Rng "
+                        "/ simulated time")
+
+    def check_unordered_iter(self) -> None:
+        for f in self.prog.funcs.values():
+            if not f.file.startswith("src/"):
+                continue
+            for kind, ln, detail in f.events:
+                if kind == "uiter":
+                    self.report(
+                        f.file, ln, "unordered-iter",
+                        f"iteration over unordered container "
+                        f"'{detail}' in {f.qname}() — visit order is "
+                        "unspecified and varies across standard "
+                        "libraries; iterate an ordered mirror or sort "
+                        "the keys first")
+
+    def check_global_state(self) -> None:
+        for rel, ln, name, detail in self.prog.globals:
+            if not rel.startswith("src/"):
+                continue
+            self.report(
+                rel, ln, "global-state",
+                f"non-const namespace-scope state '{name}' "
+                f"({detail.strip()}) — mutable globals are a "
+                "shared-state hazard at any job count; scope the "
+                "state into a class or make it constexpr")
+
+    def check_waivers(self) -> None:
+        wf = "tools/analysis/waivers.txt"
+        for (rule, target), lineno in sorted(
+                self.file_waivers.items(), key=lambda kv: kv[1]):
+            if (rule, target) not in self.used_file_waivers:
+                self.findings.append(
+                    (wf, lineno, "unused-waiver",
+                     f"file waiver '{rule} {target}' no longer "
+                     "suppresses any finding; remove it"))
+        for (rule, qname), lineno in sorted(
+                self.boundaries.items(), key=lambda kv: kv[1]):
+            if (rule, qname) not in self.used_boundaries:
+                self.findings.append(
+                    (wf, lineno, "unused-waiver",
+                     f"boundary waiver '{rule} boundary:{qname}' cuts "
+                     "no reachable path; remove it"))
+        for rel, lineno, rule in sorted(self.declared_inline):
+            if (rel, lineno, rule) not in self.used_inline:
+                self.findings.append(
+                    (rel, lineno, "unused-waiver",
+                     f"inline waiver allow({rule}) suppresses nothing "
+                     "on this line; remove it"))
+
+    def run(self, check_waivers: bool = False) -> int:
+        self.check_step_alloc_transitive()
+        self.check_warming_purity()
+        self.check_determinism_ast()
+        self.check_unordered_iter()
+        self.check_global_state()
+        if check_waivers:
+            self.check_waivers()
+        seen = set()
+        for rel, lineno, rule, msg in sorted(self.findings):
+            k = (rel, lineno, rule)
+            if k in seen:
+                continue
+            seen.add(k)
+            print(f"{rel}:{lineno}: [{rule}] {msg}")
+        if seen:
+            print(f"catch_analyze: {len(seen)} finding(s)",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+
+# ---------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------
+
+def build_program(root: Path, frontend: str, compdb: Path,
+                  cache_dir: Path | None, verbose: bool) -> Program:
+    prog = Program()
+    clangxx = find_clangxx() if frontend in ("auto", "clang") else None
+    use_clang = (frontend == "clang"
+                 or (frontend == "auto" and clangxx
+                     and compdb.is_file()))
+    src = root / "src"
+    headers = sorted(src.rglob("*.hh")) + sorted(src.rglob("*.h"))
+    if use_clang:
+        if clangxx is None:
+            raise RuntimeError("clang++ not found (set CATCH_CLANGXX)")
+        if not compdb.is_file():
+            raise RuntimeError(
+                f"{compdb} not found; configure first "
+                "(cmake -B build -S .)")
+        # Headers first: member types and aliases feed call linking
+        # for any TUs that fall back to the text parser.
+        for p in headers:
+            parse_text_file(prog, p.relative_to(root).as_posix(),
+                            p.read_text(errors="replace"))
+        run_clang_frontend(prog, root, compdb, cache_dir, clangxx,
+                           verbose)
+    else:
+        for p in headers + sorted(src.rglob("*.cc")) \
+                + sorted(src.rglob("*.cpp")):
+            parse_text_file(prog, p.relative_to(root).as_posix(),
+                            p.read_text(errors="replace"))
+    return prog
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parents[2])
+    ap.add_argument("--compdb", type=Path, default=None,
+                    help="compile_commands.json (default: "
+                         "ROOT/build/compile_commands.json)")
+    ap.add_argument("--frontend", choices=("auto", "clang", "text"),
+                    default="auto")
+    ap.add_argument("--cache-dir", type=Path,
+                    default=os.environ.get("CATCH_ANALYZE_CACHE"),
+                    help="cache extracted per-TU IR (clang frontend)")
+    ap.add_argument("--check-waivers", action="store_true",
+                    help="also fail on waivers that no longer "
+                         "suppress any finding")
+    ap.add_argument("--list-entries", action="store_true",
+                    help="print which entry points resolved and exit")
+    ap.add_argument("--dump-graph", action="store_true",
+                    help="print the call graph edges and exit")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args()
+    sys.setrecursionlimit(30000)  # deep clang JSON expression trees
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"catch_analyze: {root} has no src/ directory",
+              file=sys.stderr)
+        return 2
+    compdb = args.compdb or (root / "build" / "compile_commands.json")
+    try:
+        prog = build_program(root, args.frontend, compdb,
+                             args.cache_dir, args.verbose)
+    except RuntimeError as err:
+        print(f"catch_analyze: {err}", file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(root, prog)
+    if args.list_entries:
+        for e in sorted(set(STEP_ENTRY_POINTS + WARM_ENTRY_POINTS)):
+            mark = "ok " if e in prog.funcs else "MISSING"
+            print(f"{mark} {e}")
+        return 0
+    if args.dump_graph:
+        for q in sorted(analyzer.edges):
+            for callee, ln in analyzer.edges[q]:
+                print(f"{q} -> {callee}  "
+                      f"({prog.funcs[q].file}:{ln})")
+        return 0
+    return analyzer.run(check_waivers=args.check_waivers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,10 +112,29 @@ STEP_ALLOC_RE = re.compile(
 FUNC_DEF_RE = re.compile(r"^(?:(\w+)::)?(~?\w+)\s*\(")
 
 
+def _raw_string_end(text: str, i: int):
+    """If text[i] is the opening quote of a raw string literal (the
+    caller has already verified the R prefix), return (stop,
+    terminated): stop is the index one past the closing quote (or
+    len(text) when unterminated). Returns None when this is not a
+    raw-string opener after all."""
+    om = re.match(r'"([^()\\\s]{0,16})\(', text[i:i + 20])
+    if not om:
+        return None
+    end = text.find(")" + om.group(1) + '"', i + len(om.group(0)))
+    if end < 0:
+        return len(text), False
+    return end + len(om.group(1)) + 2, True
+
+
 def strip_comments_and_strings(text: str) -> str:
     """Blank out comment and string-literal contents, preserving line
-    structure and the quotes themselves, so regexes never match inside
-    either. Inline lint waivers are extracted before this runs."""
+    structure, column offsets and the quotes themselves, so regexes
+    never match inside either. Handles C++ raw string literals
+    (`R"delim(...)delim"`, with optional u8/u/U/L prefixes): their
+    contents — which may hold unbalanced quotes, `//`, or banned
+    tokens — are blanked without desyncing the scanner. Inline lint
+    waivers are extracted before this runs."""
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line | block | str | chr
@@ -134,6 +153,27 @@ def strip_comments_and_strings(text: str) -> str:
                 i += 2
                 continue
             if c == '"':
+                # Raw string literal?  The quote must be directly
+                # preceded by an R prefix (R, LR, uR, UR, u8R) that is
+                # itself not the tail of a longer identifier, and
+                # followed by `delim(`.
+                pm = re.search(r"(?:u8|[uUL])?R\Z", text[max(0, i - 3):i])
+                pstart = (max(0, i - 3) + pm.start()) if pm else -1
+                plain_prefix = pm and (
+                    pstart == 0
+                    or not re.match(r"\w", text[pstart - 1]))
+                raw = _raw_string_end(text, i) if plain_prefix else None
+                if raw is not None:
+                    stop, terminated = raw
+                    out.append('"')
+                    body = text[i + 1:stop - 1] if terminated \
+                        else text[i + 1:stop]
+                    for ch in body:
+                        out.append(ch if ch == "\n" else " ")
+                    if terminated:
+                        out.append('"')
+                    i = stop
+                    continue
                 state = "str"
                 out.append(c)
                 i += 1
@@ -191,8 +231,15 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.findings: list[tuple[Path, int, str, str]] = []
-        self.file_waivers: set[tuple[str, str]] = set()
-        self.new_delete_allow: set[str] = set()
+        self.file_waivers: dict[tuple[str, str], int] = {}
+        self.new_delete_allow: dict[str, int] = {}
+        # Usage tracking for --check-waivers: a waiver that no longer
+        # suppresses any finding is stale and must be removed.
+        self.used_file_waivers: set[tuple[str, str]] = set()
+        self.used_allow: set[str] = set()
+        self.declared_inline: set[tuple[str, int, str]] = set()
+        self.used_inline: set[tuple[str, int, str]] = set()
+        self._cur_rel = ""
         self._load_waivers()
 
     # -- waiver loading ------------------------------------------------
@@ -200,7 +247,7 @@ class Linter:
     def _load_waivers(self) -> None:
         wf = self.root / "tools" / "lint" / "waivers.txt"
         if wf.is_file():
-            for raw in wf.read_text().splitlines():
+            for lineno, raw in enumerate(wf.read_text().splitlines(), 1):
                 line = raw.split("#", 1)[0].strip()
                 if not line:
                     continue
@@ -209,19 +256,23 @@ class Linter:
                     print(f"catch_lint: malformed waiver line: {raw!r}",
                           file=sys.stderr)
                     sys.exit(2)
-                self.file_waivers.add((parts[0], parts[1]))
+                self.file_waivers[(parts[0], parts[1])] = lineno
         af = self.root / "tools" / "lint" / "allow_raw_new.txt"
         if af.is_file():
-            for raw in af.read_text().splitlines():
+            for lineno, raw in enumerate(af.read_text().splitlines(), 1):
                 line = raw.split("#", 1)[0].strip()
                 if line:
-                    self.new_delete_allow.add(line)
+                    self.new_delete_allow[line] = lineno
 
     def waived(self, rule: str, rel: str, inline: dict[int, set[str]],
                lineno: int) -> bool:
         if (rule, rel) in self.file_waivers:
+            self.used_file_waivers.add((rule, rel))
             return True
-        return rule in inline.get(lineno, set())
+        if rule in inline.get(lineno, set()):
+            self.used_inline.add((rel, lineno, rule))
+            return True
+        return False
 
     def report(self, path: Path, lineno: int, rule: str, msg: str) -> None:
         self.findings.append((path, lineno, rule, msg))
@@ -232,7 +283,8 @@ class Linter:
         return path.relative_to(self.root).as_posix()
 
     def iter_sources(self, *tops: str):
-        fixtures = self.root / "tests" / "lint" / "fixtures"
+        fixture_dirs = (self.root / "tests" / "lint" / "fixtures",
+                        self.root / "tests" / "analysis" / "fixtures")
         for top in tops:
             base = self.root / top
             if not base.is_dir():
@@ -240,20 +292,22 @@ class Linter:
             for p in sorted(base.rglob("*")):
                 if p.suffix not in SRC_EXTS or not p.is_file():
                     continue
-                # The linter's own test fixtures contain deliberate
-                # violations; they are linted by their own --root runs.
-                if fixtures in p.parents:
+                # The lint/analysis test fixtures contain deliberate
+                # violations; they are checked by their own --root runs.
+                if any(d in p.parents for d in fixture_dirs):
                     continue
                 yield p
 
-    @staticmethod
-    def inline_waivers(text: str) -> dict[int, set[str]]:
+    def inline_waivers(self, rel: str,
+                       text: str) -> dict[int, set[str]]:
         waivers: dict[int, set[str]] = {}
         for lineno, line in enumerate(text.splitlines(), 1):
             m = INLINE_WAIVER_RE.search(line)
             if m:
                 rules = {r.strip() for r in m.group(1).split(",")}
                 waivers.setdefault(lineno, set()).update(rules)
+                for r in rules:
+                    self.declared_inline.add((rel, lineno, r))
         return waivers
 
     # -- rules ---------------------------------------------------------
@@ -262,7 +316,7 @@ class Linter:
         for path in self.iter_sources(*LINT_TOPS):
             rel = self.rel(path)
             text = path.read_text(errors="replace")
-            inline = self.inline_waivers(text)
+            inline = self.inline_waivers(rel, text)
             code = strip_comments_and_strings(text)
             in_src = rel.startswith("src/")
             orig_lines = text.splitlines()
@@ -304,22 +358,24 @@ class Linter:
                     self.report(path, lineno, "env-gateway",
                                 "read CATCH_* knobs via common/env.hh, "
                                 "not raw std::getenv")
-                if rel not in self.new_delete_allow:
-                    stripped = line
-                    if (NEW_RE.search(f" {stripped}")
-                            and "= delete" not in stripped
-                            and not self.waived("raw-new-delete", rel,
-                                                inline, lineno)):
-                        self.report(path, lineno, "raw-new-delete",
-                                    "raw new expression; use "
-                                    "std::make_unique or a container")
-                    no_deleted_fn = re.sub(r"=\s*delete", "", stripped)
-                    if (DELETE_RE.search(f" {no_deleted_fn}")
-                            and not self.waived("raw-new-delete", rel,
-                                                inline, lineno)):
-                        self.report(path, lineno, "raw-new-delete",
-                                    "raw delete expression; owning "
-                                    "pointers must be smart pointers")
+                stripped = line
+                no_deleted_fn = re.sub(r"=\s*delete", "", stripped)
+                hit_new = (NEW_RE.search(f" {stripped}")
+                           and "= delete" not in stripped)
+                hit_delete = DELETE_RE.search(f" {no_deleted_fn}")
+                if (hit_new or hit_delete) \
+                        and rel in self.new_delete_allow:
+                    self.used_allow.add(rel)
+                elif hit_new and not self.waived("raw-new-delete", rel,
+                                                 inline, lineno):
+                    self.report(path, lineno, "raw-new-delete",
+                                "raw new expression; use "
+                                "std::make_unique or a container")
+                elif hit_delete and not self.waived("raw-new-delete",
+                                                    rel, inline, lineno):
+                    self.report(path, lineno, "raw-new-delete",
+                                "raw delete expression; owning "
+                                "pointers must be smart pointers")
 
     def check_step_alloc(self) -> None:
         """Hot-loop allocation freedom for the scoped per-cycle files.
@@ -331,7 +387,7 @@ class Linter:
             if not path.is_file():
                 continue
             text = path.read_text(errors="replace")
-            inline = self.inline_waivers(text)
+            inline = self.inline_waivers(rel, text)
             code = strip_comments_and_strings(text)
             func = None
             klass = None
@@ -363,7 +419,7 @@ class Linter:
         for path in self.iter_sources("src"):
             rel = self.rel(path)
             text = path.read_text(errors="replace")
-            inline = self.inline_waivers(text)
+            inline = self.inline_waivers(rel, text)
             code = strip_comments_and_strings(text)
             # Call sites only: require an object expression before the
             # dot so the JsonWriter class definition itself is ignored.
@@ -410,8 +466,6 @@ class Linter:
                 test_includes.add(m.group(1))
         for cc in sorted(src.rglob("*.cc")):
             rel = self.rel(cc)
-            if ("test-coverage", rel) in self.file_waivers:
-                continue
             candidates = set()
             hh = cc.with_suffix(".hh")
             if hh.is_file():
@@ -425,7 +479,10 @@ class Linter:
                     if (src / inc).is_file() and Path(inc).parent == \
                             cc.parent.relative_to(src):
                         candidates.add(inc)
-            if not candidates & test_includes:
+            # Consult the waiver only for genuinely uncovered files, so
+            # a waiver on a file that gained a test reads as stale.
+            if not candidates & test_includes and \
+                    not self.waived("test-coverage", rel, {}, 0):
                 self.report(
                     cc, 1, "test-coverage",
                     "no test includes "
@@ -433,13 +490,41 @@ class Linter:
                     + " — add a test or a waiver with a reason in "
                     "tools/lint/waivers.txt")
 
+    def check_waivers(self) -> None:
+        """Stale-waiver detection (--check-waivers): every file-level
+        waiver, allow_raw_new entry and inline `catch-lint: allow(...)`
+        must still suppress at least one finding; otherwise it hides
+        nothing and must be removed before it masks a future
+        regression."""
+        wf = "tools/lint/waivers.txt"
+        for (rule, rel), lineno in sorted(self.file_waivers.items(),
+                                          key=lambda kv: kv[1]):
+            if (rule, rel) not in self.used_file_waivers:
+                self.report(self.root / wf, lineno, "unused-waiver",
+                            f"file waiver '{rule} {rel}' no longer "
+                            "suppresses any finding; remove it")
+        for rel, lineno in sorted(self.new_delete_allow.items(),
+                                  key=lambda kv: kv[1]):
+            if rel not in self.used_allow:
+                self.report(self.root / "tools/lint/allow_raw_new.txt",
+                            lineno, "unused-waiver",
+                            f"allow_raw_new entry '{rel}' matches no "
+                            "new/delete expression; remove it")
+        for rel, lineno, rule in sorted(self.declared_inline):
+            if (rel, lineno, rule) not in self.used_inline:
+                self.report(self.root / rel, lineno, "unused-waiver",
+                            f"inline waiver allow({rule}) suppresses "
+                            "nothing on this line; remove it")
+
     # -- driver --------------------------------------------------------
 
-    def run(self) -> int:
+    def run(self, check_waivers: bool = False) -> int:
         self.check_line_rules()
         self.check_step_alloc()
         self.check_stats_once()
         self.check_test_coverage()
+        if check_waivers:
+            self.check_waivers()
         for path, lineno, rule, msg in sorted(
                 self.findings, key=lambda f: (str(f[0]), f[1])):
             print(f"{self.rel(path)}:{lineno}: [{rule}] {msg}")
@@ -455,12 +540,15 @@ def main() -> int:
     ap.add_argument("--root", type=Path,
                     default=Path(__file__).resolve().parents[2],
                     help="repo root to lint (default: this checkout)")
+    ap.add_argument("--check-waivers", action="store_true",
+                    help="also fail on waivers that no longer suppress "
+                         "any finding")
     args = ap.parse_args()
     root = args.root.resolve()
     if not (root / "src").is_dir():
         print(f"catch_lint: {root} has no src/ directory", file=sys.stderr)
         return 2
-    return Linter(root).run()
+    return Linter(root).run(check_waivers=args.check_waivers)
 
 
 if __name__ == "__main__":
