@@ -20,6 +20,17 @@
  *                   reported as timed-out, not retried
  *   internal        an unexpected exception escaped a worker; a bug,
  *                   contained to the failing run's slot
+ *
+ * Process-isolated execution (sim/supervisor.hh) adds three categories
+ * that can only happen when a run lives in its own worker process:
+ *   crashed           the worker process died (signal, nonzero exit,
+ *                     protocol corruption) before delivering a result;
+ *                     restarted up to CATCH_MAX_ATTEMPTS times
+ *   heartbeat-timeout the worker stopped heartbeating past the
+ *                     wall-clock watchdog; SIGKILLed, not restarted
+ *                     (hangs are not transient)
+ *   exec-fail         the worker binary could not be executed at all;
+ *                     restarted (spawn failures may be transient)
  */
 
 #ifndef CATCHSIM_COMMON_ERROR_HH_
@@ -42,6 +53,9 @@ enum class ErrorCategory : uint8_t
     IoTransient,
     BudgetExceeded,
     Internal,
+    Crashed,
+    HeartbeatTimeout,
+    ExecFail,
 };
 
 /** Stable wire name of a category ("config", "trace-corrupt", ...). */
@@ -54,6 +68,9 @@ errorCategoryName(ErrorCategory c)
       case ErrorCategory::IoTransient:    return "io-transient";
       case ErrorCategory::BudgetExceeded: return "budget-exceeded";
       case ErrorCategory::Internal:       return "internal";
+      case ErrorCategory::Crashed:        return "crashed";
+      case ErrorCategory::HeartbeatTimeout: return "heartbeat-timeout";
+      case ErrorCategory::ExecFail:       return "exec-fail";
     }
     return "internal";
 }
@@ -65,7 +82,8 @@ errorCategoryFromName(const std::string &name)
     for (ErrorCategory c :
          {ErrorCategory::Config, ErrorCategory::TraceCorrupt,
           ErrorCategory::IoTransient, ErrorCategory::BudgetExceeded,
-          ErrorCategory::Internal})
+          ErrorCategory::Internal, ErrorCategory::Crashed,
+          ErrorCategory::HeartbeatTimeout, ErrorCategory::ExecFail})
         if (name == errorCategoryName(c))
             return c;
     return std::nullopt;

@@ -26,13 +26,17 @@ fnv1a(const std::string &s)
 Expected<FaultKind>
 parseKind(const std::string &word)
 {
-    for (FaultKind k : {FaultKind::TraceCorrupt, FaultKind::IoTransient,
-                        FaultKind::WorkerThrow, FaultKind::Hang})
+    for (FaultKind k :
+         {FaultKind::TraceCorrupt, FaultKind::IoTransient,
+          FaultKind::WorkerThrow, FaultKind::Hang, FaultKind::CrashAbort,
+          FaultKind::CrashSegv, FaultKind::Oom, FaultKind::ExecFail,
+          FaultKind::HeartbeatStall})
         if (word == faultKindName(k))
             return k;
     return simError(ErrorCategory::Config, "CATCH_FAULT_INJECT: unknown "
                     "fault kind '", word, "' (expected trace-corrupt, "
-                    "io-transient, exception or hang)");
+                    "io-transient, exception, hang, crash-abort, "
+                    "crash-segv, oom, exec-fail or heartbeat-stall)");
 }
 
 /** Strict non-negative integer parse; nullopt on garbage. */
@@ -105,6 +109,11 @@ faultKindName(FaultKind k)
       case FaultKind::IoTransient:  return "io-transient";
       case FaultKind::WorkerThrow:  return "exception";
       case FaultKind::Hang:         return "hang";
+      case FaultKind::CrashAbort:   return "crash-abort";
+      case FaultKind::CrashSegv:    return "crash-segv";
+      case FaultKind::Oom:          return "oom";
+      case FaultKind::ExecFail:     return "exec-fail";
+      case FaultKind::HeartbeatStall: return "heartbeat-stall";
     }
     return "?";
 }

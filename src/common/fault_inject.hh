@@ -14,6 +14,8 @@
  *   spec    := clause ( ';' clause )*
  *   clause  := kind ':' target [ ':x' count ]
  *   kind    := 'trace-corrupt' | 'io-transient' | 'exception' | 'hang'
+ *            | 'crash-abort' | 'crash-segv' | 'oom' | 'exec-fail'
+ *            | 'heartbeat-stall'
  *   target  := '*'                  every run
  *            | <name>               one run/operation by name
  *            | '%' pct '@' seed     pct% of names, chosen by a seeded
@@ -27,6 +29,17 @@
  *   io-transient:mcf:x9         mcf exhausts every retry and fails
  *   trace-corrupt:tpcc;hang:milc  two persistent faults
  *   exception:%10@42            ~10% of runs throw (seed 42)
+ *   crash-segv:%25@7            ~25% of isolated workers die by SIGSEGV
+ *   crash-abort:mcf:x1          mcf's first worker process aborts; the
+ *                               supervisor's restart succeeds
+ *
+ * The five process-level kinds (crash-abort, crash-segv, oom,
+ * exec-fail, heartbeat-stall) act only in process-isolated mode
+ * (sim/supervisor.hh): the first four take effect inside or while
+ * spawning the worker process, heartbeat-stall silences the worker's
+ * heartbeat so the wall-clock watchdog fires. For ':xN' counting their
+ * attempt number is the process attempt (restart index), so a bounded
+ * clause crashes the first N spawns and lets the restart succeed.
  *
  * Non-workload injection points use reserved names, e.g. the suite
  * JSON exporter asks for "json-export".
@@ -49,6 +62,11 @@ enum class FaultKind : uint8_t
     IoTransient,
     WorkerThrow,
     Hang,
+    CrashAbort,     ///< worker process calls abort() (SIGABRT death)
+    CrashSegv,      ///< worker process raises SIGSEGV
+    Oom,            ///< worker process raises SIGKILL (OOM-killer stand-in)
+    ExecFail,       ///< supervisor spawn execs an unrunnable binary
+    HeartbeatStall, ///< worker stops heartbeating and never finishes
 };
 
 /** Spec keyword of a kind ("trace-corrupt", "io-transient", ...). */

@@ -9,6 +9,8 @@
 #include "common/stats.hh"
 #include "sim/journal.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/result_store.hh"
+#include "sim/supervisor.hh"
 #include "trace/suite.hh"
 
 namespace catchsim
@@ -24,6 +26,8 @@ ExperimentEnv::fromEnvironment()
     env.jobs = suiteJobs();
     env.jsonDir = envString("CATCH_JSON");
     env.journalDir = envString("CATCH_JOURNAL");
+    env.resultStoreDir = envString("CATCH_RESULT_STORE");
+    env.isolate = envFlag("CATCH_ISOLATE");
     env.isolation = IsolationOptions::fromEnvironment();
     return env;
 }
@@ -68,30 +72,52 @@ runSuiteIsolated(const SimConfig &cfg, const ExperimentEnv &env)
             warn("journal disabled: ", j.error().message);
         }
     }
+    std::unique_ptr<ResultStore> store;
+    if (!env.resultStoreDir.empty()) {
+        auto s = ResultStore::open(env.resultStoreDir);
+        if (s.ok()) {
+            store = std::move(s).value();
+            opts.resultStore = store.get();
+        } else {
+            warn("result store disabled: ", s.error().message);
+        }
+    }
 
     std::fprintf(stderr, "[%s] ", cfg.name.c_str());
-    auto outcomes = runWorkloadsIsolated(
-        cfg, env.names, env.instrs, env.warmup, env.jobs, opts,
-        [](const RunOutcome &o) {
-            char mark = '.';
-            if (o.resumed)
-                mark = 's';
-            else if (o.status == RunStatus::Retried)
-                mark = 'r';
-            else if (o.status == RunStatus::Failed)
-                mark = 'F';
-            else if (o.status == RunStatus::TimedOut)
-                mark = 'T';
-            std::fprintf(stderr, "%c", mark);
-            std::fflush(stderr);
-        });
+    auto progress = [](const RunOutcome &o) {
+        char mark = '.';
+        if (o.resumed)
+            mark = 's';
+        else if (o.fromStore)
+            mark = 'h';
+        else if (o.status == RunStatus::Retried)
+            mark = 'r';
+        else if (o.status == RunStatus::Failed)
+            mark = 'F';
+        else if (o.status == RunStatus::TimedOut)
+            mark = 'T';
+        else if (o.status == RunStatus::Crashed)
+            mark = 'C';
+        std::fprintf(stderr, "%c", mark);
+        std::fflush(stderr);
+    };
+    auto outcomes =
+        env.isolate
+            ? runWorkloadsSupervised(cfg, env.names, env.instrs,
+                                     env.warmup, env.jobs, opts,
+                                     progress)
+            : runWorkloadsIsolated(cfg, env.names, env.instrs,
+                                   env.warmup, env.jobs, opts,
+                                   progress);
     std::fprintf(stderr, "\n");
 
     CampaignSummary sum = summarizeOutcomes(outcomes);
-    if (!sum.allOk() || sum.retried || sum.resumed)
+    if (!sum.allOk() || sum.retried || sum.resumed || sum.storeHits)
         inform("campaign '", cfg.name, "': ", sum.ok, " ok, ",
                sum.retried, " retried, ", sum.failed, " failed, ",
-               sum.timedOut, " timed out, ", sum.resumed, " resumed");
+               sum.timedOut, " timed out, ", sum.crashed, " crashed, ",
+               sum.resumed, " resumed, ", sum.storeHits,
+               " store hit(s), ", sum.storeMisses, " store miss(es)");
     for (const auto &o : outcomes)
         if (!o.ok())
             warn("run '", o.workload, "' on '", o.config, "' ",

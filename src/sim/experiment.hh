@@ -14,9 +14,17 @@
  *                    runSuite() call into DIR (see writeSuiteJson)
  *   CATCH_JOURNAL=DIR  checkpoint finished runs to DIR/journal.jsonl
  *                    and resume them on restart (see sim/journal.hh)
+ *   CATCH_ISOLATE=1  run each simulation in its own worker process
+ *                    under the wall-clock supervisor (sim/supervisor.hh)
+ *   CATCH_RESULT_STORE=DIR  content-hashed incremental result store:
+ *                    unchanged (config, workload, length) cells are
+ *                    served from DIR instead of re-executing
+ *                    (sim/result_store.hh)
  *   CATCH_MAX_ATTEMPTS / CATCH_BACKOFF_MS / CATCH_MAX_CYCLES /
  *   CATCH_STALL_WINDOW  fault-containment knobs (see IsolationOptions
  *                    and RunBudget)
+ *   CATCH_HEARTBEAT_MS / CATCH_HEARTBEAT_TIMEOUT_MS / CATCH_WORKER_BIN
+ *                    process-isolation knobs (see IsolationOptions)
  */
 
 #ifndef CATCHSIM_SIM_EXPERIMENT_HH_
@@ -45,6 +53,12 @@ struct ExperimentEnv
     std::string jsonDir;
     /** Directory for the resume journal; empty disables it. */
     std::string journalDir;
+    /** Directory for the content-hashed result store; empty disables
+     *  it (CATCH_RESULT_STORE). */
+    std::string resultStoreDir;
+    /** Process-isolated execution via sim/supervisor.hh
+     *  (CATCH_ISOLATE). */
+    bool isolate = false;
     /** Fault-containment knobs (watchdog budget, retries, backoff). */
     IsolationOptions isolation;
 
@@ -56,10 +70,15 @@ struct ExperimentEnv
  * env.names[i] and is bitwise-identical regardless of the job count;
  * failed runs occupy their own slots as structured failures instead of
  * aborting the campaign. Prints one progress mark per run ('.' ok,
- * 'r' retried, 'F' failed, 'T' timed out, 's' resumed from journal),
- * a campaign summary when anything was abnormal, and one warning per
- * failure. When env.journalDir is set, finished runs checkpoint to the
- * journal and a restarted campaign re-executes only unfinished ones.
+ * 'r' retried, 'F' failed, 'T' timed out, 'C' crashed, 's' resumed
+ * from journal, 'h' served from the result store), a campaign summary
+ * when anything was abnormal, and one warning per failure. When
+ * env.journalDir is set, finished runs checkpoint to the journal and a
+ * restarted campaign re-executes only unfinished ones. When
+ * env.resultStoreDir is set, cells whose content key is already stored
+ * replay from the store and fresh successes persist back to it. When
+ * env.isolate is set, runs execute in per-run worker processes under
+ * the wall-clock supervisor instead of pool threads.
  * When env.jsonDir is set, writes <jsonDir>/<config-name>.json with
  * per-run status and the campaign summary (a "-2", "-3", ... suffix
  * disambiguates repeated config names within one process).

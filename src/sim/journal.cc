@@ -6,6 +6,8 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 
+#include <sys/file.h>
+
 namespace catchsim
 {
 
@@ -48,6 +50,13 @@ SuiteJournal::open(const std::string &dir)
     if (!j->file_) {
         return simError(ErrorCategory::Config, "cannot open journal '",
                         j->path_, "' for appending");
+    }
+    // Two campaigns appending to one journal would interleave records
+    // and corrupt each other's resume sets; fail the second fast. The
+    // lock lives for the FILE's lifetime (fclose releases it).
+    if (::flock(fileno(j->file_), LOCK_EX | LOCK_NB) != 0) {
+        return simError(ErrorCategory::Config, "journal '", j->path_,
+                        "' is locked by another campaign");
     }
     if (!j->entries_.empty())
         inform("journal '", j->path_, "': ", j->entries_.size(),

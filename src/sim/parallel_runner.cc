@@ -11,6 +11,8 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/journal.hh"
+#include "sim/result_store.hh"
+#include "sim/worker_proto.hh"
 
 namespace catchsim
 {
@@ -37,6 +39,7 @@ runStatusName(RunStatus s)
       case RunStatus::Retried: return "retried";
       case RunStatus::Failed: return "failed";
       case RunStatus::TimedOut: return "timed-out";
+      case RunStatus::Crashed: return "crashed";
     }
     return "?";
 }
@@ -45,7 +48,8 @@ std::optional<RunStatus>
 runStatusFromName(const std::string &name)
 {
     for (RunStatus s : {RunStatus::Ok, RunStatus::Retried,
-                        RunStatus::Failed, RunStatus::TimedOut})
+                        RunStatus::Failed, RunStatus::TimedOut,
+                        RunStatus::Crashed})
         if (name == runStatusName(s))
             return s;
     return std::nullopt;
@@ -61,9 +65,14 @@ summarizeOutcomes(const std::vector<RunOutcome> &outcomes)
           case RunStatus::Retried: ++sum.retried; break;
           case RunStatus::Failed: ++sum.failed; break;
           case RunStatus::TimedOut: ++sum.timedOut; break;
+          case RunStatus::Crashed: ++sum.crashed; break;
         }
         if (o.resumed)
             ++sum.resumed;
+        if (o.fromStore)
+            ++sum.storeHits;
+        if (o.storeMiss)
+            ++sum.storeMisses;
     }
     return sum;
 }
@@ -78,6 +87,12 @@ IsolationOptions::fromEnvironment()
     o.backoffMs =
         static_cast<unsigned>(envU64("CATCH_BACKOFF_MS", 100));
     o.profile = envU64("CATCH_PROFILE", 0) != 0;
+    o.heartbeatMs = static_cast<unsigned>(
+        std::max<uint64_t>(1, envU64("CATCH_HEARTBEAT_MS", 1000)));
+    o.heartbeatTimeoutMs = static_cast<unsigned>(
+        std::max<uint64_t>(1, envU64("CATCH_HEARTBEAT_TIMEOUT_MS",
+                                     30000)));
+    o.workerBin = envString("CATCH_WORKER_BIN");
     return o;
 }
 
@@ -130,19 +145,10 @@ runTasksLongestFirst(std::vector<std::function<void()>> tasks,
     pool.runAll(std::move(sorted));
 }
 
-namespace
-{
-
-/**
- * One fault-contained run: retries transient errors with a bounded
- * attempt count, converts exceptions and watchdog trips into structured
- * failures. Runs entirely inside the worker; touches only its own
- * RunOutcome.
- */
 RunOutcome
-executeIsolated(const SimConfig &cfg, const std::string &name,
-                uint64_t instrs, uint64_t warmup,
-                const IsolationOptions &opts, ChunkStore *store)
+executeContainedRun(const SimConfig &cfg, const std::string &name,
+                    uint64_t instrs, uint64_t warmup,
+                    const IsolationOptions &opts, ChunkStore *store)
 {
     RunOutcome out;
     out.workload = name;
@@ -205,8 +211,6 @@ executeIsolated(const SimConfig &cfg, const std::string &name,
     }
 }
 
-} // namespace
-
 std::vector<RunOutcome>
 runWorkloadsIsolated(const SimConfig &cfg,
                      const std::vector<std::string> &names,
@@ -224,9 +228,14 @@ runWorkloadsIsolated(const SimConfig &cfg,
     // reads the environment on first use, which must not happen
     // concurrently from workers (env.hh startup contract).
     ChunkStore *store = opts.store ? *opts.store : ChunkStore::global();
+    // The result-store key depends only on the run's identity, so the
+    // config digest is shared by every slot of the campaign.
+    uint64_t cfg_digest =
+        opts.resultStore ? configDigest(cfg) : 0;
     for (size_t i = 0; i < names.size(); ++i) {
         // Journal replay happens here on the calling thread, before any
-        // worker starts: resumed runs never occupy a worker slot.
+        // worker starts: resumed runs never occupy a worker slot. The
+        // result store is consulted second, under the same rule.
         if (opts.journal) {
             RunStatus st = RunStatus::Ok;
             if (const SimResult *done = opts.journal->find(
@@ -241,13 +250,35 @@ runWorkloadsIsolated(const SimConfig &cfg,
                 continue;
             }
         }
-        tasks.push_back([&, i, store] {
+        std::optional<RunKey> key;
+        if (opts.resultStore) {
+            if (auto wl = findWorkload(names[i]); wl.ok())
+                key = RunKey{names[i], wl.value()->seed(), cfg_digest,
+                             instrs, warmup};
+            // Unknown names get no key: they fail fast in their slot
+            // and nothing cacheable ever comes of them.
+            if (key) {
+                if (auto hit = opts.resultStore->find(*key)) {
+                    outcomes[i] = std::move(*hit);
+                    outcomes[i].config = cfg.name;
+                    if (progress)
+                        progress(outcomes[i]);
+                    continue;
+                }
+            }
+        }
+        tasks.push_back([&, i, key, store] {
             // Fully private run: own workload (re-seeded from its suite
             // entry), own Simulator, own outcome slot. The store (when
             // present) is shared deliberately — chunks are immutable
             // and content-addressed, so sharing cannot couple runs.
-            outcomes[i] = executeIsolated(cfg, names[i], instrs, warmup,
-                                          opts, store);
+            outcomes[i] = executeContainedRun(cfg, names[i], instrs,
+                                              warmup, opts, store);
+            if (opts.resultStore) {
+                outcomes[i].storeMiss = true;
+                if (key && outcomes[i].ok())
+                    opts.resultStore->put(*key, outcomes[i]);
+            }
             if (opts.journal)
                 opts.journal->append(outcomes[i], instrs, warmup);
             if (progress)

@@ -41,6 +41,7 @@ namespace catchsim
 {
 
 class SuiteJournal;
+class ResultStore;
 
 /** CATCH_JOBS env knob; default hardware concurrency, minimum 1. */
 unsigned suiteJobs();
@@ -52,6 +53,8 @@ enum class RunStatus : uint8_t
     Retried,  ///< succeeded after >= 1 transient-error retry
     Failed,   ///< exhausted retries or hit a non-transient error
     TimedOut, ///< watchdog budget exceeded (hang contained)
+    Crashed,  ///< worker process died / hung / failed to exec
+              ///< (process-isolated mode only; see sim/supervisor.hh)
 };
 
 const char *runStatusName(RunStatus s);
@@ -72,6 +75,13 @@ struct RunOutcome
     RunStatus status = RunStatus::Ok;
     unsigned attempts = 1;
     bool resumed = false; ///< replayed from a journal, not re-executed
+    /// Served from the content-hashed result store, not re-executed
+    /// (sim/result_store.hh). Mutually exclusive with resumed: the
+    /// journal is consulted first.
+    bool fromStore = false;
+    /// Executed while a result store was attached (i.e. the store was
+    /// consulted and missed); feeds CampaignSummary::storeMisses.
+    bool storeMiss = false;
     SimResult result;     ///< valid iff ok()
     std::optional<RunFailure> failure; ///< set iff !ok()
     /// Host phase timings + peak RSS; set iff ok() and profiling was
@@ -93,10 +103,22 @@ struct CampaignSummary
     uint64_t retried = 0;
     uint64_t failed = 0;
     uint64_t timedOut = 0;
+    uint64_t crashed = 0; ///< worker processes lost (isolated mode)
     uint64_t resumed = 0; ///< subset of ok/retried replayed from journal
+    uint64_t storeHits = 0;   ///< slots served from the result store
+    uint64_t storeMisses = 0; ///< slots executed past a store lookup
 
-    uint64_t total() const { return ok + retried + failed + timedOut; }
-    bool allOk() const { return failed == 0 && timedOut == 0; }
+    uint64_t
+    total() const
+    {
+        return ok + retried + failed + timedOut + crashed;
+    }
+
+    bool
+    allOk() const
+    {
+        return failed == 0 && timedOut == 0 && crashed == 0;
+    }
 };
 
 CampaignSummary summarizeOutcomes(const std::vector<RunOutcome> &outcomes);
@@ -115,6 +137,15 @@ CampaignSummary summarizeOutcomes(const std::vector<RunOutcome> &outcomes);
  *                       RSS per run (RunOutcome::profile, the JSON
  *                       export's hostPerf object)
  *   CATCH_MAX_CYCLES / CATCH_STALL_WINDOW  see RunBudget.
+ *
+ * Process-isolation knobs (consumed by sim/supervisor.hh):
+ *   CATCH_HEARTBEAT_MS          worker heartbeat period (default 1000)
+ *   CATCH_HEARTBEAT_TIMEOUT_MS  wall-clock silence before the
+ *                               supervisor SIGKILLs a worker
+ *                               (default 30000)
+ *   CATCH_WORKER_BIN            worker executable; default
+ *                               /proc/self/exe (the current binary
+ *                               must then understand --worker)
  */
 struct IsolationOptions
 {
@@ -131,6 +162,15 @@ struct IsolationOptions
     /// permute store states in-process without touching the
     /// environment. Resolved once on the calling thread.
     std::optional<ChunkStore *> store;
+    /// Content-hashed result store (sim/result_store.hh); null
+    /// disables it. Consulted after the journal during campaign
+    /// planning; successful fresh executions are persisted back.
+    ResultStore *resultStore = nullptr;
+
+    // Process-isolated execution (sim/supervisor.hh) only:
+    unsigned heartbeatMs = 1000;        ///< worker heartbeat period
+    unsigned heartbeatTimeoutMs = 30000; ///< supervisor kill threshold
+    std::string workerBin; ///< worker executable; empty = /proc/self/exe
 
     static IsolationOptions fromEnvironment();
 };
@@ -153,6 +193,22 @@ runWorkloadsIsolated(const SimConfig &cfg,
                      const IsolationOptions &opts = {},
                      const std::function<void(const RunOutcome &)>
                          &progress = nullptr);
+
+/**
+ * One fault-contained run: retries transient errors with a bounded
+ * attempt count and converts exceptions and watchdog trips into
+ * structured failures in the returned outcome. This is the unit of
+ * work both executors share: runWorkloadsIsolated calls it on pool
+ * threads, and the --worker process (sim/worker_proto.hh) calls it as
+ * its whole job — which is what keeps in-process and process-isolated
+ * campaigns bitwise-identical. Consults only opts.budget/maxAttempts/
+ * backoffMs/profile/plan; journal and stores are the caller's concern.
+ */
+RunOutcome executeContainedRun(const SimConfig &cfg,
+                               const std::string &name, uint64_t instrs,
+                               uint64_t warmup,
+                               const IsolationOptions &opts,
+                               ChunkStore *store);
 
 /**
  * Relative wall-clock cost estimate for one workload run, used to order

@@ -531,7 +531,10 @@ writeSuiteJson(const std::string &path, const SimConfig &cfg,
     head.field("retried", sum.retried);
     head.field("failed", sum.failed);
     head.field("timed_out", sum.timedOut);
+    head.field("crashed", sum.crashed);
     head.field("resumed", sum.resumed);
+    head.field("store_hits", sum.storeHits);
+    head.field("store_misses", sum.storeMisses);
     head.close();
     head.key("results");
 
@@ -545,6 +548,7 @@ writeSuiteJson(const std::string &path, const SimConfig &cfg,
         w.field("status", std::string(runStatusName(o.status)));
         w.field("attempts", uint64_t(o.attempts));
         w.field("resumed", o.resumed);
+        w.field("from_store", o.fromStore);
         if (o.ok()) {
             // Host-side profiling rides beside the simulated result: it
             // is wall-clock data and deliberately NOT part of

@@ -48,12 +48,38 @@ mustParse(const std::string &spec)
 
 TEST(FaultSpec, KindNamesRoundTrip)
 {
-    for (FaultKind k : {FaultKind::TraceCorrupt, FaultKind::IoTransient,
-                        FaultKind::WorkerThrow, FaultKind::Hang}) {
+    for (FaultKind k :
+         {FaultKind::TraceCorrupt, FaultKind::IoTransient,
+          FaultKind::WorkerThrow, FaultKind::Hang,
+          FaultKind::CrashAbort, FaultKind::CrashSegv, FaultKind::Oom,
+          FaultKind::ExecFail, FaultKind::HeartbeatStall}) {
         FaultPlan plan = mustParse(std::string(faultKindName(k)) + ":*");
         ASSERT_EQ(plan.clauses().size(), 1u);
         EXPECT_EQ(plan.clauses()[0].kind, k);
     }
+}
+
+TEST(FaultSpec, ProcessKindsSupportEveryTargetForm)
+{
+    FaultPlan plan = mustParse(
+        "crash-segv:%25@7;crash-abort:mcf:x1;oom:*;exec-fail:tpcc;"
+        "heartbeat-stall:milc");
+    ASSERT_EQ(plan.clauses().size(), 5u);
+    EXPECT_TRUE(plan.clauses()[0].percent);
+    EXPECT_EQ(plan.clauses()[0].pct, 25u);
+    EXPECT_EQ(plan.clauses()[0].seed, 7u);
+    EXPECT_EQ(plan.clauses()[1].failCount, 1u);
+    EXPECT_TRUE(plan.clauses()[2].every);
+    EXPECT_EQ(plan.clauses()[2].failCount, 0u)
+        << "process kinds default to persistent";
+
+    // ':x1' counts process attempts: spawn 1 crashes, restart 2 runs.
+    EXPECT_TRUE(plan.shouldInject(FaultKind::CrashAbort, "mcf", 1));
+    EXPECT_FALSE(plan.shouldInject(FaultKind::CrashAbort, "mcf", 2));
+    EXPECT_TRUE(plan.shouldInject(FaultKind::Oom, "anything", 9));
+    EXPECT_FALSE(plan.shouldInject(FaultKind::HeartbeatStall, "tpcc", 1))
+        << "kinds are independent";
+    EXPECT_TRUE(plan.shouldInject(FaultKind::ExecFail, "tpcc", 1));
 }
 
 TEST(FaultSpec, ClauseFormsParse)

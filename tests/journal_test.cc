@@ -194,6 +194,25 @@ TEST(SuiteJournal, LookupKeyCoversTheWholeRunIdentity)
     EXPECT_EQ(j2->find(cfg.name, "hmmer", kInstr, kWarm + 1), nullptr);
 }
 
+TEST(SuiteJournal, SecondCampaignOnALockedJournalFailsFast)
+{
+    ScratchDir dir("journal_lock");
+    auto j1 = mustOpen(dir.path);
+    ASSERT_NE(j1, nullptr);
+
+    // Two campaigns appending to one journal would interleave records;
+    // the second open must fail fast with a typed config error.
+    auto j2 = SuiteJournal::open(dir.path);
+    ASSERT_FALSE(j2.ok());
+    EXPECT_EQ(j2.error().category, ErrorCategory::Config);
+    EXPECT_NE(j2.error().message.find("locked"), std::string::npos);
+
+    // Closing the first campaign releases the lock.
+    j1.reset();
+    auto j3 = SuiteJournal::open(dir.path);
+    EXPECT_TRUE(j3.ok());
+}
+
 TEST(SuiteJournal, UnwritableDirectoryIsAConfigError)
 {
     // A plain file where the journal directory should be: creation

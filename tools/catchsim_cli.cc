@@ -41,16 +41,36 @@
  *                               <dir>/journal.jsonl; a rerun with the
  *                               same journal re-executes only runs that
  *                               did not finish successfully
+ *   --isolate                   run every simulation in its own worker
+ *                               process under the wall-clock supervisor
+ *                               (sim/supervisor.hh): a crash or hang in
+ *                               one run becomes a typed failure in its
+ *                               slot instead of killing the campaign.
+ *                               (Env: CATCH_ISOLATE=1; the supervisor
+ *                               re-execs this binary in its hidden
+ *                               --worker mode, or CATCH_WORKER_BIN)
+ *   --result-store=<dir>        incremental content-hashed result store
+ *                               (sim/result_store.hh): runs whose
+ *                               (workload, seed, config, lengths) key
+ *                               is already stored are served from disk;
+ *                               fresh successes persist back. A resweep
+ *                               after a one-knob change re-executes
+ *                               only invalidated cells.
+ *                               (Env: CATCH_RESULT_STORE)
  *   --list                      list all suite workloads and exit
  *
  * Reports print in command-line order regardless of --jobs; results are
- * bitwise-identical for any job count. Runs that fail (corrupt trace,
- * worker exception, watchdog timeout) are contained to their own slot
- * and reported structurally; the campaign continues.
+ * bitwise-identical for any job count — including between in-process
+ * and --isolate execution at any worker count. Runs that fail (corrupt
+ * trace, worker exception, watchdog timeout, crashed worker process)
+ * are contained to their own slot and reported structurally; the
+ * campaign continues.
  *
  * Exit codes: 0 every run succeeded; 1 at least one run failed or
  * timed out (or the JSON export failed); 2 usage/configuration error
- * (unknown option, unknown workload, invalid geometry).
+ * (unknown option, unknown workload, invalid geometry, locked journal
+ * or result store) or at least one run crashed at the process level
+ * (worker died, hung past the heartbeat timeout, or failed to exec).
  */
 
 #include <cmath>
@@ -66,7 +86,10 @@
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/result_store.hh"
 #include "sim/simulator.hh"
+#include "sim/supervisor.hh"
+#include "sim/worker_proto.hh"
 #include "trace/suite.hh"
 
 using namespace catchsim;
@@ -176,8 +199,9 @@ usage()
                  "[--sample-window=N] [--sample-warmup=N]\n"
                  "                [--llc-add=N] [--no-prefetchers] "
                  "[--jobs=N] [--profile] [--json=FILE]\n"
-                 "                [--journal=DIR] [--trace-store] "
-                 "[--trace-cache-dir=DIR] [--list] "
+                 "                [--journal=DIR] [--isolate] "
+                 "[--result-store=DIR] [--trace-store]\n"
+                 "                [--trace-cache-dir=DIR] [--list] "
                  "<workload>...\n");
     std::exit(2);
 }
@@ -187,6 +211,12 @@ usage()
 int
 main(int argc, char **argv)
 {
+    // Hidden worker mode: the process-isolation supervisor re-execs
+    // this binary with --worker as its only argument and speaks the
+    // frame protocol over stdin/stdout (sim/worker_proto.hh).
+    if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
+        return workerMain();
+
     SimConfig cfg = baselineSkx();
     bool client = false;
     int64_t no_l2_kb = -1;
@@ -196,6 +226,8 @@ main(int argc, char **argv)
     bool profile = false;
     std::string json_path;
     std::string journal_dir;
+    std::string store_dir;
+    bool isolate = false;
     std::vector<std::string> workloads;
 
     for (int i = 1; i < argc; ++i) {
@@ -257,6 +289,10 @@ main(int argc, char **argv)
             json_path = value();
         } else if (arg.rfind("--journal=", 0) == 0) {
             journal_dir = value();
+        } else if (arg == "--isolate") {
+            isolate = true;
+        } else if (arg.rfind("--result-store=", 0) == 0) {
+            store_dir = value();
         } else if (arg == "--trace-store") {
             // Memoize trace generation in memory for this process
             // (CATCH_TRACE_STORE). Safe here: we are single-threaded
@@ -335,9 +371,23 @@ main(int argc, char **argv)
         journal = std::move(j).value();
         opts.journal = journal.get();
     }
+    std::unique_ptr<ResultStore> store;
+    if (!store_dir.empty()) {
+        auto s = ResultStore::open(store_dir);
+        if (!s.ok()) {
+            std::fprintf(stderr, "catchsim: %s\n",
+                         s.error().message.c_str());
+            return 2;
+        }
+        store = std::move(s).value();
+        opts.resultStore = store.get();
+    }
 
-    auto outcomes = runWorkloadsIsolated(cfg, workloads, instrs, warmup,
-                                         jobs, opts);
+    auto outcomes =
+        isolate ? runWorkloadsSupervised(cfg, workloads, instrs, warmup,
+                                         jobs, opts)
+                : runWorkloadsIsolated(cfg, workloads, instrs, warmup,
+                                       jobs, opts);
     for (const auto &o : outcomes) {
         if (o.ok()) {
             printReport(o.result);
@@ -349,17 +399,24 @@ main(int argc, char **argv)
     }
 
     CampaignSummary sum = summarizeOutcomes(outcomes);
-    if (sum.retried || sum.failed || sum.timedOut || sum.resumed) {
+    if (sum.retried || sum.failed || sum.timedOut || sum.crashed ||
+        sum.resumed || sum.storeHits) {
         std::printf("\ncampaign: %llu ok, %llu retried, %llu failed, "
-                    "%llu timed out, %llu resumed\n",
+                    "%llu timed out, %llu crashed, %llu resumed, "
+                    "%llu store hit(s), %llu store miss(es)\n",
                     static_cast<unsigned long long>(sum.ok),
                     static_cast<unsigned long long>(sum.retried),
                     static_cast<unsigned long long>(sum.failed),
                     static_cast<unsigned long long>(sum.timedOut),
-                    static_cast<unsigned long long>(sum.resumed));
+                    static_cast<unsigned long long>(sum.crashed),
+                    static_cast<unsigned long long>(sum.resumed),
+                    static_cast<unsigned long long>(sum.storeHits),
+                    static_cast<unsigned long long>(sum.storeMisses));
     }
 
-    int rc = sum.allOk() ? 0 : 1;
+    // Crashed workers mean the campaign lost process-level integrity:
+    // distinguish that (2) from contained in-simulation failures (1).
+    int rc = sum.crashed ? 2 : (sum.allOk() ? 0 : 1);
     if (!json_path.empty()) {
         ExperimentEnv env;
         env.names = workloads;

@@ -16,6 +16,24 @@
 #      failed runs, resumes the other 4, exits 0, and its results are
 #      bitwise-identical to the clean campaign.
 #
+# Then the process-isolation matrix (--isolate, sim/supervisor.hh):
+#
+#   5. a clean isolated campaign at jobs=8/16 exits 0 and its export is
+#      byte-identical to the in-process clean campaign — cross-mode,
+#      cross-worker-count bitwise identity;
+#   6. crash-segv injected into ~25% of workers: exit 2, crashed slots
+#      typed, survivors bitwise-identical to clean, identical at both
+#      job counts;
+#   7. exec-fail and heartbeat-stall cells exit 2 (typed at the unit
+#      level; here the exit-code contract is what is pinned);
+#   8. an OOM-killed campaign with --journal + --result-store exits 2,
+#      and the resumed rerun re-executes only the dead cell, exits 0,
+#      bitwise-identical to clean;
+#   9. a result-store resweep: cold run misses every cell, the rerun
+#      (in-process mode, same store — the store is mode-agnostic) hits
+#      every cell, and a one-knob change (--llc-add) misses every cell
+#      again; hit/miss counters asserted from the suite JSON.
+#
 # Usage: fault_matrix.sh <path-to-catchsim-cli> [workdir]
 
 set -euo pipefail
@@ -74,5 +92,75 @@ python3 "$HERE/check_fault_matrix.py" \
 echo "== config errors exit 2 before any simulation =="
 run_expect 2 "$CLI" "${ARGS[@]}" no-such-workload mcf
 run_expect 2 "$CLI" "${ARGS[@]}" --journal=/dev/null/nested mcf
+run_expect 2 "$CLI" "${ARGS[@]}" --result-store=/dev/null/nested mcf
+
+# ---------------- process-isolated execution matrix ----------------
+# Workers re-exec the CLI binary itself (--worker); restarts are
+# bounded and unpaced so the crash cells finish quickly.
+ISO_ENV=(CATCH_MAX_ATTEMPTS=2 CATCH_BACKOFF_MS=0)
+
+echo "== isolated clean campaigns match in-process byte-for-byte =="
+for j in 8 16; do
+    run_expect 0 env "${ISO_ENV[@]}" \
+        "$CLI" "${ARGS[@]}" --isolate --jobs="$j" \
+        --json="$WORK/iso$j.json" "${NAMES[@]}"
+done
+cmp "$WORK/clean.json" "$WORK/iso8.json"
+cmp "$WORK/iso8.json" "$WORK/iso16.json"
+
+echo "== crashed workers are contained and typed (jobs=8 and 16) =="
+for j in 8 16; do
+    run_expect 2 env "${ISO_ENV[@]}" \
+        CATCH_FAULT_INJECT='crash-segv:%25@7' \
+        "$CLI" "${ARGS[@]}" --isolate --jobs="$j" \
+        --json="$WORK/crash$j.json" "${NAMES[@]}"
+done
+cmp "$WORK/crash8.json" "$WORK/crash16.json"
+python3 "$HERE/check_fault_matrix.py" \
+    --clean "$WORK/clean.json" --crashed "$WORK/crash8.json"
+
+echo "== exec failures and heartbeat stalls exit 2 =="
+run_expect 2 env "${ISO_ENV[@]}" CATCH_FAULT_INJECT='exec-fail:mcf' \
+    "$CLI" "${ARGS[@]}" --isolate --jobs=8 "${NAMES[@]}"
+run_expect 2 env "${ISO_ENV[@]}" \
+    CATCH_FAULT_INJECT='heartbeat-stall:mcf' \
+    CATCH_HEARTBEAT_TIMEOUT_MS=2000 \
+    "$CLI" "${ARGS[@]}" --isolate --jobs=8 "${NAMES[@]}"
+
+echo "== OOM-killed campaign resumes through journal + store =="
+run_expect 2 env "${ISO_ENV[@]}" CATCH_FAULT_INJECT='oom:mcf' \
+    "$CLI" "${ARGS[@]}" --isolate --jobs=8 \
+    --journal="$WORK/iso_journal" --result-store="$WORK/iso_store" \
+    "${NAMES[@]}"
+run_expect 0 env "${ISO_ENV[@]}" \
+    "$CLI" "${ARGS[@]}" --isolate --jobs=8 \
+    --journal="$WORK/iso_journal" --result-store="$WORK/iso_store" \
+    --json="$WORK/iso_resumed.json" "${NAMES[@]}"
+python3 "$HERE/check_fault_matrix.py" \
+    --clean "$WORK/clean.json" --resumed "$WORK/iso_resumed.json" \
+    --injected mcf
+
+echo "== result-store resweep re-executes only changed cells =="
+N=${#NAMES[@]}
+run_expect 0 env "${ISO_ENV[@]}" \
+    "$CLI" "${ARGS[@]}" --isolate --jobs=8 \
+    --result-store="$WORK/sweep_store" --json="$WORK/sweep1.json" \
+    "${NAMES[@]}"
+python3 "$HERE/check_fault_matrix.py" --store "$WORK/sweep1.json" \
+    --hits 0 --misses "$N" --clean "$WORK/clean.json"
+# The store is mode-agnostic: the in-process executor hits the cells an
+# isolated campaign persisted.
+run_expect 0 "$CLI" "${ARGS[@]}" --jobs=8 \
+    --result-store="$WORK/sweep_store" --json="$WORK/sweep2.json" \
+    "${NAMES[@]}"
+python3 "$HERE/check_fault_matrix.py" --store "$WORK/sweep2.json" \
+    --hits "$N" --misses 0 --clean "$WORK/clean.json"
+# One knob moves the config digest: every cell is invalidated.
+run_expect 0 env "${ISO_ENV[@]}" \
+    "$CLI" "${ARGS[@]}" --llc-add=1 --isolate --jobs=8 \
+    --result-store="$WORK/sweep_store" --json="$WORK/sweep3.json" \
+    "${NAMES[@]}"
+python3 "$HERE/check_fault_matrix.py" --store "$WORK/sweep3.json" \
+    --hits 0 --misses "$N"
 
 echo "fault matrix: all checks passed"
