@@ -29,7 +29,7 @@
  * Usage:
  *   bench_perf [--out=FILE] [--reps=N] [--instr=N] [--warmup=N]
  *              [--mode=detailed|sampled] [--store=off|cold|warm]
- *              [--quick]
+ *              [--warm-state=off|cold|warm] [--quick]
  *
  * --store measures the memoized-generation pipeline (trace/chunk_store):
  * "cold" gives every timed rep a fresh empty store (pays generation plus
@@ -39,6 +39,18 @@
  * by tests/chunk_store_test.cc); only host throughput moves. The cold
  * and warm documents together bound the memoization ceiling in
  * docs/PERFORMANCE.md.
+ *
+ * --warm-state measures the warmed-state snapshot store on top
+ * (sim/warm_state.hh; requires --store != off, since stream restore
+ * re-fetches its ring window through the chunk store): "cold" hands
+ * every timed rep a fresh empty store, so it pays functional warming
+ * plus snapshot serialization and publication — the memoization
+ * overhead bound; "warm" shares one store across the untimed warm rep
+ * and the timed reps, so every timed rep restores the global-warmup
+ * state instead of re-deriving it. Only --mode=sampled runs have a
+ * functional-warming phase to skip; under --mode=detailed the knob is
+ * accepted but changes nothing. Results stay bitwise-identical in all
+ * settings (pinned by tests/warm_state_test.cc).
  *
  * Writes a JSON document (default BENCH_PERF.json) of the shape
  * check_perf.py consumes:
@@ -72,6 +84,7 @@
 
 #include "sim/configs.hh"
 #include "sim/simulator.hh"
+#include "sim/warm_state.hh"
 #include "trace/chunk_store.hh"
 #include "trace/suite.hh"
 
@@ -117,10 +130,11 @@ median(std::vector<double> v)
 /** One timed rep: a fresh Simulator + workload, full warmup+measure. */
 double
 timedRep(const SimConfig &cfg, const std::string &name, uint64_t instrs,
-         uint64_t warmup, ChunkStore *store = nullptr)
+         uint64_t warmup, ChunkStore *store = nullptr,
+         WarmStateStore *warm_state = nullptr)
 {
     auto wl = makeWorkload(name);
-    Simulator sim(cfg, TraceMode::Streamed, store);
+    Simulator sim(cfg, TraceMode::Streamed, store, warm_state);
     double t0 = wallSeconds();
     SimResult r = sim.run(*wl, instrs, warmup);
     double sec = wallSeconds() - t0;
@@ -166,6 +180,7 @@ main(int argc, char **argv)
     bool quick = false;
     bool sampled = false;
     std::string store_mode = "off";
+    std::string warm_state_mode = "off";
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -199,6 +214,14 @@ main(int argc, char **argv)
                                      "cold, or warm\n");
                 return 2;
             }
+        } else if (arg.rfind("--warm-state=", 0) == 0) {
+            warm_state_mode = value();
+            if (warm_state_mode != "off" && warm_state_mode != "cold" &&
+                warm_state_mode != "warm") {
+                std::fprintf(stderr, "bench_perf: --warm-state must be "
+                                     "off, cold, or warm\n");
+                return 2;
+            }
         } else if (arg == "--quick") {
             quick = true;
         } else {
@@ -206,9 +229,17 @@ main(int argc, char **argv)
                          "usage: bench_perf [--out=FILE] [--reps=N] "
                          "[--instr=N] [--warmup=N] "
                          "[--mode=detailed|sampled] "
-                         "[--store=off|cold|warm] [--quick]\n");
+                         "[--store=off|cold|warm] "
+                         "[--warm-state=off|cold|warm] [--quick]\n");
             return 2;
         }
+    }
+    if (warm_state_mode != "off" && store_mode == "off") {
+        std::fprintf(stderr, "bench_perf: --warm-state requires "
+                             "--store=cold or --store=warm (the stream "
+                             "restore path re-fetches chunks through "
+                             "the chunk store)\n");
+        return 2;
     }
     if (quick) {
         instrs = std::min<uint64_t>(instrs, 60000);
@@ -245,8 +276,14 @@ main(int argc, char **argv)
             std::unique_ptr<ChunkStore> warm_store;
             if (store_mode == "warm")
                 warm_store = std::make_unique<ChunkStore>();
-            timedRep(cfg, name, instrs, warmup,
-                     warm_store.get()); // warm, untimed
+            // Same sharing discipline for the warmed-state store: the
+            // untimed warm rep publishes the snapshot a "warm" cell's
+            // timed reps restore.
+            std::unique_ptr<WarmStateStore> warm_state_store;
+            if (warm_state_mode == "warm")
+                warm_state_store = std::make_unique<WarmStateStore>();
+            timedRep(cfg, name, instrs, warmup, warm_store.get(),
+                     warm_state_store.get()); // warm, untimed
             for (unsigned r = 0; r < reps; ++r) {
                 std::unique_ptr<ChunkStore> cold_store;
                 if (store_mode == "cold")
@@ -254,8 +291,14 @@ main(int argc, char **argv)
                 ChunkStore *store = store_mode == "warm"
                                         ? warm_store.get()
                                         : cold_store.get();
+                std::unique_ptr<WarmStateStore> cold_state_store;
+                if (warm_state_mode == "cold")
+                    cold_state_store = std::make_unique<WarmStateStore>();
+                WarmStateStore *wstate =
+                    warm_state_mode == "warm" ? warm_state_store.get()
+                                              : cold_state_store.get();
                 cell.kips.push_back(
-                    timedRep(cfg, name, instrs, warmup, store));
+                    timedRep(cfg, name, instrs, warmup, store, wstate));
             }
             cell.kipsMedian = median(cell.kips);
             cell.peakRssBytes = processPeakRssBytes();
@@ -287,6 +330,7 @@ main(int argc, char **argv)
                       ", \"mode\": \"" +
                       (sampled ? "sampled" : "detailed") +
                       "\", \"store\": \"" + store_mode +
+                      "\", \"warm_state\": \"" + warm_state_mode +
                       "\", \"results\": [\n";
     for (size_t i = 0; i < cells.size(); ++i) {
         const Cell &c = cells[i];

@@ -194,6 +194,42 @@ Cache::invalidate(Addr addr, bool *was_present, bool count)
     return false;
 }
 
+void
+Cache::saveWarmState(StateSink &sink) const
+{
+    sink.tag(stateTag("CACH"));
+    sink.u64(lines_.size());
+    for (const CacheLine &line : lines_) {
+        sink.u64(line.tag);
+        sink.boolean(line.valid);
+        sink.boolean(line.dirty);
+        sink.u64(line.readyAt);
+        sink.u8(static_cast<uint8_t>(line.source));
+        sink.u8(static_cast<uint8_t>(line.fillLevel));
+        sink.boolean(line.usedSinceFill);
+    }
+    repl_->saveWarmState(sink);
+}
+
+bool
+Cache::loadWarmState(StateSource &src)
+{
+    if (!src.expect(stateTag("CACH")))
+        return false;
+    if (src.u64() != lines_.size() || !src.fits(lines_.size() * 21))
+        return false;
+    for (CacheLine &line : lines_) {
+        line.tag = src.u64();
+        line.valid = src.boolean();
+        line.dirty = src.boolean();
+        line.readyAt = src.u64();
+        line.source = static_cast<FillSource>(src.u8());
+        line.fillLevel = static_cast<Level>(src.u8());
+        line.usedSinceFill = src.boolean();
+    }
+    return src.ok() && repl_->loadWarmState(src);
+}
+
 bool
 Cache::setDirty(Addr addr)
 {

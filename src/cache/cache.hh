@@ -140,6 +140,20 @@ class Cache
     void resetStats() { stats_ = CacheStats(); }
     uint32_t latency() const { return geom_.latency; }
 
+    /**
+     * Serializes the array state — every line's tag/valid/dirty/
+     * readyAt/source/fillLevel/usedSinceFill plus the replacement
+     * policy state — for warmed-state snapshots. Stats are NOT included
+     * (the simulator resets them at the snapshot boundary anyway).
+     */
+    void saveWarmState(StateSink &sink) const;
+
+    /**
+     * Restores a saveWarmState() stream into a cache of the same
+     * geometry. @returns false on a malformed or mis-sized stream.
+     */
+    bool loadWarmState(StateSource &src);
+
   private:
     uint32_t setIndex(Addr addr) const;
     Victim fillImpl(Addr addr, bool dirty, Cycle ready_at,

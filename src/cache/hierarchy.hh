@@ -195,6 +195,19 @@ class CacheHierarchy
 
     void resetStats();
 
+    /**
+     * Serializes everything functional warming can touch: every cache
+     * array (tags/replacement/dirty bits) plus the per-core stride and
+     * stream prefetcher tables. DRAM, stats and the timeliness
+     * histogram are NOT included — warming never advances them, and the
+     * snapshot boundary sits just before resetStats().
+     */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream into a hierarchy of the same
+     *  shape; false on a malformed or mis-shaped stream. */
+    bool loadWarmState(StateSource &src);
+
     bool hasL2() const { return cfg_.hasL2; }
     uint32_t l1Latency() const { return cfg_.l1d.latency; }
 

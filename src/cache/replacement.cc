@@ -52,6 +52,30 @@ class LruPolicy : public ReplacementPolicy
         return best;
     }
 
+    void
+    saveWarmState(StateSink &sink) const override
+    {
+        sink.tag(stateTag("RLRU"));
+        sink.u64(clock_);
+        sink.u64(stamp_.size());
+        for (uint64_t s : stamp_)
+            sink.u64(s);
+    }
+
+    bool
+    loadWarmState(StateSource &src) override
+    {
+        if (!src.expect(stateTag("RLRU")))
+            return false;
+        uint64_t clock = src.u64();
+        if (src.u64() != stamp_.size() || !src.fits(stamp_.size() * 8))
+            return false;
+        clock_ = clock;
+        for (auto &s : stamp_)
+            s = src.u64();
+        return src.ok();
+    }
+
   private:
     void
     touch(uint32_t set, uint32_t way)
@@ -103,6 +127,27 @@ class SrripPolicy : public ReplacementPolicy
         }
     }
 
+    void
+    saveWarmState(StateSink &sink) const override
+    {
+        sink.tag(stateTag("RRIP"));
+        sink.u64(rrpv_.size());
+        for (uint8_t v : rrpv_)
+            sink.u8(v);
+    }
+
+    bool
+    loadWarmState(StateSource &src) override
+    {
+        if (!src.expect(stateTag("RRIP")))
+            return false;
+        if (src.u64() != rrpv_.size() || !src.fits(rrpv_.size()))
+            return false;
+        for (auto &v : rrpv_)
+            v = src.u8();
+        return src.ok();
+    }
+
   private:
     uint32_t ways_ = 0;
     std::vector<uint8_t> rrpv_;
@@ -136,6 +181,27 @@ class TreePlruPolicy : public ReplacementPolicy
             node = 2 * node + tree[node];
         uint32_t way = node - treeWays_;
         return way < ways_ ? way : ways_ - 1;
+    }
+
+    void
+    saveWarmState(StateSink &sink) const override
+    {
+        sink.tag(stateTag("PLRU"));
+        sink.u64(bits_.size());
+        for (uint8_t b : bits_)
+            sink.u8(b);
+    }
+
+    bool
+    loadWarmState(StateSource &src) override
+    {
+        if (!src.expect(stateTag("PLRU")))
+            return false;
+        if (src.u64() != bits_.size() || !src.fits(bits_.size()))
+            return false;
+        for (auto &b : bits_)
+            b = src.u8();
+        return src.ok();
     }
 
   private:
@@ -177,6 +243,19 @@ class RandomPolicy : public ReplacementPolicy
     {
         (void)set;
         return static_cast<uint32_t>(rng_.below(ways_));
+    }
+
+    void
+    saveWarmState(StateSink &sink) const override
+    {
+        sink.tag(stateTag("RRND"));
+        rng_.saveWarmState(sink);
+    }
+
+    bool
+    loadWarmState(StateSource &src) override
+    {
+        return src.expect(stateTag("RRND")) && rng_.loadWarmState(src);
     }
 
   private:

@@ -14,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/state_io.hh"
+
 namespace catchsim
 {
 
@@ -49,6 +51,21 @@ class ReplacementPolicy
      * when every way is valid.
      */
     virtual uint32_t victim(uint32_t set) = 0;
+
+    /**
+     * Serializes the full replacement state (recency stamps, RRPVs,
+     * tree bits, RNG state) for warmed-state snapshots. The encoding is
+     * a pure function of logical state: save -> load -> save is
+     * byte-identical.
+     */
+    virtual void saveWarmState(StateSink &sink) const = 0;
+
+    /**
+     * Restores a saveWarmState() stream into a policy already reset()
+     * to the same geometry. @returns false (leaving the policy usable
+     * but unspecified) on a malformed or mis-sized stream.
+     */
+    virtual bool loadWarmState(StateSource &src) = 0;
 };
 
 /** Creates a policy instance of the given kind. */

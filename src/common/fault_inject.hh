@@ -13,9 +13,9 @@
  *
  *   spec    := clause ( ';' clause )*
  *   clause  := kind ':' target [ ':x' count ]
- *   kind    := 'trace-corrupt' | 'io-transient' | 'exception' | 'hang'
- *            | 'crash-abort' | 'crash-segv' | 'oom' | 'exec-fail'
- *            | 'heartbeat-stall'
+ *   kind    := 'trace-corrupt' | 'state-corrupt' | 'io-transient'
+ *            | 'exception' | 'hang' | 'crash-abort' | 'crash-segv'
+ *            | 'oom' | 'exec-fail' | 'heartbeat-stall'
  *   target  := '*'                  every run
  *            | <name>               one run/operation by name
  *            | '%' pct '@' seed     pct% of names, chosen by a seeded
@@ -42,7 +42,9 @@
  * clause crashes the first N spawns and lets the restart succeed.
  *
  * Non-workload injection points use reserved names, e.g. the suite
- * JSON exporter asks for "json-export".
+ * JSON exporter asks for "json-export", the chunk store's disk reads
+ * ask for "chunk-store" (kind trace-corrupt), and the warmed-state
+ * store's disk reads ask for "warm-state-store" (kind state-corrupt).
  */
 
 #ifndef CATCHSIM_COMMON_FAULT_INJECT_HH_
@@ -59,6 +61,7 @@ namespace catchsim
 enum class FaultKind : uint8_t
 {
     TraceCorrupt,
+    StateCorrupt, ///< warmed-state snapshot reads fail their checks
     IoTransient,
     WorkerThrow,
     Hang,

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * StateSink / StateSource: the byte-serialization primitives behind the
+ * warmed-state snapshots (sim/warm_state.hh).
+ *
+ * Encoding contract:
+ *   - fixed-width little-endian integers, no padding, no alignment —
+ *     the byte stream is identical on every host;
+ *   - containers serialize as a u64 count followed by the elements, and
+ *     unordered containers are emitted in ascending key order, so
+ *     save() is a pure function of logical state (save -> load -> save
+ *     round-trips byte-identically, which is what the per-component
+ *     identity tests pin);
+ *   - every component prefixes its section with a u32 tag
+ *     (StateSource::expect) so a mis-ordered or mis-versioned stream
+ *     fails loudly at the first section boundary instead of silently
+ *     misparsing.
+ *
+ * Reads past the end of a source never throw or read out of bounds:
+ * they return 0 and latch a failure flag the caller checks once per
+ * section (ok()). Snapshot records are checksummed end-to-end before a
+ * component ever sees them, so a latched failure indicates a format bug
+ * rather than disk corruption — loaders treat it as "snapshot unusable"
+ * and fall back to re-warming.
+ */
+
+#ifndef CATCHSIM_COMMON_STATE_IO_HH_
+#define CATCHSIM_COMMON_STATE_IO_HH_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace catchsim
+{
+
+/** Append-only byte buffer with fixed-width little-endian writers. */
+class StateSink
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    i64(int64_t v)
+    {
+        u64(static_cast<uint64_t>(v));
+    }
+
+    void
+    boolean(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    /** Section tag (see StateSource::expect). */
+    void
+    tag(uint32_t v)
+    {
+        u32(v);
+    }
+
+    const std::string &bytes() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+    size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/** Checked reader over a StateSink-produced byte stream. */
+class StateSource
+{
+  public:
+    explicit StateSource(const std::string &bytes)
+        : data_(bytes.data()), size_(bytes.size())
+    {
+    }
+
+    StateSource(const char *data, size_t size) : data_(data), size_(size)
+    {
+    }
+
+    uint8_t
+    u8()
+    {
+        if (!fits(1))
+            return 0;
+        return static_cast<uint8_t>(data_[pos_++]);
+    }
+
+    uint32_t
+    u32()
+    {
+        if (!fits(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(
+                     static_cast<uint8_t>(data_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!fits(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(
+                     static_cast<uint8_t>(data_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    int64_t
+    i64()
+    {
+        return static_cast<int64_t>(u64());
+    }
+
+    bool
+    boolean()
+    {
+        return u8() != 0;
+    }
+
+    /** Reads a u32 section tag; a mismatch latches failure. */
+    bool
+    expect(uint32_t tag)
+    {
+        if (u32() != tag)
+            failed_ = true;
+        return !failed_;
+    }
+
+    /** True while no read over-ran the stream or missed a tag. */
+    bool ok() const { return !failed_; }
+
+    /** Latches failure explicitly (loader-side validation). */
+    void fail() { failed_ = true; }
+
+    /** Remaining unread bytes. */
+    size_t remaining() const { return size_ - pos_; }
+
+    /** True when every byte was consumed and nothing failed. */
+    bool exhausted() const { return ok() && pos_ == size_; }
+
+    /** True when @p n more bytes can be read. */
+    bool
+    fits(size_t n)
+    {
+        if (failed_ || size_ - pos_ < n) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    const char *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+/** Four-character section tags, e.g. kStateTag("RNG "). */
+constexpr uint32_t
+stateTag(const char (&s)[5])
+{
+    return static_cast<uint32_t>(static_cast<uint8_t>(s[0])) |
+           static_cast<uint32_t>(static_cast<uint8_t>(s[1])) << 8 |
+           static_cast<uint32_t>(static_cast<uint8_t>(s[2])) << 16 |
+           static_cast<uint32_t>(static_cast<uint8_t>(s[3])) << 24;
+}
+
+} // namespace catchsim
+
+#endif // CATCHSIM_COMMON_STATE_IO_HH_

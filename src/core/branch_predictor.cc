@@ -116,4 +116,49 @@ BranchPredictor::predictAndTrain(const MicroOp &op)
     return o.mispredict();
 }
 
+void
+BranchPredictor::saveWarmState(StateSink &sink) const
+{
+    sink.tag(stateTag("BPRD"));
+    sink.u64(counters_.size());
+    for (uint8_t c : counters_)
+        sink.u8(c);
+    for (uint8_t c : bimodal_)
+        sink.u8(c);
+    for (uint8_t c : chooser_)
+        sink.u8(c);
+    sink.u64(btb_.size());
+    for (const BtbEntry &e : btb_) {
+        sink.u64(e.pc);
+        sink.u64(e.target);
+        sink.boolean(e.valid);
+    }
+    sink.u64(history_);
+}
+
+bool
+BranchPredictor::loadWarmState(StateSource &src)
+{
+    if (!src.expect(stateTag("BPRD")))
+        return false;
+    if (src.u64() != counters_.size() ||
+        !src.fits(3 * counters_.size()))
+        return false;
+    for (auto &c : counters_)
+        c = src.u8();
+    for (auto &c : bimodal_)
+        c = src.u8();
+    for (auto &c : chooser_)
+        c = src.u8();
+    if (src.u64() != btb_.size() || !src.fits(btb_.size() * 17))
+        return false;
+    for (auto &e : btb_) {
+        e.pc = src.u64();
+        e.target = src.u64();
+        e.valid = src.boolean();
+    }
+    history_ = src.u64();
+    return src.ok();
+}
+
 } // namespace catchsim

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "trace/micro_op.hh"
 
@@ -58,6 +59,14 @@ class BranchPredictor
 
     const BranchStats &stats() const { return stats_; }
     void resetStats() { stats_ = BranchStats(); }
+
+    /** Serializes counters/chooser/BTB/history (not stats) for
+     *  warmed-state snapshots. */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream into a predictor of the same
+     *  geometry; false on a malformed or mis-sized stream. */
+    bool loadWarmState(StateSource &src);
 
   private:
     struct BtbEntry

@@ -83,6 +83,52 @@ CriticalTable::tick(uint64_t retired_instrs)
             e.confidence = 0;
 }
 
+void
+CriticalTable::saveWarmState(StateSink &sink) const
+{
+    sink.tag(stateTag("CRIT"));
+    sink.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        sink.boolean(e.valid);
+        sink.u64(e.pc);
+        sink.u32(e.confidence);
+        sink.u64(e.lastUse);
+    }
+    sink.u64(clock_);
+    sink.u64(lastReset_);
+    sink.u64(stats_.recordings);
+    sink.u64(stats_.insertions);
+    sink.u64(stats_.evictions);
+    sink.u64(stats_.confidenceResets);
+    sink.u64(stats_.queries);
+    sink.u64(stats_.queryHits);
+}
+
+bool
+CriticalTable::loadWarmState(StateSource &src)
+{
+    if (!src.expect(stateTag("CRIT")))
+        return false;
+    if (src.u64() != entries_.size() ||
+        !src.fits(entries_.size() * 21))
+        return false;
+    for (Entry &e : entries_) {
+        e.valid = src.boolean();
+        e.pc = src.u64();
+        e.confidence = src.u32();
+        e.lastUse = src.u64();
+    }
+    clock_ = src.u64();
+    lastReset_ = src.u64();
+    stats_.recordings = src.u64();
+    stats_.insertions = src.u64();
+    stats_.evictions = src.u64();
+    stats_.confidenceResets = src.u64();
+    stats_.queries = src.u64();
+    stats_.queryHits = src.u64();
+    return src.ok();
+}
+
 uint32_t
 CriticalTable::activeCount() const
 {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/sim_config.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace catchsim
@@ -53,6 +54,20 @@ class CriticalTable
     uint32_t activeCount() const;
 
     const CriticalTableStats &stats() const { return stats_; }
+
+    /**
+     * Serializes entries, the LRU clock and the stats counters for
+     * warmed-state snapshots. Unlike the other warmed components the
+     * stats ARE part of the payload: warm fills query the table through
+     * the hierarchy's criticality callback, and the query counters are
+     * never reset at the warmup boundary — a restored run must report
+     * the same cumulative counts a freshly warmed one would.
+     */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream into a table of the same
+     *  geometry; false on a malformed or mis-sized stream. */
+    bool loadWarmState(StateSource &src);
 
   private:
     struct Entry

@@ -1,5 +1,8 @@
 #include "mem/functional_memory.hh"
 
+#include <algorithm>
+#include <vector>
+
 namespace catchsim
 {
 
@@ -46,6 +49,45 @@ void
 FunctionalMemory::write(Addr addr, uint64_t value)
 {
     pageFor(addr)->words[(addr & (kPageBytes - 1)) >> 3] = value;
+}
+
+void
+FunctionalMemory::saveWarmState(StateSink &sink) const
+{
+    sink.tag(stateTag("FMEM"));
+    std::vector<Addr> addrs;
+    addrs.reserve(pages_.size());
+    // catch-analyze: allow(unordered-iter) keys are sorted below
+    for (const auto &kv : pages_)
+        addrs.push_back(kv.first);
+    std::sort(addrs.begin(), addrs.end());
+    sink.u64(addrs.size());
+    for (Addr a : addrs) {
+        sink.u64(a);
+        const Page &p = pages_.at(a);
+        for (uint64_t word : p.words)
+            sink.u64(word);
+    }
+}
+
+bool
+FunctionalMemory::loadWarmState(StateSource &src)
+{
+    if (!src.expect(stateTag("FMEM")))
+        return false;
+    uint64_t n = src.u64();
+    if (!src.fits(n * (8 + kWordsPerPage * 8)))
+        return false;
+    pages_.clear();
+    for (auto &e : tlb_)
+        e = TlbEntry();
+    for (uint64_t i = 0; i < n; ++i) {
+        Addr a = src.u64();
+        Page &p = pages_[a];
+        for (auto &word : p.words)
+            word = src.u64();
+    }
+    return src.ok();
 }
 
 } // namespace catchsim

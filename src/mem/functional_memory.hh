@@ -17,6 +17,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace catchsim
@@ -42,6 +43,21 @@ class FunctionalMemory
 
     /** Number of distinct 4 KB pages touched so far. */
     size_t pagesAllocated() const { return pages_.size(); }
+
+    /**
+     * Serializes every allocated page (ascending page address, full
+     * 4 KB content) for warmed-state snapshots. The translation cache
+     * is host-only acceleration and is not serialized.
+     */
+    void saveWarmState(StateSink &sink) const;
+
+    /**
+     * Replaces the entire contents with a saveWarmState() stream, in
+     * place (the object's address — the feeder's value source — is
+     * preserved; the translation cache restarts cold). @returns false
+     * on a malformed stream.
+     */
+    bool loadWarmState(StateSource &src);
 
   private:
     static constexpr size_t kWordsPerPage = kPageBytes / sizeof(uint64_t);

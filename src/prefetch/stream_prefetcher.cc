@@ -4,7 +4,7 @@ namespace catchsim
 {
 
 StreamPrefetcher::StreamPrefetcher(uint32_t entries, uint32_t degree)
-    : pages_(entries, kNoPage), train_(entries), prev_(entries, kNil),
+    : streamPages_(entries, kNoPage), train_(entries), prev_(entries, kNil),
       next_(entries, kNil), degree_(degree)
 {
 }
@@ -12,9 +12,9 @@ StreamPrefetcher::StreamPrefetcher(uint32_t entries, uint32_t degree)
 uint32_t
 StreamPrefetcher::find(Addr page) const
 {
-    uint32_t n = static_cast<uint32_t>(pages_.size());
+    uint32_t n = static_cast<uint32_t>(streamPages_.size());
     for (uint32_t i = 0; i < n; ++i)
-        if (pages_[i] == page)
+        if (streamPages_[i] == page)
             return i;
     return n;
 }
@@ -26,7 +26,7 @@ StreamPrefetcher::allocate()
     // never-used slot" is just the fill count; afterwards the victim is
     // the recency-list tail, matching the minimum-timestamp scan this
     // replaced (timestamps were unique, so order was total).
-    if (filled_ < pages_.size()) {
+    if (filled_ < streamPages_.size()) {
         uint32_t i = filled_++;
         prev_[i] = kNil;
         next_[i] = head_;
@@ -66,9 +66,9 @@ StreamPrefetcher::observe(Addr addr, std::vector<Addr> &out)
     Addr page = pageAddr(addr);
     int32_t line = static_cast<int32_t>((addr - page) >> kLineShift);
     uint32_t i = find(page);
-    if (i == pages_.size()) {
+    if (i == streamPages_.size()) {
         i = allocate();
-        pages_[i] = page;
+        streamPages_[i] = page;
         train_[i] = Train{line, 0, 0};
         return;
     }
@@ -100,6 +100,53 @@ StreamPrefetcher::observe(Addr addr, std::vector<Addr> &out)
         out.push_back(page + static_cast<Addr>(target) * kLineBytes);
         ++issued_;
     }
+}
+
+void
+StreamPrefetcher::saveWarmState(StateSink &sink) const
+{
+    sink.tag(stateTag("STRM"));
+    sink.u64(streamPages_.size());
+    for (Addr p : streamPages_)
+        sink.u64(p);
+    for (const Train &t : train_) {
+        sink.u32(static_cast<uint32_t>(t.lastLine));
+        sink.u32(static_cast<uint32_t>(t.direction));
+        sink.u32(t.confirms);
+    }
+    for (uint32_t p : prev_)
+        sink.u32(p);
+    for (uint32_t n : next_)
+        sink.u32(n);
+    sink.u32(head_);
+    sink.u32(tail_);
+    sink.u32(filled_);
+    sink.u64(issued_);
+}
+
+bool
+StreamPrefetcher::loadWarmState(StateSource &src)
+{
+    if (!src.expect(stateTag("STRM")))
+        return false;
+    if (src.u64() != streamPages_.size() || !src.fits(streamPages_.size() * 28))
+        return false;
+    for (Addr &p : streamPages_)
+        p = src.u64();
+    for (Train &t : train_) {
+        t.lastLine = static_cast<int32_t>(src.u32());
+        t.direction = static_cast<int32_t>(src.u32());
+        t.confirms = src.u32();
+    }
+    for (uint32_t &p : prev_)
+        p = src.u32();
+    for (uint32_t &n : next_)
+        n = src.u32();
+    head_ = src.u32();
+    tail_ = src.u32();
+    filled_ = src.u32();
+    issued_ = src.u64();
+    return src.ok();
 }
 
 } // namespace catchsim

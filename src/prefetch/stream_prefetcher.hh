@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace catchsim
@@ -36,6 +37,13 @@ class StreamPrefetcher
     void observe(Addr addr, std::vector<Addr> &out);
 
     uint64_t issued() const { return issued_; }
+
+    /** Serializes tags, training state, the recency list and the issue
+     *  counter (warming trains all of them). */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream; false on a malformed one. */
+    bool loadWarmState(StateSource &src);
 
   private:
     // Tags live in their own contiguous array so the match scan and the
@@ -63,7 +71,7 @@ class StreamPrefetcher
     /** Unlinks entry @p i and relinks it at the MRU head. */
     void touch(uint32_t i);
 
-    std::vector<Addr> pages_;
+    std::vector<Addr> streamPages_;
     std::vector<Train> train_;
     // Recency is an intrusive doubly-linked list instead of timestamps:
     // every observe touches exactly one entry, so list order is exactly

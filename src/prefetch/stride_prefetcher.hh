@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/sat_counter.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace catchsim
@@ -39,6 +40,12 @@ class StridePrefetcher
     bool stableStride(Addr pc, int64_t *stride_out) const;
 
     uint64_t issued() const { return issued_; }
+
+    /** Serializes the table and issue counter (warming trains both). */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream; false on a malformed one. */
+    bool loadWarmState(StateSource &src);
 
   private:
     struct Entry

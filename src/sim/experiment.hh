@@ -20,6 +20,16 @@
  *                    unchanged (config, workload, length) cells are
  *                    served from DIR instead of re-executing
  *                    (sim/result_store.hh)
+ *   CATCH_TRACE_STORE=1 / CATCH_TRACE_CACHE=DIR / CATCH_TRACE_STORE_MB
+ *                    memoized trace-chunk store: in-memory (and, with
+ *                    DIR, on-disk) reuse of generated trace chunks
+ *                    across runs (trace/chunk_store.hh)
+ *   CATCH_WARM_STATE=1 / CATCH_WARM_STATE_CACHE=DIR /
+ *   CATCH_WARM_STATE_MB  warmed-state snapshot store: sampled runs
+ *                    with a chunk store restore the functional-warming
+ *                    state at the global-warmup boundary instead of
+ *                    re-deriving it; repeat sweeps that vary only
+ *                    timing knobs share snapshots (sim/warm_state.hh)
  *   CATCH_MAX_ATTEMPTS / CATCH_BACKOFF_MS / CATCH_MAX_CYCLES /
  *   CATCH_STALL_WINDOW  fault-containment knobs (see IsolationOptions
  *                    and RunBudget)

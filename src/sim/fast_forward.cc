@@ -117,4 +117,28 @@ FastForward::warm(size_t pos, uint64_t count, Cycle now)
     return pos;
 }
 
+void
+FastForward::saveWarmState(StateSink &sink) const
+{
+    sink.tag(stateTag("FFWD"));
+    sink.u64(lastCodeLine_);
+    sink.u64(lastData0_);
+    sink.u64(lastData1_);
+    sink.boolean(dirty0_);
+    sink.boolean(dirty1_);
+}
+
+bool
+FastForward::loadWarmState(StateSource &src)
+{
+    if (!src.expect(stateTag("FFWD")))
+        return false;
+    lastCodeLine_ = src.u64();
+    lastData0_ = src.u64();
+    lastData1_ = src.u64();
+    dirty0_ = src.boolean();
+    dirty1_ = src.boolean();
+    return src.ok();
+}
+
 } // namespace catchsim

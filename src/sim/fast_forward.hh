@@ -51,6 +51,17 @@ class FastForward
      */
     size_t warm(size_t pos, uint64_t count, Cycle now);
 
+    /**
+     * Serializes the repeat-filter state (last code line, the two-entry
+     * data filter and its dirty bits). The filter gates stride-
+     * prefetcher training, so a restored run must resume with exactly
+     * the filter a fresh warm would have left behind.
+     */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream; false on a malformed one. */
+    bool loadWarmState(StateSource &src);
+
   private:
     CoreId core_;
     CacheHierarchy &hierarchy_;

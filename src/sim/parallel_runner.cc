@@ -148,7 +148,8 @@ runTasksLongestFirst(std::vector<std::function<void()>> tasks,
 RunOutcome
 executeContainedRun(const SimConfig &cfg, const std::string &name,
                     uint64_t instrs, uint64_t warmup,
-                    const IsolationOptions &opts, ChunkStore *store)
+                    const IsolationOptions &opts, ChunkStore *store,
+                    WarmStateStore *warm_store)
 {
     RunOutcome out;
     out.workload = name;
@@ -163,7 +164,7 @@ executeContainedRun(const SimConfig &cfg, const std::string &name,
             auto r = runWorkloadGuarded(cfg, name, instrs, warmup,
                                         opts.budget, plan, attempt,
                                         opts.profile ? &prof : nullptr,
-                                        store);
+                                        store, warm_store);
             if (r.ok()) {
                 out.result = std::move(r).value();
                 out.status =
@@ -228,6 +229,8 @@ runWorkloadsIsolated(const SimConfig &cfg,
     // reads the environment on first use, which must not happen
     // concurrently from workers (env.hh startup contract).
     ChunkStore *store = opts.store ? *opts.store : ChunkStore::global();
+    WarmStateStore *warm_store =
+        opts.warmStore ? *opts.warmStore : WarmStateStore::global();
     // The result-store key depends only on the run's identity, so the
     // config digest is shared by every slot of the campaign.
     uint64_t cfg_digest =
@@ -267,13 +270,15 @@ runWorkloadsIsolated(const SimConfig &cfg,
                 }
             }
         }
-        tasks.push_back([&, i, key, store] {
+        tasks.push_back([&, i, key, store, warm_store] {
             // Fully private run: own workload (re-seeded from its suite
-            // entry), own Simulator, own outcome slot. The store (when
-            // present) is shared deliberately — chunks are immutable
-            // and content-addressed, so sharing cannot couple runs.
+            // entry), own Simulator, own outcome slot. The stores (when
+            // present) are shared deliberately — chunks and snapshots
+            // are immutable and content-addressed, so sharing cannot
+            // couple runs.
             outcomes[i] = executeContainedRun(cfg, names[i], instrs,
-                                              warmup, opts, store);
+                                              warmup, opts, store,
+                                              warm_store);
             if (opts.resultStore) {
                 outcomes[i].storeMiss = true;
                 if (key && outcomes[i].ok())

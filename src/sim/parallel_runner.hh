@@ -162,6 +162,10 @@ struct IsolationOptions
     /// permute store states in-process without touching the
     /// environment. Resolved once on the calling thread.
     std::optional<ChunkStore *> store;
+    /// Warmed-state store override with the same semantics: unset =
+    /// WarmStateStore::global(), an explicit value (possibly nullptr)
+    /// wins. Resolved once on the calling thread.
+    std::optional<WarmStateStore *> warmStore;
     /// Content-hashed result store (sim/result_store.hh); null
     /// disables it. Consulted after the journal during campaign
     /// planning; successful fresh executions are persisted back.
@@ -208,7 +212,9 @@ RunOutcome executeContainedRun(const SimConfig &cfg,
                                const std::string &name, uint64_t instrs,
                                uint64_t warmup,
                                const IsolationOptions &opts,
-                               ChunkStore *store);
+                               ChunkStore *store,
+                               WarmStateStore *warm_store =
+                                   WarmStateStore::global());
 
 /**
  * Relative wall-clock cost estimate for one workload run, used to order

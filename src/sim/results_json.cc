@@ -563,6 +563,10 @@ writeSuiteJson(const std::string &path, const SimConfig &cfg,
                 // counters: hit-rate stays attributable to this cell.
                 w.field("store_hit_chunks", o.profile->storeHitChunks);
                 w.field("store_miss_chunks", o.profile->storeMissChunks);
+                // Warmed-state snapshot traffic, same per-run scoping.
+                w.field("warm_state_hits", o.profile->warmStateHits);
+                w.field("warm_state_misses", o.profile->warmStateMisses);
+                w.field("warm_state_bytes", o.profile->warmStateBytes);
                 w.close();
             }
             w.rawField("result", o.result.toJson());

@@ -5,6 +5,7 @@
 
 #include "common/host_clock.hh"
 #include "common/logging.hh"
+#include "common/state_io.hh"
 #include "criticality/heuristic_detector.hh"
 #include "sim/fast_forward.hh"
 #include "trace/suite.hh"
@@ -13,9 +14,77 @@
 namespace catchsim
 {
 
+namespace
+{
+
+/**
+ * One warmed-state snapshot: the boundary trace position followed by
+ * every warming-visible component in a fixed order. save and load walk
+ * the same sequence, so the round-trip contract lives in this one
+ * place; DRAM and the resettable stats are deliberately absent
+ * (untouched / reset at the boundary — see the WarmStateStore file
+ * comment). The critical table IS included: its entries are still
+ * untrained at the boundary, but warm fills query it through the
+ * hierarchy's criticality callback and its cumulative query counters
+ * are never reset, so skipping the warmup must restore them too.
+ */
+void
+saveWarmSnapshot(StateSink &sink, uint64_t boundary_pos,
+                 const TraceStream &stream,
+                 const CacheHierarchy &hierarchy,
+                 const BranchPredictor &predictor,
+                 const CriticalityDetector *detector, const Tact *tact,
+                 const FastForward &ff)
+{
+    sink.tag(stateTag("WSNP"));
+    sink.u64(boundary_pos);
+    stream.saveWarmState(sink);
+    hierarchy.saveWarmState(sink);
+    predictor.saveWarmState(sink);
+    sink.boolean(detector != nullptr);
+    if (detector)
+        detector->table().saveWarmState(sink);
+    sink.boolean(tact != nullptr);
+    if (tact)
+        tact->saveWarmState(sink);
+    ff.saveWarmState(sink);
+}
+
+bool
+loadWarmSnapshot(StateSource &src, uint64_t *boundary_pos,
+                 TraceStream &stream, CacheHierarchy &hierarchy,
+                 BranchPredictor &predictor, CriticalityDetector *detector,
+                 Tact *tact, FastForward &ff)
+{
+    if (!src.expect(stateTag("WSNP")))
+        return false;
+    *boundary_pos = src.u64();
+    if (!stream.loadWarmState(src))
+        return false;
+    if (!hierarchy.loadWarmState(src))
+        return false;
+    if (!predictor.loadWarmState(src))
+        return false;
+    if (src.boolean() != (detector != nullptr))
+        return false;
+    if (detector && !detector->table().loadWarmState(src))
+        return false;
+    if (src.boolean() != (tact != nullptr))
+        return false;
+    if (tact && !tact->loadWarmState(src))
+        return false;
+    if (!ff.loadWarmState(src))
+        return false;
+    // Trailing bytes mean the writer serialized more than this reader
+    // parses — a format drift this checksum cannot catch.
+    return src.exhausted();
+}
+
+} // namespace
+
 Simulator::Simulator(const SimConfig &cfg, TraceMode mode,
-                     ChunkStore *store)
-    : cfg_(cfg), mode_(mode), store_(store)
+                     ChunkStore *store, WarmStateStore *warm_store)
+    : cfg_(cfg), mode_(mode), store_(store), warmStore_(warm_store)
 {
     auto valid = cfg_.validate();
     CATCHSIM_ASSERT(valid.ok(), "invalid config reached the Simulator: ",
@@ -175,9 +244,68 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
         };
 
         // Global warmup is warmed functionally — that is the point.
-        size_t before = core.tracePos();
-        core.skipTo(ff.warm(before, warmup, core.now()));
-        sample.warmedInstrs += core.tracePos() - before;
+        // With a warm-state store attached, that work is memoized: the
+        // warmed state at this boundary is a pure function of the key
+        // below, so a hit restores it and jumps the cursor instead of
+        // re-deriving it. Eligibility requires the chunk store (the
+        // stream restore re-fetches its ring window through it) and a
+        // nonzero warmup (nothing to memoize otherwise).
+        const bool warm_eligible = warmStore_ && stream &&
+                                   stream->storeBacked() && warmup > 0;
+        WarmStateKey wkey;
+        if (warm_eligible)
+            wkey = WarmStateKey{workload.name(), workload.seed(), warmup,
+                                instrs + warmup, stream->chunkOps(),
+                                warmConfigDigest(cfg)};
+        bool restored = false;
+        if (warm_eligible) {
+            if (WarmStateStore::BlobPtr blob = warmStore_->find(wkey)) {
+                StateSource src(*blob);
+                uint64_t boundary_pos = 0;
+                if (loadWarmSnapshot(src, &boundary_pos, *stream,
+                                     hierarchy,
+                                     core.frontend().predictor(),
+                                     detector.get(), tact.get(), ff) &&
+                    boundary_pos <= stream->size()) {
+                    core.skipTo(boundary_pos);
+                    sample.warmedInstrs += boundary_pos;
+                    restored = true;
+                    if (prof) {
+                        ++profile->warmStateHits;
+                        profile->warmStateBytes += blob->size();
+                    }
+                } else {
+                    // The record passed its checksum but a component
+                    // rejected it: a format drift this build cannot
+                    // parse. Drop it so a retry re-warms cleanly, and
+                    // fail transient — the retry succeeds.
+                    warmStore_->remove(wkey);
+                    return simError(ErrorCategory::IoTransient,
+                                    "warm-state snapshot for '",
+                                    workload.name(),
+                                    "' failed component restore — "
+                                    "dropped; retry re-warms");
+                }
+            }
+        }
+        size_t before = 0;
+        if (!restored) {
+            before = core.tracePos();
+            core.skipTo(ff.warm(before, warmup, core.now()));
+            sample.warmedInstrs += core.tracePos() - before;
+            if (warm_eligible) {
+                StateSink sink;
+                saveWarmSnapshot(sink, core.tracePos(), *stream,
+                                 hierarchy,
+                                 core.frontend().predictor(),
+                                 detector.get(), tact.get(), ff);
+                if (prof) {
+                    ++profile->warmStateMisses;
+                    profile->warmStateBytes += sink.size();
+                }
+                warmStore_->put(wkey, sink.take());
+            }
+        }
         if (budget.limited())
             if (auto err = wd.poll(core.now(), core.instrsDone()))
                 return *err;
@@ -353,7 +481,7 @@ runWorkloadGuarded(const SimConfig &cfg, const std::string &name,
                    uint64_t instrs, uint64_t warmup,
                    const RunBudget &budget, const FaultPlan &plan,
                    unsigned attempt, RunProfile *profile,
-                   ChunkStore *store)
+                   ChunkStore *store, WarmStateStore *warm_store)
 {
     if (plan.enabled()) {
         if (plan.shouldInject(FaultKind::TraceCorrupt, name, attempt))
@@ -386,7 +514,7 @@ runWorkloadGuarded(const SimConfig &cfg, const std::string &name,
     auto wl = findWorkload(name);
     if (!wl.ok())
         return wl.error();
-    Simulator sim(cfg, TraceMode::Streamed, store);
+    Simulator sim(cfg, TraceMode::Streamed, store, warm_store);
     return sim.runGuarded(*wl.value(), instrs, warmup, budget, profile);
 }
 

@@ -19,6 +19,7 @@
 #include "criticality/ddg.hh"
 #include "power/power_model.hh"
 #include "sim/run_guard.hh"
+#include "sim/warm_state.hh"
 #include "tact/tact.hh"
 #include "trace/chunk_store.hh"
 #include "trace/workload.hh"
@@ -133,6 +134,14 @@ struct RunProfile
      *  across a campaign, so store hit-rate is attributable per cell. */
     uint64_t storeHitChunks = 0;
     uint64_t storeMissChunks = 0;
+    /** Warmed-state snapshot traffic for THIS run (zero when no
+     *  warm-state store is attached or the run is ineligible — not
+     *  sampled, not stream+chunk-store backed, or zero warmup). A hit
+     *  skipped the global functional warmup; a miss warmed and
+     *  published. Bytes counts the blob restored or published. */
+    uint64_t warmStateHits = 0;
+    uint64_t warmStateMisses = 0;
+    uint64_t warmStateBytes = 0;
 };
 
 /** Runs one workload on one machine configuration. */
@@ -144,10 +153,17 @@ class Simulator
      *        defaults to the process-wide store (null unless enabled
      *        via CATCH_TRACE_STORE / CATCH_TRACE_CACHE). Results are
      *        bitwise-identical with or without one.
+     * @param warm_store memoized warmed-state snapshots: sampled runs
+     *        with a chunk store restore the global-warmup state instead
+     *        of re-deriving it functionally. Defaults to the
+     *        process-wide store (null unless enabled via
+     *        CATCH_WARM_STATE / CATCH_WARM_STATE_CACHE). Results are
+     *        bitwise-identical with or without one.
      */
     explicit Simulator(const SimConfig &cfg,
                        TraceMode mode = TraceMode::Streamed,
-                       ChunkStore *store = ChunkStore::global());
+                       ChunkStore *store = ChunkStore::global(),
+                       WarmStateStore *warm_store = WarmStateStore::global());
 
     /**
      * @param instrs measured instructions
@@ -173,6 +189,7 @@ class Simulator
     SimConfig cfg_;
     TraceMode mode_;
     ChunkStore *store_;
+    WarmStateStore *warmStore_;
 };
 
 /** Convenience: build + run in one call. */
@@ -196,7 +213,9 @@ Expected<SimResult> runWorkloadGuarded(const SimConfig &cfg,
                                        unsigned attempt = 1,
                                        RunProfile *profile = nullptr,
                                        ChunkStore *store =
-                                           ChunkStore::global());
+                                           ChunkStore::global(),
+                                       WarmStateStore *warm_store =
+                                           WarmStateStore::global());
 
 } // namespace catchsim
 

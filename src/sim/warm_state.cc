@@ -1,0 +1,482 @@
+#include "sim/warm_state.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/state_io.hh"
+#include "trace/trace_io.hh"
+
+namespace catchsim
+{
+
+namespace
+{
+
+// Snapshot-record magic, distinct from trace files ("CTSIM\0") and
+// chunk records ("CTCHK\0") so a misplaced file of any kind is rejected
+// by the first six bytes.
+constexpr char kWarmStateMagic[6] = {'C', 'W', 'A', 'R', 'M', '\0'};
+
+// Fixed prefix of a snapshot record before the kernel-name bytes:
+// magic, u32 version, u64 seed, u64 boundary, u64 total, u64 chunk,
+// u64 digest, u32 name len.
+constexpr uint64_t kWarmHeaderBytes =
+    sizeof(kWarmStateMagic) + 4 + 8 + 8 + 8 + 8 + 8 + 4;
+
+// After the name: u64 payload length, payload, u64 FNV-1a checksum.
+constexpr uint64_t kWarmTrailerBytes = 8 + 8;
+
+void
+putBytes(std::vector<uint8_t> &out, size_t at, const void *src, size_t n)
+{
+    std::memcpy(out.data() + at, src, n);
+}
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+// --- warming-visible config digest -------------------------------------
+
+/**
+ * The digest serializes, in a fixed order, exactly the knobs warming
+ * can observe. Everything else — cache latencies, oracle latency
+ * adders and demotion, DRAM timing, core width/ROB/ports, the sampling
+ * schedule — is warming-invisible by construction (warm fills stamp
+ * readyAt 0 and the clock never advances during warming) and is
+ * deliberately left out so timing resweeps share snapshots. The
+ * catch_analyze warm-digest scope checks that exclusion list against
+ * the warming call graph; extend this function whenever a new knob
+ * becomes reachable from warmAccess/warmTrain/TACT-learning code.
+ */
+uint64_t
+warmConfigDigest(const SimConfig &cfg)
+{
+    StateSink s;
+    // Layout salt: bumping the format version re-keys digests too.
+    s.u32(kWarmStateFormatVersion);
+
+    // Hierarchy shape: geometry (not latency) decides tag/replacement
+    // state; inclusion decides the eviction/back-invalidate flow.
+    s.boolean(cfg.hasL2);
+    s.u8(static_cast<uint8_t>(cfg.inclusion));
+    s.u32(cfg.numCores);
+    for (const CacheGeometry *g : {&cfg.l1i, &cfg.l1d, &cfg.l2, &cfg.llc}) {
+        s.u64(g->sizeBytes);
+        s.u32(g->ways);
+    }
+    // Replacement RNG seeding (hierarchy construction).
+    s.u64(cfg.seed);
+
+    // Baseline prefetchers train during warming.
+    s.boolean(cfg.l1StridePrefetcher);
+    s.boolean(cfg.l2StreamPrefetcher);
+    s.u32(cfg.streamDegree);
+
+    // Criticality detection: conservative full inclusion — the table
+    // shapes what TACT treats as critical while learning.
+    s.boolean(cfg.criticality.enabled);
+    s.u8(static_cast<uint8_t>(cfg.criticality.kind));
+    s.u32(cfg.criticality.tableEntries);
+    s.u32(cfg.criticality.tableWays);
+    s.u32(cfg.criticality.confidenceBits);
+    s.u64(cfg.criticality.confResetInterval);
+    s.u64(static_cast<uint64_t>(cfg.criticality.graphFactor * 1024));
+    s.u64(static_cast<uint64_t>(cfg.criticality.walkFactor * 1024));
+    s.u32(cfg.criticality.latencyQuantShift);
+    s.u32(cfg.criticality.hashedPcBits);
+
+    // TACT learners run (learning-only) during warming.
+    s.boolean(cfg.tact.cross);
+    s.boolean(cfg.tact.deepSelf);
+    s.boolean(cfg.tact.feeder);
+    s.boolean(cfg.tact.code);
+    s.u32(cfg.tact.triggerCacheSets);
+    s.u32(cfg.tact.triggerCacheWays);
+    s.u32(cfg.tact.triggerPcsPerPage);
+    s.u32(cfg.tact.crossTrainInstances);
+    s.u32(cfg.tact.crossCandidateWraps);
+    s.u32(cfg.tact.deepMaxDistance);
+    s.u32(cfg.tact.safeLengthCap);
+    s.u32(cfg.tact.feederDepth);
+    s.u32(cfg.tact.codeRunaheadLines);
+
+    // Oracle knobs that inject or suppress warm fills (the latency
+    // adders and demotion modes are timing-only and excluded).
+    s.boolean(cfg.oracle.oraclePrefetch);
+    s.u32(cfg.oracle.oraclePrefetchPcLimit);
+    s.boolean(cfg.oracle.oracleCodeInL1);
+
+    return fnv1a(s.bytes().data(), s.size());
+}
+
+// --- WarmStateStore -----------------------------------------------------
+
+WarmStateStore::WarmStateStore() : WarmStateStore(Config()) {}
+
+WarmStateStore::~WarmStateStore() = default;
+
+WarmStateStore::WarmStateStore(Config cfg)
+    : cfg_(std::move(cfg))
+{
+    if (!cfg_.diskDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.diskDir, ec);
+        if (ec) {
+            warn("warm-state store: cannot create cache dir '",
+                 cfg_.diskDir, "': ", ec.message(),
+                 " — disk tier disabled");
+            cfg_.diskDir.clear();
+        }
+    }
+}
+
+std::string
+WarmStateStore::mapKey(const WarmStateKey &key)
+{
+    return key.kernel + '|' + std::to_string(key.seed) + '|' +
+           std::to_string(key.boundaryOps) + '|' +
+           std::to_string(key.totalOps) + '|' +
+           std::to_string(key.chunkOps) + '|' +
+           std::to_string(key.configDigest);
+}
+
+std::string
+WarmStateStore::diskPath(const WarmStateKey &key) const
+{
+    return cfg_.diskDir + '/' + key.kernel + "-s" +
+           std::to_string(key.seed) + "-b" +
+           std::to_string(key.boundaryOps) + "-t" +
+           std::to_string(key.totalOps) + "-c" +
+           std::to_string(key.chunkOps) + "-d" + hex16(key.configDigest) +
+           "-v" + std::to_string(kWarmStateFormatVersion) + ".cws";
+}
+
+WarmStateStore::BlobPtr
+WarmStateStore::find(const WarmStateKey &key)
+{
+    const std::string mk = mapKey(key);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(mk);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.hits;
+            return it->second->blob;
+        }
+    }
+    if (!cfg_.diskDir.empty()) {
+        auto loaded = loadDiskChecked(key);
+        if (loaded.ok()) {
+            BlobPtr b = std::move(loaded).value();
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = map_.find(mk);
+            if (it != map_.end()) {
+                // A writer published while we read the file; serve the
+                // resident copy (the bytes are identical either way).
+                lru_.splice(lru_.begin(), lru_, it->second);
+            } else {
+                const size_t bytes = b->size();
+                lru_.push_front(Entry{mk, b, bytes}); // catch-lint: allow(step-alloc) once per restored snapshot, not per cycle
+                map_[mk] = lru_.begin();
+                residentBytes_ += bytes;
+                evictOverBudgetLocked();
+            }
+            ++stats_.hits;
+            ++stats_.diskHits;
+            return b;
+        }
+        const SimError &e = loaded.error();
+        if (e.category == ErrorCategory::TraceCorrupt) {
+            // Contain, don't crash: drop the bad record so the slot is
+            // republished from a fresh warm, and report a miss — the
+            // caller re-warms deterministically.
+            warn(e.message, " — dropping the snapshot and re-warming");
+            std::remove(diskPath(key).c_str());
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.corrupt;
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return nullptr;
+}
+
+WarmStateStore::BlobPtr
+WarmStateStore::put(const WarmStateKey &key, std::string blob)
+{
+    const std::string mk = mapKey(key);
+    BlobPtr b;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(mk);
+        if (it != map_.end()) {
+            // First writer wins; every writer holds identical bytes.
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return it->second->blob;
+        }
+        b = std::make_shared<const std::string>(std::move(blob)); // catch-lint: allow(step-alloc) once per published snapshot, not per cycle
+        const size_t bytes = b->size();
+        lru_.push_front(Entry{mk, b, bytes}); // catch-lint: allow(step-alloc) once per published snapshot, not per cycle
+        map_[mk] = lru_.begin();
+        residentBytes_ += bytes;
+        ++stats_.puts;
+        evictOverBudgetLocked();
+    }
+    if (!cfg_.diskDir.empty()) {
+        auto w = writeDisk(key, *b);
+        if (!w.ok())
+            warn(w.error().message,
+                 " — disk tier skipped for this snapshot");
+    }
+    return b;
+}
+
+void
+WarmStateStore::remove(const WarmStateKey &key)
+{
+    const std::string mk = mapKey(key);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(mk);
+        if (it != map_.end()) {
+            residentBytes_ -= it->second->bytes;
+            lru_.erase(it->second);
+            map_.erase(it);
+        }
+    }
+    if (!cfg_.diskDir.empty())
+        std::remove(diskPath(key).c_str());
+}
+
+void
+WarmStateStore::evictOverBudgetLocked()
+{
+    // Never evict below one resident blob: the entry just inserted
+    // must survive long enough to be returned to its requester.
+    while (residentBytes_ > cfg_.memBudgetBytes && lru_.size() > 1) {
+        const Entry &victim = lru_.back();
+        residentBytes_ -= victim.bytes;
+        map_.erase(victim.mapKey);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+Expected<void>
+WarmStateStore::writeDisk(const WarmStateKey &key, const std::string &blob)
+{
+    const std::string path = diskPath(key);
+    {
+        // Already persisted (by an earlier run or another worker racing
+        // on the same identity): the bytes are canonical, keep them.
+        FilePtr probe(std::fopen(path.c_str(), "rb"));
+        if (probe)
+            return {};
+    }
+    const uint64_t total = kWarmHeaderBytes + key.kernel.size() +
+                           kWarmTrailerBytes + blob.size();
+    std::vector<uint8_t> out(total);
+    size_t at = 0;
+    putBytes(out, at, kWarmStateMagic, sizeof(kWarmStateMagic));
+    at += sizeof(kWarmStateMagic);
+    const uint32_t version = kWarmStateFormatVersion;
+    putBytes(out, at, &version, 4);
+    at += 4;
+    putBytes(out, at, &key.seed, 8);
+    at += 8;
+    putBytes(out, at, &key.boundaryOps, 8);
+    at += 8;
+    putBytes(out, at, &key.totalOps, 8);
+    at += 8;
+    putBytes(out, at, &key.chunkOps, 8);
+    at += 8;
+    putBytes(out, at, &key.configDigest, 8);
+    at += 8;
+    const uint32_t name_len = static_cast<uint32_t>(key.kernel.size());
+    putBytes(out, at, &name_len, 4);
+    at += 4;
+    putBytes(out, at, key.kernel.data(), key.kernel.size());
+    at += key.kernel.size();
+    const uint64_t payload_len = blob.size();
+    putBytes(out, at, &payload_len, 8);
+    at += 8;
+    putBytes(out, at, blob.data(), blob.size());
+    at += blob.size();
+    const uint64_t sum = fnv1a(out.data(), at);
+    putBytes(out, at, &sum, 8);
+    at += 8;
+    CATCHSIM_ASSERT(at == total, "snapshot record layout mismatch");
+
+    // Write to a unique temp name, then rename: readers only ever see
+    // complete, checksummed records, even across concurrent writers.
+    const std::string tmp =
+        path + ".tmp" +
+        std::to_string(tmpSerial_.fetch_add(1, std::memory_order_relaxed));
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f)
+        return simError(ErrorCategory::IoTransient,
+                        "warm-state store: cannot open '", tmp,
+                        "' for writing");
+    if (std::fwrite(out.data(), 1, out.size(), f.get()) != out.size() ||
+        std::fflush(f.get()) != 0) {
+        f.reset();
+        std::remove(tmp.c_str());
+        return simError(ErrorCategory::IoTransient,
+                        "warm-state store: write to '", tmp, "' failed");
+    }
+    f.reset();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return simError(ErrorCategory::IoTransient,
+                        "warm-state store: cannot rename '", tmp,
+                        "' to '", path, "'");
+    }
+    return {};
+}
+
+Expected<WarmStateStore::BlobPtr>
+WarmStateStore::loadDiskChecked(const WarmStateKey &key)
+{
+    const std::string path = diskPath(key);
+    auto corrupt = [&path](auto &&...what) {
+        return simError(ErrorCategory::TraceCorrupt, "snapshot file '",
+                        path, "': ", what...);
+    };
+    // Deterministic fault injection: the reserved "warm-state-store"
+    // target corrupts every disk read so CI can drive the containment
+    // path (drop + re-warm) without manufacturing real bit flips.
+    if (cfg_.plan &&
+        cfg_.plan->shouldInject(FaultKind::StateCorrupt,
+                                "warm-state-store"))
+        return corrupt("injected warm-state corruption");
+
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return simError(ErrorCategory::Config, "no snapshot file '",
+                        path, "'");
+    // The payload length is variable (the page map grows with the
+    // workload), so only a lower bound is known before the header is
+    // read; the checksum still covers every byte before anything in
+    // the record is trusted.
+    const uint64_t least =
+        kWarmHeaderBytes + key.kernel.size() + kWarmTrailerBytes;
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return simError(ErrorCategory::IoTransient, "cannot seek in '",
+                        path, "'");
+    const long told = std::ftell(f.get());
+    if (told < 0)
+        return simError(ErrorCategory::IoTransient, "cannot size '",
+                        path, "'");
+    if (static_cast<uint64_t>(told) < least)
+        return corrupt(told, " bytes on disk, expected at least ", least,
+                       " (truncated or foreign record)");
+    std::rewind(f.get());
+    std::vector<uint8_t> buf(static_cast<uint64_t>(told));
+    if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size())
+        return corrupt("short read of ", buf.size(), " bytes");
+
+    uint64_t sum = 0;
+    std::memcpy(&sum, buf.data() + buf.size() - 8, 8);
+    if (fnv1a(buf.data(), buf.size() - 8) != sum)
+        return corrupt("FNV-1a checksum mismatch (bit flip?)");
+
+    size_t at = 0;
+    if (std::memcmp(buf.data(), kWarmStateMagic,
+                    sizeof(kWarmStateMagic)) != 0)
+        return corrupt("bad magic");
+    at += sizeof(kWarmStateMagic);
+    uint32_t version = 0;
+    std::memcpy(&version, buf.data() + at, 4);
+    at += 4;
+    if (version != kWarmStateFormatVersion)
+        return corrupt("unsupported version ", version, ", expected ",
+                       kWarmStateFormatVersion);
+    uint64_t seed = 0;
+    std::memcpy(&seed, buf.data() + at, 8);
+    at += 8;
+    uint64_t boundary = 0;
+    std::memcpy(&boundary, buf.data() + at, 8);
+    at += 8;
+    uint64_t total_ops = 0;
+    std::memcpy(&total_ops, buf.data() + at, 8);
+    at += 8;
+    uint64_t chunk_ops = 0;
+    std::memcpy(&chunk_ops, buf.data() + at, 8);
+    at += 8;
+    uint64_t digest = 0;
+    std::memcpy(&digest, buf.data() + at, 8);
+    at += 8;
+    uint32_t name_len = 0;
+    std::memcpy(&name_len, buf.data() + at, 4);
+    at += 4;
+    if (seed != key.seed || boundary != key.boundaryOps ||
+        total_ops != key.totalOps || chunk_ops != key.chunkOps ||
+        digest != key.configDigest || name_len != key.kernel.size() ||
+        std::memcmp(buf.data() + at, key.kernel.data(), name_len) != 0)
+        return corrupt("header does not match the requested key");
+    at += name_len;
+    uint64_t payload_len = 0;
+    std::memcpy(&payload_len, buf.data() + at, 8);
+    at += 8;
+    if (payload_len != buf.size() - at - 8)
+        return corrupt("payload length ", payload_len,
+                       " disagrees with the record size");
+
+    return std::make_shared<const std::string>( // catch-lint: allow(step-alloc) once per restored snapshot, not per cycle
+        reinterpret_cast<const char *>(buf.data()) + at, payload_len);
+}
+
+WarmStateStore::Stats
+WarmStateStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+size_t
+WarmStateStore::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return residentBytes_;
+}
+
+// --- process-wide store ------------------------------------------------
+
+WarmStateStore *
+WarmStateStore::global()
+{
+    // Leaked singleton (never destructed), mirroring ChunkStore: the
+    // store may still serve snapshots while static destructors run.
+    static WarmStateStore *const store = []() -> WarmStateStore * {
+        const std::string dir = envString("CATCH_WARM_STATE_CACHE");
+        if (!envFlag("CATCH_WARM_STATE") && dir.empty())
+            return nullptr;
+        Config cfg;
+        cfg.memBudgetBytes = envU64("CATCH_WARM_STATE_MB", 128) << 20;
+        cfg.diskDir = dir;
+        cfg.plan = &FaultPlan::global();
+        return new WarmStateStore(std::move(cfg)); // catch-lint: allow(raw-new-delete) intentionally leaked process singleton
+    }();
+    return store;
+}
+
+} // namespace catchsim

@@ -564,6 +564,9 @@ buildWorkerResult(const RunOutcome &out)
             w.field("peak_rss_bytes", out.profile->peakRssBytes);
             w.field("store_hit_chunks", out.profile->storeHitChunks);
             w.field("store_miss_chunks", out.profile->storeMissChunks);
+            w.field("warm_state_hits", out.profile->warmStateHits);
+            w.field("warm_state_misses", out.profile->warmStateMisses);
+            w.field("warm_state_bytes", out.profile->warmStateBytes);
             w.close();
         }
     } else {
@@ -628,6 +631,9 @@ parseWorkerResult(const std::string &json)
             hp.u64("peak_rss_bytes", prof.peakRssBytes);
             hp.u64("store_hit_chunks", prof.storeHitChunks);
             hp.u64("store_miss_chunks", prof.storeMissChunks);
+            hp.u64("warm_state_hits", prof.warmStateHits);
+            hp.u64("warm_state_misses", prof.warmStateMisses);
+            hp.u64("warm_state_bytes", prof.warmStateBytes);
             if (err)
                 return *err;
             out.profile = prof;
@@ -744,7 +750,8 @@ workerMain()
 
     RunOutcome out = executeContainedRun(r.cfg, r.workload, r.instrs,
                                          r.warmup, r.opts,
-                                         ChunkStore::global());
+                                         ChunkStore::global(),
+                                         WarmStateStore::global());
     done.store(true, std::memory_order_relaxed);
     heartbeat.join();
 

@@ -117,4 +117,43 @@ Tact::stats() const
     return s;
 }
 
+void
+Tact::saveWarmState(StateSink &sink) const
+{
+    sink.tag(stateTag("TACT"));
+    sink.boolean(cross_ != nullptr);
+    if (cross_)
+        cross_->saveWarmState(sink);
+    sink.boolean(self_ != nullptr);
+    if (self_)
+        self_->saveWarmState(sink);
+    sink.boolean(feeder_ != nullptr);
+    if (feeder_)
+        feeder_->saveWarmState(sink);
+    sink.u64(codeStalls_);
+    sink.u64(codeLines_);
+}
+
+bool
+Tact::loadWarmState(StateSource &src)
+{
+    if (!src.expect(stateTag("TACT")))
+        return false;
+    if (src.boolean() != (cross_ != nullptr))
+        return false;
+    if (cross_ && !cross_->loadWarmState(src))
+        return false;
+    if (src.boolean() != (self_ != nullptr))
+        return false;
+    if (self_ && !self_->loadWarmState(src))
+        return false;
+    if (src.boolean() != (feeder_ != nullptr))
+        return false;
+    if (feeder_ && !feeder_->loadWarmState(src))
+        return false;
+    codeStalls_ = src.u64();
+    codeLines_ = src.u64();
+    return src.ok();
+}
+
 } // namespace catchsim

@@ -74,6 +74,18 @@ class Tact
      */
     void setWarming(bool warming) { warming_ = warming; }
 
+    /**
+     * Serializes every component's learning state — trigger caches,
+     * learner maps, feeder register tracking — plus the issue counters
+     * (they accumulate during warming and feed TactStats, so a restored
+     * run must report the same numbers a fresh warm would have).
+     */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream taken from a Tact built with
+     *  the same config; false on a malformed stream. */
+    bool loadWarmState(StateSource &src);
+
   private:
     Cycle issueData(Addr addr, Cycle now);
 

@@ -39,6 +39,13 @@ class TactCross
 
     uint64_t issued() const { return issued_; }
 
+    /** Serializes the trigger cache, learner maps and issue counter
+     *  (maps in ascending key order — deterministic bytes). */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream; false on a malformed one. */
+    bool loadWarmState(StateSource &src);
+
   private:
     struct TargetState
     {

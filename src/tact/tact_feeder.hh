@@ -25,6 +25,7 @@
 
 #include "common/sat_counter.hh"
 #include "common/sim_config.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 #include "trace/micro_op.hh"
 
@@ -59,6 +60,13 @@ class TactFeeder
 
     uint64_t issued() const { return issued_; }
     uint64_t feederRunaheads() const { return runaheads_; }
+
+    /** Serializes register tracking, learner/feeder maps (ascending key
+     *  order) and the issue counters. */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream; false on a malformed one. */
+    bool loadWarmState(StateSource &src);
 
   private:
     static constexpr int kNumScales = 4;

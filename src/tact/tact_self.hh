@@ -18,6 +18,7 @@
 
 #include "common/sat_counter.hh"
 #include "common/sim_config.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace catchsim
@@ -38,6 +39,12 @@ class TactSelf
     void dropTarget(Addr pc) { targets_.erase(pc); }
 
     uint64_t issued() const { return issued_; }
+
+    /** Serializes the learner map (ascending key order) + counter. */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream; false on a malformed one. */
+    bool loadWarmState(StateSource &src);
 
   private:
     struct TargetState

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/sim_config.hh"
+#include "common/state_io.hh"
 #include "common/types.hh"
 
 namespace catchsim
@@ -32,6 +33,12 @@ class TriggerCache
      * first. Empty if the page is not resident.
      */
     std::vector<Addr> candidates(Addr addr) const;
+
+    /** Serializes entries and the recency clock (warmed-state). */
+    void saveWarmState(StateSink &sink) const;
+
+    /** Restores a saveWarmState() stream; false on a malformed one. */
+    bool loadWarmState(StateSource &src);
 
   private:
     struct Entry

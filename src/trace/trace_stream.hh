@@ -127,7 +127,34 @@ class TraceStream
     /** Chunk refills that ran the kernel (with a store: misses). */
     uint64_t storeMisses() const { return storeMissChunks_; }
 
+    /** True when refills go through a chunk store — the only mode the
+     *  warmed-state snapshots support (see saveWarmState). */
+    bool storeBacked() const { return store_ != nullptr; }
+
+    /**
+     * Serializes the stream's consumer-visible state: the generated-op
+     * frontier and the full functional-memory image (setup structures
+     * plus every replayed store). Store-backed streams only: the legacy
+     * in-place generator cannot jump its kernel cursors, so snapshots
+     * are gated on the chunk store being enabled.
+     */
+    void saveWarmState(StateSink &sink) const;
+
+    /**
+     * Restores a saveWarmState() stream taken at the same (workload,
+     * total, chunk) identity: replaces the functional memory in place,
+     * re-fetches the ring chunks covering the restored frontier from
+     * the chunk store (regenerating on a store miss) WITHOUT replaying
+     * their stores — the restored memory already reflects every store
+     * before the frontier. @returns false on a malformed stream or when
+     * the stream is not store-backed.
+     */
+    bool loadWarmState(StateSource &src);
+
   private:
+    /** find-or-regenerate without the mem_ store replay (restore path). */
+    ChunkStore::ChunkPtr fetchChunkNoReplay(uint64_t index);
+
     void start();
     void generateChunk();
     void generateChunkFromStore();

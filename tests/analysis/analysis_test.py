@@ -32,6 +32,8 @@ EXPECTATIONS = {
     "unusedwaiver": None,  # clean by default; fails --check-waivers
     "stepalloc_transitive": "step-alloc-transitive",
     "warming": "warming-purity",
+    "snapshot_hot": "snapshot-hot-path",
+    "warm_digest": "warm-digest",
     "typedef_clock": "determinism-ast",
     "unordered_iter": "unordered-iter",
     "global_state": "global-state",

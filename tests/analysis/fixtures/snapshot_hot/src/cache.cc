@@ -1,0 +1,15 @@
+#include "cache.hh"
+
+void
+Cache::lookup(int addr)
+{
+    int sink = addr;
+    tables_.saveWarmState(sink); // serialization on the per-cycle path
+}
+
+void
+Checkpoint::capture()
+{
+    int sink = 0;
+    tables_.saveWarmState(sink); // run-boundary: legal
+}

@@ -1,0 +1,20 @@
+#pragma once
+#include "tables.hh"
+
+class Cache {
+  public:
+    void lookup(int addr);
+
+  private:
+    Tables tables_;
+};
+
+// Run-boundary checkpointing: legal caller of the serializer (the
+// negative control — not reachable from any per-cycle entry).
+class Checkpoint {
+  public:
+    void capture();
+
+  private:
+    Tables tables_;
+};

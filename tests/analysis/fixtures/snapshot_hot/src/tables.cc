@@ -1,0 +1,7 @@
+#include "tables.hh"
+
+void
+Tables::saveWarmState(int &sink) const
+{
+    sink = state_;
+}

@@ -1,0 +1,9 @@
+#pragma once
+
+class Tables {
+  public:
+    void saveWarmState(int &sink) const;
+
+  private:
+    int state_ = 0;
+};

@@ -1,0 +1,8 @@
+// Miniature digest: covers 'ways' but not 'newKnob'.
+unsigned long
+warmConfigDigest(const WarmConfig &cfg)
+{
+    unsigned long h = 1469598103934665603UL;
+    h = (h ^ cfg.ways) * 1099511628211UL;
+    return h;
+}

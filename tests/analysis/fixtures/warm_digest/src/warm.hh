@@ -1,0 +1,15 @@
+#pragma once
+
+struct WarmConfig {
+    unsigned ways = 8;
+    unsigned newKnob = 0;
+};
+
+class FastForward {
+  public:
+    void warm(int pos);
+
+  private:
+    WarmConfig cfg_;
+    int state_ = 0;
+};

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/fault_inject.hh"
+#include "sim/warm_state.hh"
 #include "trace/chunk_store.hh"
 #include "sim/configs.hh"
 #include "sim/experiment.hh"
@@ -49,10 +50,11 @@ mustParse(const std::string &spec)
 TEST(FaultSpec, KindNamesRoundTrip)
 {
     for (FaultKind k :
-         {FaultKind::TraceCorrupt, FaultKind::IoTransient,
-          FaultKind::WorkerThrow, FaultKind::Hang,
-          FaultKind::CrashAbort, FaultKind::CrashSegv, FaultKind::Oom,
-          FaultKind::ExecFail, FaultKind::HeartbeatStall}) {
+         {FaultKind::TraceCorrupt, FaultKind::StateCorrupt,
+          FaultKind::IoTransient, FaultKind::WorkerThrow,
+          FaultKind::Hang, FaultKind::CrashAbort, FaultKind::CrashSegv,
+          FaultKind::Oom, FaultKind::ExecFail,
+          FaultKind::HeartbeatStall}) {
         FaultPlan plan = mustParse(std::string(faultKindName(k)) + ":*");
         ASSERT_EQ(plan.clauses().size(), 1u);
         EXPECT_EQ(plan.clauses()[0].kind, k);
@@ -406,6 +408,73 @@ TEST(IsolatedExecution, InjectedChunkStoreCorruptionRegeneratesBitwise)
             ASSERT_TRUE(faulty[i].ok())
                 << names[i]
                 << ": cache corruption must stay store-internal";
+            expectBitwiseEqual(faulty[i].result, baseline[i].result);
+        }
+    }
+    EXPECT_GT(poisoned.stats().corrupt, 0u)
+        << "the injected corruption was actually exercised";
+    std::filesystem::remove_all(dir);
+}
+
+/**
+ * Disk-tier corruption injected through the reserved "warm-state-store"
+ * target: every warmed-state snapshot read from the cache dir fails its
+ * checks, so the store must drop each record and the run must fall back
+ * to functional warming. The campaign never observes a fault — zero
+ * failed slots, bitwise-identical sampled results — because a corrupt
+ * snapshot only costs the warm skip, never correctness.
+ */
+TEST(IsolatedExecution, InjectedWarmStateCorruptionRewarmsBitwise)
+{
+    const std::vector<std::string> names = {"mcf", "hmmer", "omnetpp",
+                                            "tpcc"};
+    SimConfig cfg = withCatch(baselineSkx());
+    cfg.sampling.mode = SampleMode::Sampled;
+
+    // Warm-state snapshots need a chunk-store-backed stream; one
+    // memory-tier chunk store serves every phase of this test.
+    ChunkStore::Config chunk_cfg;
+    ChunkStore chunks(chunk_cfg);
+    IsolationOptions base = optsWith(kNoFaults);
+    base.store = &chunks;
+    base.warmStore = nullptr; // baseline: no snapshot store attached
+    auto baseline = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                         base);
+    for (const auto &o : baseline)
+        ASSERT_TRUE(o.ok()) << o.workload;
+
+    const std::string dir =
+        ::testing::TempDir() + "fault_inject_warm_cache";
+    std::filesystem::remove_all(dir);
+    { // Populate the disk tier with intact snapshots first.
+        WarmStateStore::Config store_cfg;
+        store_cfg.diskDir = dir;
+        WarmStateStore warm(store_cfg);
+        IsolationOptions opts = optsWith(kNoFaults);
+        opts.store = &chunks;
+        opts.warmStore = &warm;
+        auto warmed = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 4,
+                                           opts);
+        for (size_t i = 0; i < names.size(); ++i)
+            expectBitwiseEqual(warmed[i].result, baseline[i].result);
+    }
+
+    FaultPlan plan = mustParse("state-corrupt:warm-state-store");
+    WarmStateStore::Config store_cfg;
+    store_cfg.diskDir = dir;
+    store_cfg.plan = &plan;
+    WarmStateStore poisoned(store_cfg);
+    for (unsigned jobs : {1u, 8u}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        IsolationOptions opts = optsWith(plan);
+        opts.store = &chunks;
+        opts.warmStore = &poisoned;
+        auto faulty = runWorkloadsIsolated(cfg, names, kInstr, kWarm,
+                                           jobs, opts);
+        for (size_t i = 0; i < names.size(); ++i) {
+            ASSERT_TRUE(faulty[i].ok())
+                << names[i]
+                << ": snapshot corruption must stay store-internal";
             expectBitwiseEqual(faulty[i].result, baseline[i].result);
         }
     }

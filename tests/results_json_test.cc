@@ -219,6 +219,58 @@ TEST(ResultsJson, HostPerfReportsPerRunStoreCounters)
     std::filesystem::remove(path);
 }
 
+TEST(ResultsJson, HostPerfReportsPerRunWarmStateCounters)
+{
+    // Same per-run contract for the warmed-state snapshot counters: a
+    // cold sampled run misses and publishes, a repeat run restores,
+    // and the export carries exactly this run's attribution.
+    SimConfig cfg = withCatch(baselineSkx());
+    cfg.sampling.mode = SampleMode::Sampled;
+    ExperimentEnv env;
+    env.names = {"mcf"};
+    env.instrs = kInstr;
+    env.warmup = kWarm;
+    ChunkStore chunks;
+    WarmStateStore warm_store;
+    IsolationOptions opts = optsWith(kNoFaults);
+    opts.profile = true;
+    opts.store = &chunks;
+    opts.warmStore = &warm_store;
+
+    auto cold = runWorkloadsIsolated(cfg, env.names, kInstr, kWarm, 1,
+                                     opts);
+    ASSERT_TRUE(cold[0].ok());
+    ASSERT_TRUE(cold[0].profile.has_value());
+    EXPECT_EQ(cold[0].profile->warmStateMisses, 1u);
+    EXPECT_EQ(cold[0].profile->warmStateHits, 0u);
+    EXPECT_GT(cold[0].profile->warmStateBytes, 0u);
+
+    auto warm = runWorkloadsIsolated(cfg, env.names, kInstr, kWarm, 1,
+                                     opts);
+    ASSERT_TRUE(warm[0].ok());
+    ASSERT_TRUE(warm[0].profile.has_value());
+    EXPECT_EQ(warm[0].profile->warmStateHits, 1u);
+    EXPECT_EQ(warm[0].profile->warmStateMisses, 0u)
+        << "a cumulative counter would still show the cold miss";
+    expectBitwiseEqual(warm[0].result, cold[0].result);
+
+    std::string path = ::testing::TempDir() + "warm_state_counters.json";
+    ASSERT_TRUE(writeSuiteJson(path, cfg, env, warm).ok());
+    auto doc = parseJson(readFile(path));
+    ASSERT_TRUE(doc.ok()) << (doc.ok() ? "" : doc.error().message);
+    const JsonValue *perf =
+        doc.value().member("results")->at(0)->member("hostPerf");
+    ASSERT_NE(perf, nullptr);
+    ASSERT_NE(perf->member("warm_state_hits"), nullptr);
+    ASSERT_NE(perf->member("warm_state_misses"), nullptr);
+    ASSERT_NE(perf->member("warm_state_bytes"), nullptr);
+    EXPECT_EQ(perf->member("warm_state_hits")->asU64(), 1u);
+    EXPECT_EQ(perf->member("warm_state_misses")->asU64(), 0u);
+    EXPECT_EQ(perf->member("warm_state_bytes")->asU64(),
+              warm[0].profile->warmStateBytes);
+    std::filesystem::remove(path);
+}
+
 TEST(ResultsJson, UnwritableDestinationIsAnError)
 {
     ExperimentEnv env;

@@ -21,6 +21,19 @@ contracts:
       object or calls into the timing model (Dram::*,
       IssueCalendar::*, OooCore::*). This turns the PR 5 "stats-free
       contract" test into a static guarantee.
+  snapshot-hot-path
+      No warmed-state serialization (any saveWarmState/loadWarmState)
+      is reachable from the per-cycle entry points. Snapshots are a
+      run-boundary operation; a serializer that creeps onto the hot
+      loop would re-serialize megabytes per step.
+  warm-digest
+      Every config field read on the warming-reachable call graph
+      (`cfg.x` / `cfg_.x` member reads; text frontend only) must
+      appear in warmConfigDigest() (src/sim/warm_state.cc), so a knob
+      that can shape warmed state is never silently excluded from the
+      snapshot key. Provably timing-only reads on flag-guarded
+      dual-mode code are waiverable; repos without a digest skip the
+      rule.
   determinism-ast
       Entropy/clock calls that reach through type aliases the line
       regexes cannot see (`using Clk = std::chrono::steady_clock;`
@@ -125,6 +138,17 @@ WARM_ENTRY_POINTS = (
 )
 # The timing model, off-limits from the warming path.
 TIMING_MODEL_RE = re.compile(r"^(Dram|IssueCalendar|OooCore)::")
+
+# Warmed-state serialization, off-limits from the per-cycle path.
+SNAPSHOT_FUNC_RE = re.compile(r"::(saveWarmState|loadWarmState)$")
+
+# A config-member read (`cfg.a.b` / `cfg_.x`); group 2 is the leaf
+# field, group 3 nonempty when it is a method call (derived value, not
+# a stored knob — its inputs are fields tracked at their own reads).
+CFG_READ_RE = re.compile(r"\bcfg_?\s*\.\s*((?:\w+\s*\.\s*)*)(\w+)\s*(\()?")
+
+# Where the snapshot-key digest lives; repos without it skip warm-digest.
+DIGEST_FILE = "src/sim/warm_state.cc"
 
 ALLOC_MEMBER_RE = re.compile(
     r"[.\->]\s*(push_back|emplace_back|emplace|emplace_front|"
@@ -539,6 +563,9 @@ def parse_text_file(prog: Program, rel: str, text: str) -> None:
                 var = re.split(r"\.|->", var)[-1]
                 if var in prog.unordered_vars:
                     f.events.append(("uiter", ln, var))
+            for m in CFG_READ_RE.finditer(line):
+                if not m.group(3):
+                    f.events.append(("cfgread", ln, m.group(2)))
 
 
 # ---------------------------------------------------------------------
@@ -1152,6 +1179,58 @@ class Analyzer:
                         f"-> {callee}) — warming consumes no simulated "
                         "time")
 
+    def check_snapshot_hot_path(self) -> None:
+        rule = "snapshot-hot-path"
+        chains = self._reach(rule, list(STEP_ENTRY_POINTS))
+        for qname, chain in sorted(chains.items()):
+            if not SNAPSHOT_FUNC_RE.search(qname):
+                continue
+            f = self.prog.funcs[qname]
+            path = " -> ".join(chain)
+            self.report(
+                f.file, f.line, rule,
+                f"{qname}() is reachable from per-cycle entry "
+                f"{chain[0]}() (path: {path}) — warmed-state "
+                "serialization is a run-boundary operation and must "
+                "stay off the hot loop")
+
+    def _digest_fields(self):
+        """Identifier tokens in warmConfigDigest()'s body, or None
+        when this tree carries no digest (rule skipped)."""
+        path = self.root / DIGEST_FILE
+        if not path.is_file():
+            return None
+        text = strip_comments_and_strings(
+            path.read_text(encoding="utf-8", errors="replace"))
+        m = re.search(r"^warmConfigDigest\s*\(", text, re.M)
+        if not m:
+            return None
+        end = text.find("\n}", m.end())
+        body = text[m.end():end if end >= 0 else len(text)]
+        return frozenset(re.findall(r"\w+", body))
+
+    def check_warm_digest(self) -> None:
+        rule = "warm-digest"
+        fields = self._digest_fields()
+        if fields is None:
+            return
+        chains = self._reach(rule, list(WARM_ENTRY_POINTS),
+                             cut=lambda q: TIMING_MODEL_RE.match(q))
+        for qname, chain in sorted(chains.items()):
+            f = self.prog.funcs[qname]
+            for kind, ln, leaf in f.events:
+                if kind != "cfgread" or leaf in fields:
+                    continue
+                path = " -> ".join(chain)
+                self.report(
+                    f.file, ln, rule,
+                    f"config field '{leaf}' is read in {qname}() on "
+                    f"the warming path (path: {path}) but does not "
+                    "appear in warmConfigDigest() — a knob that can "
+                    "shape warmed state must re-key the snapshot; "
+                    "extend the digest, or waive a provably "
+                    "timing-only read")
+
     def check_determinism_ast(self) -> None:
         for f in self.prog.funcs.values():
             if not f.file.startswith("src/"):
@@ -1215,6 +1294,8 @@ class Analyzer:
     def run(self, check_waivers: bool = False) -> int:
         self.check_step_alloc_transitive()
         self.check_warming_purity()
+        self.check_snapshot_hot_path()
+        self.check_warm_digest()
         self.check_determinism_ast()
         self.check_unordered_iter()
         self.check_global_state()

@@ -201,8 +201,9 @@ usage()
                  "[--jobs=N] [--profile] [--json=FILE]\n"
                  "                [--journal=DIR] [--isolate] "
                  "[--result-store=DIR] [--trace-store]\n"
-                 "                [--trace-cache-dir=DIR] [--list] "
-                 "<workload>...\n");
+                 "                [--trace-cache-dir=DIR] [--warm-state] "
+                 "[--warm-state-cache-dir=DIR]\n"
+                 "                [--list] <workload>...\n");
     std::exit(2);
 }
 
@@ -303,6 +304,16 @@ main(int argc, char **argv)
             // Same, plus a persistent on-disk tier shared across runs
             // and processes (CATCH_TRACE_CACHE).
             ::setenv("CATCH_TRACE_CACHE", value().c_str(), 1);
+        } else if (arg == "--warm-state") {
+            // Memoize warmed-state snapshots in memory for this process
+            // (CATCH_WARM_STATE); sampled runs with a chunk store skip
+            // the global functional warmup on repeat keys. Same lazy
+            // environment-read discipline as --trace-store.
+            ::setenv("CATCH_WARM_STATE", "1", 1);
+        } else if (arg.rfind("--warm-state-cache-dir=", 0) == 0) {
+            // Same, plus a persistent on-disk snapshot tier shared
+            // across runs and processes (CATCH_WARM_STATE_CACHE).
+            ::setenv("CATCH_WARM_STATE_CACHE", value().c_str(), 1);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage();

@@ -26,10 +26,18 @@ detailed run (the end-to-end memoized speedup) and, when --sampled is
 also given, against the cold/plain sampled run (the isolated
 memoization win). Informational only, like --sampled.
 
+--warm-state takes a warmed-state sampled document (bench_perf
+--mode=sampled --store=warm --warm-state=warm) and reports it against
+the detailed run (the end-to-end checkpointed speedup) and, when
+--sampled-warm is also given, against the chunk-store-only sampled run
+(the isolated warmed-state win on top of chunk memoization).
+Informational only, like --sampled.
+
 Usage: check_perf.py --current BENCH_PERF.json \
                      [--baseline bench/perf/BENCH_PERF.json] \
                      [--sampled BENCH_PERF_SAMPLED.json] \
                      [--sampled-warm BENCH_PERF_SAMPLED_WARM.json] \
+                     [--warm-state BENCH_PERF_WARM_STATE.json] \
                      [--tolerance 0.25]
 
 Exit status: 0 within tolerance, 1 regression, 2 bad input.
@@ -100,6 +108,11 @@ def main() -> int:
                     help="bench_perf --mode=sampled --store=warm "
                          "document; reported against --current and, if "
                          "given, --sampled (informational)")
+    ap.add_argument("--warm-state", type=Path, default=None,
+                    help="bench_perf --mode=sampled --store=warm "
+                         "--warm-state=warm document; reported against "
+                         "--current and, if given, --sampled-warm "
+                         "(informational)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional drop in the overall median")
     args = ap.parse_args()
@@ -123,12 +136,20 @@ def main() -> int:
     sampled = load(args.sampled) if args.sampled is not None else None
     if sampled is not None:
         report_sampled(cur, sampled)
+    warm = None
     if args.sampled_warm is not None:
         warm = load(args.sampled_warm)
         report_sampled(cur, warm, label="warm-store sampled vs detailed")
         if sampled is not None:
             report_sampled(sampled, warm,
                            label="warm-store vs cold-store sampled")
+    if args.warm_state is not None:
+        wstate = load(args.warm_state)
+        report_sampled(cur, wstate,
+                       label="warm-state sampled vs detailed")
+        if warm is not None:
+            report_sampled(warm, wstate,
+                           label="warm-state vs chunk-store-only sampled")
 
     b = base["median_kips_overall"]
     c = cur["median_kips_overall"]

@@ -89,6 +89,27 @@ run_expect 0 "$CLI" "${ARGS[@]}" --jobs=8 --journal="$WORK/journal" \
 python3 "$HERE/check_fault_matrix.py" \
     --clean "$WORK/clean.json" --resumed "$WORK/resumed.json"
 
+echo "== warm-state snapshot corruption is contained, results identical =="
+# Sampled baseline without any store, then a cold sampled campaign that
+# populates the on-disk chunk + snapshot tiers, then a rerun (fresh
+# process, so every snapshot comes off disk) with state-corrupt injected
+# into every warm-state read. Contract: corruption is warn + delete +
+# re-warm — exit 0, and all three exports are byte-identical. The store
+# trades only time, never results.
+run_expect 0 "$CLI" "${ARGS[@]}" --sample --jobs=8 \
+    --json="$WORK/ws_clean.json" "${NAMES[@]}"
+run_expect 0 "$CLI" "${ARGS[@]}" --sample --jobs=8 \
+    --trace-cache-dir="$WORK/ws_chunks" \
+    --warm-state-cache-dir="$WORK/ws_snaps" \
+    --json="$WORK/ws_cold.json" "${NAMES[@]}"
+run_expect 0 env CATCH_FAULT_INJECT='state-corrupt:warm-state-store' \
+    "$CLI" "${ARGS[@]}" --sample --jobs=8 \
+    --trace-cache-dir="$WORK/ws_chunks" \
+    --warm-state-cache-dir="$WORK/ws_snaps" \
+    --json="$WORK/ws_faulty.json" "${NAMES[@]}"
+cmp "$WORK/ws_clean.json" "$WORK/ws_cold.json"
+cmp "$WORK/ws_clean.json" "$WORK/ws_faulty.json"
+
 echo "== config errors exit 2 before any simulation =="
 run_expect 2 "$CLI" "${ARGS[@]}" no-such-workload mcf
 run_expect 2 "$CLI" "${ARGS[@]}" --journal=/dev/null/nested mcf

@@ -101,6 +101,7 @@ STEP_ALLOC_SCOPE = (
     "src/cache/cache.cc",
     "src/sim/fast_forward.cc",
     "src/trace/chunk_store.cc",
+    "src/sim/warm_state.cc",
 )
 STEP_ALLOC_SETUP_RE = re.compile(r"^(bind\w*|rewind|reset\w*)$")
 STEP_ALLOC_RE = re.compile(
