@@ -29,7 +29,8 @@
  * Usage:
  *   bench_perf [--out=FILE] [--reps=N] [--instr=N] [--warmup=N]
  *              [--mode=detailed|sampled] [--store=off|cold|warm]
- *              [--warm-state=off|cold|warm] [--quick]
+ *              [--warm-state=off|cold|warm] [--warm-windows=on|off]
+ *              [--sample-interval=N] [--quick]
  *
  * --store measures the memoized-generation pipeline (trace/chunk_store):
  * "cold" gives every timed rep a fresh empty store (pays generation plus
@@ -51,6 +52,24 @@
  * functional-warming phase to skip; under --mode=detailed the knob is
  * accepted but changes nothing. Results stay bitwise-identical in all
  * settings (pinned by tests/warm_state_test.cc).
+ *
+ * --warm-windows toggles the store's per-window mode (default on):
+ * "on" consults and publishes at every sampling-window boundary — the
+ * phase-2 store — so a warm rep fast-forwards snapshot to snapshot and
+ * executes only detailed windows; "off" reproduces the phase-1 store
+ * (global-warmup boundary only) for A/B measurement. The store's
+ * profitability gates stay at their defaults, so cells whose schedule
+ * slack sits under CATCH_WARM_STATE_MIN_GAP (the 20k-instr default
+ * schedule) or whose page map exceeds CATCH_WARM_STATE_MAX_PAGES
+ * (hpc.stream) report zero window traffic by design — the bench
+ * measures the shipped policy, not an ungated one. --sample-interval
+ * overrides SamplingConfig::intervalInstrs for every sampled cell, and
+ * warm-state runs add a "-longwarm" config variant (interval 100000)
+ * whose cells spend nearly all their trace span in warming — the regime
+ * the window-boundary snapshots target. Warm-state cells also report a
+ * per-cell "warm_state" object (hits/misses/bytes, global and window,
+ * summed over the timed reps) so check_perf.py --warm-state can report
+ * per-window hit rates alongside the speedups.
  *
  * Writes a JSON document (default BENCH_PERF.json) of the shape
  * check_perf.py consumes:
@@ -117,6 +136,9 @@ struct Cell
     double kipsMedian = 0;
     uint64_t peakRssBytes = 0;      ///< campaign-cumulative process peak
     uint64_t peakRssDeltaBytes = 0; ///< peak growth while this cell ran
+    /** Warm-state traffic summed over the timed reps (only filled —
+     *  and only exported — when --warm-state != off). */
+    RunProfile warm;
 };
 
 double
@@ -127,16 +149,32 @@ median(std::vector<double> v)
     return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
-/** One timed rep: a fresh Simulator + workload, full warmup+measure. */
+/** One timed rep: a fresh Simulator + workload, full warmup+measure.
+ *  When @p prof is non-null the run is guarded (unlimited budget — the
+ *  watchdog only observes, results stay bitwise-identical) so the
+ *  warm-state counters are attributable to this rep. */
 double
 timedRep(const SimConfig &cfg, const std::string &name, uint64_t instrs,
          uint64_t warmup, ChunkStore *store = nullptr,
-         WarmStateStore *warm_state = nullptr)
+         WarmStateStore *warm_state = nullptr, RunProfile *prof = nullptr)
 {
     auto wl = makeWorkload(name);
     Simulator sim(cfg, TraceMode::Streamed, store, warm_state);
     double t0 = wallSeconds();
-    SimResult r = sim.run(*wl, instrs, warmup);
+    SimResult r;
+    if (prof) {
+        auto guarded = sim.runGuarded(*wl, instrs, warmup,
+                                      RunBudget::unlimited(), prof);
+        if (!guarded.ok()) {
+            std::fprintf(stderr, "bench_perf: %s failed: %s\n",
+                         name.c_str(),
+                         guarded.error().message.c_str());
+            std::exit(1);
+        }
+        r = std::move(guarded).value();
+    } else {
+        r = sim.run(*wl, instrs, warmup);
+    }
     double sec = wallSeconds() - t0;
     if (cfg.sampling.sampled()) {
         // A sampled run reports only the measured-window instructions
@@ -181,6 +219,8 @@ main(int argc, char **argv)
     bool sampled = false;
     std::string store_mode = "off";
     std::string warm_state_mode = "off";
+    bool warm_windows = true;
+    uint64_t sample_interval = 0; // 0 = SamplingConfig default
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -222,6 +262,24 @@ main(int argc, char **argv)
                                      "off, cold, or warm\n");
                 return 2;
             }
+        } else if (arg.rfind("--warm-windows=", 0) == 0) {
+            std::string v = value();
+            if (v == "on") {
+                warm_windows = true;
+            } else if (v == "off") {
+                warm_windows = false;
+            } else {
+                std::fprintf(stderr, "bench_perf: --warm-windows must "
+                                     "be on or off\n");
+                return 2;
+            }
+        } else if (arg.rfind("--sample-interval=", 0) == 0) {
+            sample_interval = std::strtoull(value().c_str(), nullptr, 10);
+            if (sample_interval == 0) {
+                std::fprintf(stderr, "bench_perf: --sample-interval "
+                                     "must be positive\n");
+                return 2;
+            }
         } else if (arg == "--quick") {
             quick = true;
         } else {
@@ -230,7 +288,9 @@ main(int argc, char **argv)
                          "[--instr=N] [--warmup=N] "
                          "[--mode=detailed|sampled] "
                          "[--store=off|cold|warm] "
-                         "[--warm-state=off|cold|warm] [--quick]\n");
+                         "[--warm-state=off|cold|warm] "
+                         "[--warm-windows=on|off] "
+                         "[--sample-interval=N] [--quick]\n");
             return 2;
         }
     }
@@ -257,8 +317,22 @@ main(int argc, char **argv)
         withCatch(baselineSkx()),
     };
     if (sampled) {
-        for (SimConfig &cfg : configs)
+        for (SimConfig &cfg : configs) {
             cfg.sampling.mode = SampleMode::Sampled;
+            if (sample_interval)
+                cfg.sampling.intervalInstrs = sample_interval;
+        }
+        // Long-warming regime: with a 100k interval nearly the whole
+        // trace span is functional warming, which is exactly what the
+        // window-boundary snapshots memoize — the cell that separates
+        // phase 2 from phase 1.
+        if (warm_state_mode != "off") {
+            SimConfig lw = withCatch(baselineSkx());
+            lw.sampling.mode = SampleMode::Sampled;
+            lw.sampling.intervalInstrs = 100000;
+            lw.name += "-longwarm";
+            configs.push_back(lw);
+        }
     }
 
     std::vector<Cell> cells;
@@ -277,11 +351,14 @@ main(int argc, char **argv)
             if (store_mode == "warm")
                 warm_store = std::make_unique<ChunkStore>();
             // Same sharing discipline for the warmed-state store: the
-            // untimed warm rep publishes the snapshot a "warm" cell's
-            // timed reps restore.
+            // untimed warm rep publishes the snapshots a "warm" cell's
+            // timed reps restore. --warm-windows picks between the
+            // phase-2 (per-window) and phase-1 (global-only) store.
+            WarmStateStore::Config wcfg;
+            wcfg.perWindow = warm_windows;
             std::unique_ptr<WarmStateStore> warm_state_store;
             if (warm_state_mode == "warm")
-                warm_state_store = std::make_unique<WarmStateStore>();
+                warm_state_store = std::make_unique<WarmStateStore>(wcfg);
             timedRep(cfg, name, instrs, warmup, warm_store.get(),
                      warm_state_store.get()); // warm, untimed
             for (unsigned r = 0; r < reps; ++r) {
@@ -293,12 +370,27 @@ main(int argc, char **argv)
                                         : cold_store.get();
                 std::unique_ptr<WarmStateStore> cold_state_store;
                 if (warm_state_mode == "cold")
-                    cold_state_store = std::make_unique<WarmStateStore>();
+                    cold_state_store =
+                        std::make_unique<WarmStateStore>(wcfg);
                 WarmStateStore *wstate =
                     warm_state_mode == "warm" ? warm_state_store.get()
                                               : cold_state_store.get();
-                cell.kips.push_back(
-                    timedRep(cfg, name, instrs, warmup, store, wstate));
+                RunProfile rep_prof;
+                RunProfile *prof =
+                    warm_state_mode != "off" ? &rep_prof : nullptr;
+                cell.kips.push_back(timedRep(cfg, name, instrs, warmup,
+                                             store, wstate, prof));
+                if (prof) {
+                    cell.warm.warmStateHits += prof->warmStateHits;
+                    cell.warm.warmStateMisses += prof->warmStateMisses;
+                    cell.warm.warmStateBytes += prof->warmStateBytes;
+                    cell.warm.warmStateWindowHits +=
+                        prof->warmStateWindowHits;
+                    cell.warm.warmStateWindowMisses +=
+                        prof->warmStateWindowMisses;
+                    cell.warm.warmStateWindowBytes +=
+                        prof->warmStateWindowBytes;
+                }
             }
             cell.kipsMedian = median(cell.kips);
             cell.peakRssBytes = processPeakRssBytes();
@@ -331,7 +423,11 @@ main(int argc, char **argv)
                       (sampled ? "sampled" : "detailed") +
                       "\", \"store\": \"" + store_mode +
                       "\", \"warm_state\": \"" + warm_state_mode +
-                      "\", \"results\": [\n";
+                      "\", \"warm_windows\": \"" +
+                      (warm_windows ? "on" : "off") +
+                      "\", \"sample_interval\": " +
+                      std::to_string(sample_interval) +
+                      ", \"results\": [\n";
     for (size_t i = 0; i < cells.size(); ++i) {
         const Cell &c = cells[i];
         doc += "{\"workload\": \"" + c.workload + "\", \"config\": \"" +
@@ -345,7 +441,22 @@ main(int argc, char **argv)
         }
         doc += "], \"peak_rss_bytes\": " + std::to_string(c.peakRssBytes)
                + ", \"peak_rss_delta_bytes\": " +
-               std::to_string(c.peakRssDeltaBytes) + "}";
+               std::to_string(c.peakRssDeltaBytes);
+        if (warm_state_mode != "off") {
+            doc += ", \"warm_state\": {\"hits\": " +
+                   std::to_string(c.warm.warmStateHits) +
+                   ", \"misses\": " +
+                   std::to_string(c.warm.warmStateMisses) +
+                   ", \"bytes\": " +
+                   std::to_string(c.warm.warmStateBytes) +
+                   ", \"window_hits\": " +
+                   std::to_string(c.warm.warmStateWindowHits) +
+                   ", \"window_misses\": " +
+                   std::to_string(c.warm.warmStateWindowMisses) +
+                   ", \"window_bytes\": " +
+                   std::to_string(c.warm.warmStateWindowBytes) + "}";
+        }
+        doc += "}";
         doc += i + 1 < cells.size() ? ",\n" : "\n";
     }
     doc += "], \"median_kips_overall\": ";

@@ -1,23 +1,33 @@
 #include "mem/functional_memory.hh"
 
 #include <algorithm>
-#include <vector>
 
 namespace catchsim
 {
 
+/**
+ * Slow write path: resolves (and if necessary clones) the page, then
+ * write-validates the translation. A use_count() of 1 means no
+ * snapshot or sibling run holds this page, so in-place mutation is
+ * safe: the count can only grow through an existing handle, and the
+ * only other handle sources (the snapshot store, a published image)
+ * copy under their own locks from handles they already own.
+ */
 FunctionalMemory::Page *
-FunctionalMemory::pageFor(Addr addr)
+FunctionalMemory::writablePage(Addr page)
 {
-    Addr page = pageAddr(addr);
-    TlbEntry &e = tlb_[tlbIndex(page)];
-    if (e.page == page)
-        return e.data;
     auto it = pages_.find(page);
-    if (it == pages_.end())
-        it = pages_.emplace(page, Page()).first;
+    if (it == pages_.end()) {
+        it = pages_.emplace(page, std::make_shared<Page>()).first;
+    } else if (it->second.use_count() > 1) {
+        // Copy-on-write: the page is shared with a snapshot image;
+        // clone it so the snapshot stays bitwise-frozen.
+        it->second = std::make_shared<Page>(*it->second);
+    }
+    TlbEntry &e = tlb_[tlbIndex(page)];
     e.page = page;
-    e.data = &it->second;
+    e.wpage = page;
+    e.data = it->second.get();
     return e.data;
 }
 
@@ -32,7 +42,10 @@ FunctionalMemory::pageForConst(Addr addr) const
     if (it == pages_.end())
         return nullptr; // missing pages are not cached: they read as 0
     e.page = page;
-    e.data = const_cast<Page *>(&it->second);
+    // Read-only refill: the entry may be repurposed from another page,
+    // whose write validity must not leak onto this one.
+    e.wpage = ~Addr(0);
+    e.data = it->second.get();
     return e.data;
 }
 
@@ -48,46 +61,94 @@ FunctionalMemory::read(Addr addr) const
 void
 FunctionalMemory::write(Addr addr, uint64_t value)
 {
-    pageFor(addr)->words[(addr & (kPageBytes - 1)) >> 3] = value;
+    Addr page = pageAddr(addr);
+    TlbEntry &e = tlb_[tlbIndex(page)];
+    Page *p = e.wpage == page ? e.data : writablePage(page);
+    p->words[(addr & (kPageBytes - 1)) >> 3] = value;
+}
+
+FunctionalMemory::PageImage
+FunctionalMemory::snapshotPages() const
+{
+    PageImage image;
+    image.reserve(pages_.size());
+    // catch-analyze: allow(unordered-iter) entries are sorted below
+    for (const auto &kv : pages_)
+        image.emplace_back(kv.first, kv.second);
+    std::sort(image.begin(), image.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    // Every page is now shared with the image: drop write validity so
+    // the next write per page funnels through the clone check. Read
+    // translations stay cached — sharing moves no page.
+    for (auto &e : tlb_)
+        e.wpage = ~Addr(0);
+    return image;
 }
 
 void
-FunctionalMemory::saveWarmState(StateSink &sink) const
+FunctionalMemory::restorePages(const PageImage &image)
+{
+    pages_.clear();
+    pages_.reserve(image.size());
+    for (const auto &kv : image)
+        pages_.emplace(kv.first, kv.second);
+    // The old map's pages are gone; every cached translation is stale.
+    for (auto &e : tlb_)
+        e = TlbEntry();
+}
+
+void
+FunctionalMemory::savePages(const PageImage &image, StateSink &sink)
 {
     sink.tag(stateTag("FMEM"));
-    std::vector<Addr> addrs;
-    addrs.reserve(pages_.size());
-    // catch-analyze: allow(unordered-iter) keys are sorted below
-    for (const auto &kv : pages_)
-        addrs.push_back(kv.first);
-    std::sort(addrs.begin(), addrs.end());
-    sink.u64(addrs.size());
-    for (Addr a : addrs) {
-        sink.u64(a);
-        const Page &p = pages_.at(a);
-        for (uint64_t word : p.words)
+    sink.u64(image.size());
+    for (const auto &kv : image) {
+        sink.u64(kv.first);
+        for (uint64_t word : kv.second->words)
             sink.u64(word);
     }
 }
 
 bool
-FunctionalMemory::loadWarmState(StateSource &src)
+FunctionalMemory::loadPages(StateSource &src, PageImage *image)
 {
     if (!src.expect(stateTag("FMEM")))
         return false;
     uint64_t n = src.u64();
     if (!src.fits(n * (8 + kWordsPerPage * 8)))
         return false;
-    pages_.clear();
-    for (auto &e : tlb_)
-        e = TlbEntry();
+    image->clear();
+    image->reserve(n);
+    Addr prev = 0;
     for (uint64_t i = 0; i < n; ++i) {
         Addr a = src.u64();
-        Page &p = pages_[a];
-        for (auto &word : p.words)
+        if (i > 0 && a <= prev) {
+            src.fail(); // the section contract is strictly ascending
+            return false;
+        }
+        prev = a;
+        auto p = std::make_shared<Page>();
+        for (auto &word : p->words)
             word = src.u64();
+        image->emplace_back(a, std::move(p));
     }
     return src.ok();
+}
+
+void
+FunctionalMemory::saveWarmState(StateSink &sink) const
+{
+    savePages(snapshotPages(), sink);
+}
+
+bool
+FunctionalMemory::loadWarmState(StateSource &src)
+{
+    PageImage image;
+    if (!loadPages(src, &image))
+        return false;
+    restorePages(image);
+    return true;
 }
 
 } // namespace catchsim

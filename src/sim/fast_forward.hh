@@ -48,6 +48,17 @@ class FastForward
      * with the hierarchy clock pinned at @p now (warming consumes no
      * simulated time). @returns the first unwarmed position, which the
      * caller hands back to the core via OooCore::skipTo.
+     *
+     * Warming is associative over contiguous ranges: warm(p, a) then
+     * warm(p + a, b) derives bitwise the state of warm(p, a + b),
+     * because all warmed state (including the repeat filter) persists
+     * across calls and the pinned clock removes any time dependence.
+     * The simulator leans on both properties — it merges each period's
+     * trailing slack with the next period's leading offset into one
+     * contiguous gap, which is exactly the unit the warm-state store
+     * memoizes at window-boundary keys (sim/warm_state.hh), and the
+     * clamp makes a trailing gap at the trace end a no-op rather than
+     * an error.
      */
     size_t warm(size_t pos, uint64_t count, Cycle now);
 

@@ -567,6 +567,14 @@ writeSuiteJson(const std::string &path, const SimConfig &cfg,
                 w.field("warm_state_hits", o.profile->warmStateHits);
                 w.field("warm_state_misses", o.profile->warmStateMisses);
                 w.field("warm_state_bytes", o.profile->warmStateBytes);
+                // Window-boundary (inter-sample) snapshot traffic,
+                // split from the global-warmup counters above.
+                w.field("warm_state_window_hits",
+                        o.profile->warmStateWindowHits);
+                w.field("warm_state_window_misses",
+                        o.profile->warmStateWindowMisses);
+                w.field("warm_state_window_bytes",
+                        o.profile->warmStateWindowBytes);
                 w.close();
             }
             w.rawField("result", o.result.toJson());

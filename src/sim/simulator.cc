@@ -8,6 +8,7 @@
 #include "common/state_io.hh"
 #include "criticality/heuristic_detector.hh"
 #include "sim/fast_forward.hh"
+#include "sim/worker_proto.hh"
 #include "trace/suite.hh"
 #include "trace/trace_stream.hh"
 
@@ -24,18 +25,22 @@ namespace
  * place; DRAM and the resettable stats are deliberately absent
  * (untouched / reset at the boundary — see the WarmStateStore file
  * comment). The critical table IS included: its entries are still
- * untrained at the boundary, but warm fills query it through the
- * hierarchy's criticality callback and its cumulative query counters
- * are never reset, so skipping the warmup must restore them too.
+ * untrained at the global boundary, but warm fills query it through
+ * the hierarchy's criticality callback and its cumulative query
+ * counters are never reset, so skipping the warmup must restore them
+ * too. The functional-memory image travels beside the blob as
+ * copy-on-write shared pages (WarmSnapshot); taking it marks every
+ * live page shared, so the run's own later writes clone instead of
+ * mutating the published snapshot.
  */
-void
-saveWarmSnapshot(StateSink &sink, uint64_t boundary_pos,
-                 const TraceStream &stream,
+WarmSnapshot
+makeWarmSnapshot(uint64_t boundary_pos, const TraceStream &stream,
                  const CacheHierarchy &hierarchy,
                  const BranchPredictor &predictor,
                  const CriticalityDetector *detector, const Tact *tact,
                  const FastForward &ff)
 {
+    StateSink sink;
     sink.tag(stateTag("WSNP"));
     sink.u64(boundary_pos);
     stream.saveWarmState(sink);
@@ -48,18 +53,20 @@ saveWarmSnapshot(StateSink &sink, uint64_t boundary_pos,
     if (tact)
         tact->saveWarmState(sink);
     ff.saveWarmState(sink);
+    return WarmSnapshot{sink.take(), stream.mem()->snapshotPages()};
 }
 
 bool
-loadWarmSnapshot(StateSource &src, uint64_t *boundary_pos,
+loadWarmSnapshot(const WarmSnapshot &snap, uint64_t *boundary_pos,
                  TraceStream &stream, CacheHierarchy &hierarchy,
                  BranchPredictor &predictor, CriticalityDetector *detector,
                  Tact *tact, FastForward &ff)
 {
+    StateSource src(snap.bytes);
     if (!src.expect(stateTag("WSNP")))
         return false;
     *boundary_pos = src.u64();
-    if (!stream.loadWarmState(src))
+    if (!stream.loadWarmState(src, snap.pages))
         return false;
     if (!hierarchy.loadWarmState(src))
         return false;
@@ -243,15 +250,67 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
             acc.branch.targetWrong += w.branch.targetWrong;
         };
 
-        // Global warmup is warmed functionally — that is the point.
-        // With a warm-state store attached, that work is memoized: the
-        // warmed state at this boundary is a pure function of the key
-        // below, so a hit restores it and jumps the cursor instead of
-        // re-deriving it. Eligibility requires the chunk store (the
-        // stream restore re-fetches its ring window through it) and a
-        // nonzero warmup (nothing to memoize otherwise).
+        // Warming is memoized through the warm-state store when one is
+        // attached: the warmed state at a boundary is a pure function
+        // of the consulted key, so a hit restores it and jumps the
+        // cursor instead of re-deriving it. Eligibility requires the
+        // chunk store (the stream restore re-fetches its ring window
+        // through it) and a nonzero warmup (nothing to memoize
+        // otherwise); window-boundary keys additionally require the
+        // store's per-window mode (off reproduces phase 1) and a
+        // schedule whose inter-window slack amortizes the restore — a
+        // window restore costs a near-constant blob parse + O(pages)
+        // map adoption, so short-slack schedules re-warm faster than
+        // they restore (Config::minWindowGapInstrs). The gate moves
+        // only time, never results: restored and re-warmed state are
+        // bitwise identical by the store's contract.
+        const uint64_t slack =
+            sc.intervalInstrs - sc.warmupInstrs - sc.windowInstrs;
+        const bool window_eligible = warmStore_ && stream &&
+                                     stream->storeBacked() && warmup > 0 &&
+                                     warmStore_->perWindow() &&
+                                     slack >= warmStore_->minWindowGap();
         const bool warm_eligible = warmStore_ && stream &&
                                    stream->storeBacked() && warmup > 0;
+        // The state at a window boundary embeds the detailed windows
+        // executed before it, which every timing knob reaches — so
+        // window keys carry the FULL config digest plus the schedule
+        // digest, unlike the timing-blind global key.
+        const uint64_t full_digest =
+            window_eligible ? configDigest(cfg) : 0;
+        const uint64_t sched_digest =
+            window_eligible ? sampleScheduleDigest(sc) : 0;
+        auto window_key = [&](uint64_t boundary,
+                              uint64_t window_index) {
+            return WarmStateKey{workload.name(), workload.seed(),
+                                boundary,       instrs + warmup,
+                                stream->chunkOps(), full_digest,
+                                window_index,   sched_digest};
+        };
+        // Restore a found snapshot; on component-level rejection drop
+        // the record and fail transient — the retry re-warms cleanly.
+        auto restore = [&](const WarmStateKey &key,
+                           const WarmStateStore::SnapshotPtr &snap)
+            -> Expected<uint64_t> {
+            uint64_t boundary_pos = 0;
+            if (loadWarmSnapshot(*snap, &boundary_pos, *stream,
+                                 hierarchy, core.frontend().predictor(),
+                                 detector.get(), tact.get(), ff) &&
+                boundary_pos <= stream->size()) {
+                core.skipTo(boundary_pos);
+                return boundary_pos;
+            }
+            // The record passed its checksum but a component rejected
+            // it: a format drift this build cannot parse.
+            warmStore_->remove(key);
+            return simError(ErrorCategory::IoTransient,
+                            "warm-state snapshot for '", workload.name(),
+                            "' failed component restore — dropped; "
+                            "retry re-warms");
+        };
+
+        // Global warmup: consulted under the warm-only digest at
+        // windowIndex 0 so pure timing resweeps share it.
         WarmStateKey wkey;
         if (warm_eligible)
             wkey = WarmStateKey{workload.name(), workload.seed(), warmup,
@@ -259,32 +318,16 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
                                 warmConfigDigest(cfg)};
         bool restored = false;
         if (warm_eligible) {
-            if (WarmStateStore::BlobPtr blob = warmStore_->find(wkey)) {
-                StateSource src(*blob);
-                uint64_t boundary_pos = 0;
-                if (loadWarmSnapshot(src, &boundary_pos, *stream,
-                                     hierarchy,
-                                     core.frontend().predictor(),
-                                     detector.get(), tact.get(), ff) &&
-                    boundary_pos <= stream->size()) {
-                    core.skipTo(boundary_pos);
-                    sample.warmedInstrs += boundary_pos;
-                    restored = true;
-                    if (prof) {
-                        ++profile->warmStateHits;
-                        profile->warmStateBytes += blob->size();
-                    }
-                } else {
-                    // The record passed its checksum but a component
-                    // rejected it: a format drift this build cannot
-                    // parse. Drop it so a retry re-warms cleanly, and
-                    // fail transient — the retry succeeds.
-                    warmStore_->remove(wkey);
-                    return simError(ErrorCategory::IoTransient,
-                                    "warm-state snapshot for '",
-                                    workload.name(),
-                                    "' failed component restore — "
-                                    "dropped; retry re-warms");
+            if (WarmStateStore::SnapshotPtr snap =
+                    warmStore_->find(wkey)) {
+                auto pos = restore(wkey, snap);
+                if (!pos.ok())
+                    return pos.error();
+                sample.warmedInstrs += pos.value();
+                restored = true;
+                if (prof) {
+                    ++profile->warmStateHits;
+                    profile->warmStateBytes += snap->residentBytes();
                 }
             }
         }
@@ -294,16 +337,15 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
             core.skipTo(ff.warm(before, warmup, core.now()));
             sample.warmedInstrs += core.tracePos() - before;
             if (warm_eligible) {
-                StateSink sink;
-                saveWarmSnapshot(sink, core.tracePos(), *stream,
-                                 hierarchy,
-                                 core.frontend().predictor(),
-                                 detector.get(), tact.get(), ff);
+                WarmSnapshot snap = makeWarmSnapshot(
+                    core.tracePos(), *stream, hierarchy,
+                    core.frontend().predictor(), detector.get(),
+                    tact.get(), ff);
                 if (prof) {
                     ++profile->warmStateMisses;
-                    profile->warmStateBytes += sink.size();
+                    profile->warmStateBytes += snap.residentBytes();
                 }
-                warmStore_->put(wkey, sink.take());
+                warmStore_->put(wkey, std::move(snap));
             }
         }
         if (budget.limited())
@@ -320,16 +362,80 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
         // near the interval length, so the segment is staggered by a
         // Weyl sequence on the period index — deterministic, therefore
         // still bitwise-identical at any job count.
-        const uint64_t slack =
-            sc.intervalInstrs - sc.warmupInstrs - sc.windowInstrs;
+        //
+        // The warming between consecutive detailed segments — the
+        // previous period's trailing slack plus this period's leading
+        // offset — runs as ONE contiguous gap. Warming is associative
+        // over contiguous ranges (the filter state persists inside ff
+        // and core time never advances during warming), so the merged
+        // gap derives bitwise the state the split phases did; it is
+        // also exactly the unit the warm-state store memoizes at
+        // window-boundary keys, where most warming time goes at the
+        // default schedule. A sweep with a warm store fast-forwards
+        // snapshot to snapshot and executes only detailed segments.
+        uint64_t pending_post = 0;
         uint64_t period = 0;
         while (!core.done()) {
-            // Functional warming up to this period's detailed segment.
-            uint64_t pre =
+            // Functional warming up to this period's detailed segment
+            // (period 0's gap is empty: pre(0) = 0 by construction).
+            const uint64_t pre =
                 slack ? (period * 2654435761ULL) % (slack + 1) : 0;
-            if (pre) {
+            const uint64_t gap = pending_post + pre;
+            pending_post = slack - pre;
+            if (gap) {
                 before = core.tracePos();
-                core.skipTo(ff.warm(before, pre, core.now()));
+                // The gap's landing position is where ff.warm would
+                // stop: the snapshot boundary consulted below.
+                const uint64_t target =
+                    std::min<uint64_t>(before + gap, stream->size());
+                // Second eligibility gate, evaluated at the pre-gap
+                // position (which publisher and consumer reach with
+                // bitwise-identical state, so the decision is the same
+                // on both sides): once the page map outgrows the cap,
+                // the O(pages) adoption in restorePages() dominates
+                // the restore and re-warming is cheaper — page-heavy
+                // streaming workloads also warm fastest per
+                // instruction, compounding the loss.
+                const uint64_t page_cap = window_eligible
+                                              ? warmStore_->maxWindowPages()
+                                              : 0;
+                const bool window_gated =
+                    window_eligible &&
+                    (page_cap == 0 ||
+                     stream->mem()->pagesAllocated() <= page_cap);
+                bool gap_restored = false;
+                if (window_gated && target > before) {
+                    const WarmStateKey gkey = window_key(target, period);
+                    if (WarmStateStore::SnapshotPtr snap =
+                            warmStore_->find(gkey)) {
+                        auto pos = restore(gkey, snap);
+                        if (!pos.ok())
+                            return pos.error();
+                        gap_restored = true;
+                        if (prof) {
+                            ++profile->warmStateWindowHits;
+                            profile->warmStateWindowBytes +=
+                                snap->residentBytes();
+                        }
+                    }
+                }
+                if (!gap_restored) {
+                    core.skipTo(ff.warm(before, gap, core.now()));
+                    if (window_gated && target > before) {
+                        WarmSnapshot snap = makeWarmSnapshot(
+                            core.tracePos(), *stream, hierarchy,
+                            core.frontend().predictor(), detector.get(),
+                            tact.get(), ff);
+                        if (prof) {
+                            ++profile->warmStateWindowMisses;
+                            profile->warmStateWindowBytes +=
+                                snap.residentBytes();
+                        }
+                        warmStore_->put(window_key(core.tracePos(),
+                                                   period),
+                                        std::move(snap));
+                    }
+                }
                 sample.warmedInstrs += core.tracePos() - before;
                 if (budget.limited())
                     if (auto err =
@@ -376,17 +482,10 @@ Simulator::runGuarded(Workload &workload, uint64_t instrs, uint64_t warmup,
             sampled_frontend.codeStallCycles += fs.codeStallCycles;
             sampled_frontend.redirects += fs.redirects;
 
-            // Warm the rest of the period.
-            uint64_t post = slack - pre;
-            if (post) {
-                before = core.tracePos();
-                core.skipTo(ff.warm(before, post, core.now()));
-                sample.warmedInstrs += core.tracePos() - before;
-                if (budget.limited())
-                    if (auto err =
-                            wd.poll(core.now(), core.instrsDone()))
-                        return *err;
-            }
+            // The period's trailing slack is deferred into the next
+            // iteration's gap. A run that ends here leaves it unwarmed
+            // — exactly what the split loop did, whose trailing warm
+            // clamped to the trace end and added nothing.
             ++period;
         }
     }

@@ -138,10 +138,18 @@ struct RunProfile
      *  warm-state store is attached or the run is ineligible — not
      *  sampled, not stream+chunk-store backed, or zero warmup). A hit
      *  skipped the global functional warmup; a miss warmed and
-     *  published. Bytes counts the blob restored or published. */
+     *  published. Bytes counts the resident size (blob + page image)
+     *  restored or published. */
     uint64_t warmStateHits = 0;
     uint64_t warmStateMisses = 0;
     uint64_t warmStateBytes = 0;
+    /** Same attribution for the window-boundary (inter-sample) keys —
+     *  the phase-2 consults, separate from the global-warmup counters
+     *  above so a campaign's hit-rate report can tell the two regimes
+     *  apart. Zero when the store's per-window mode is off. */
+    uint64_t warmStateWindowHits = 0;
+    uint64_t warmStateWindowMisses = 0;
+    uint64_t warmStateWindowBytes = 0;
 };
 
 /** Runs one workload on one machine configuration. */
@@ -154,9 +162,10 @@ class Simulator
      *        via CATCH_TRACE_STORE / CATCH_TRACE_CACHE). Results are
      *        bitwise-identical with or without one.
      * @param warm_store memoized warmed-state snapshots: sampled runs
-     *        with a chunk store restore the global-warmup state instead
-     *        of re-deriving it functionally. Defaults to the
-     *        process-wide store (null unless enabled via
+     *        with a chunk store restore the global-warmup state — and,
+     *        in the store's per-window mode, every inter-sample warming
+     *        gap — instead of re-deriving them functionally. Defaults
+     *        to the process-wide store (null unless enabled via
      *        CATCH_WARM_STATE / CATCH_WARM_STATE_CACHE). Results are
      *        bitwise-identical with or without one.
      */

@@ -24,12 +24,21 @@ constexpr char kWarmStateMagic[6] = {'C', 'W', 'A', 'R', 'M', '\0'};
 
 // Fixed prefix of a snapshot record before the kernel-name bytes:
 // magic, u32 version, u64 seed, u64 boundary, u64 total, u64 chunk,
-// u64 digest, u32 name len.
+// u64 digest, u64 window index, u64 schedule digest, u32 name len.
 constexpr uint64_t kWarmHeaderBytes =
-    sizeof(kWarmStateMagic) + 4 + 8 + 8 + 8 + 8 + 8 + 4;
+    sizeof(kWarmStateMagic) + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 4;
 
 // After the name: u64 payload length, payload, u64 FNV-1a checksum.
+// The payload itself is [u64 blob len][blob bytes][u64 page count]
+// [(u64 page addr, 4096-byte raw page) x count], pages in strictly
+// ascending address order. Raw pages keep the record memcpy-parseable:
+// a restore allocates shared handles straight off the mapped buffer
+// with no per-word decode.
 constexpr uint64_t kWarmTrailerBytes = 8 + 8;
+
+// Per-page cost inside the payload: address + raw page data.
+constexpr uint64_t kPageRecordBytes =
+    8 + sizeof(FunctionalMemory::Page);
 
 void
 putBytes(std::vector<uint8_t> &out, size_t at, const void *src, size_t n)
@@ -66,6 +75,11 @@ hex16(uint64_t v)
  * catch_analyze warm-digest scope checks that exclusion list against
  * the warming call graph; extend this function whenever a new knob
  * becomes reachable from warmAccess/warmTrain/TACT-learning code.
+ *
+ * Only the global-warmup snapshot (windowIndex 0) uses this digest.
+ * Window-boundary snapshots carry the FULL config digest instead
+ * (worker_proto.hh configDigest): their state embeds detailed-window
+ * execution, which every timing knob reaches.
  */
 uint64_t
 warmConfigDigest(const SimConfig &cfg)
@@ -128,6 +142,27 @@ warmConfigDigest(const SimConfig &cfg)
     return fnv1a(s.bytes().data(), s.size());
 }
 
+/**
+ * Everything the window-boundary placement depends on: the mode plus
+ * the three schedule knobs. The per-period warming split (Weyl-
+ * staggered pre/post) is a pure function of these and the period
+ * index, so two runs with equal schedule digests place every detailed
+ * window — and therefore every window-boundary snapshot — at the same
+ * instruction positions.
+ */
+uint64_t
+sampleScheduleDigest(const SamplingConfig &sc)
+{
+    StateSink s;
+    // Layout salt: bumping the format version re-keys digests too.
+    s.u32(kWarmStateFormatVersion);
+    s.u8(static_cast<uint8_t>(sc.mode));
+    s.u64(sc.intervalInstrs);
+    s.u64(sc.windowInstrs);
+    s.u64(sc.warmupInstrs);
+    return fnv1a(s.bytes().data(), s.size());
+}
+
 // --- WarmStateStore -----------------------------------------------------
 
 WarmStateStore::WarmStateStore() : WarmStateStore(Config()) {}
@@ -156,7 +191,9 @@ WarmStateStore::mapKey(const WarmStateKey &key)
            std::to_string(key.boundaryOps) + '|' +
            std::to_string(key.totalOps) + '|' +
            std::to_string(key.chunkOps) + '|' +
-           std::to_string(key.configDigest);
+           std::to_string(key.configDigest) + '|' +
+           std::to_string(key.windowIndex) + '|' +
+           std::to_string(key.scheduleDigest);
 }
 
 std::string
@@ -167,10 +204,12 @@ WarmStateStore::diskPath(const WarmStateKey &key) const
            std::to_string(key.boundaryOps) + "-t" +
            std::to_string(key.totalOps) + "-c" +
            std::to_string(key.chunkOps) + "-d" + hex16(key.configDigest) +
-           "-v" + std::to_string(kWarmStateFormatVersion) + ".cws";
+           "-w" + std::to_string(key.windowIndex) + "-g" +
+           hex16(key.scheduleDigest) + "-v" +
+           std::to_string(kWarmStateFormatVersion) + ".cws";
 }
 
-WarmStateStore::BlobPtr
+WarmStateStore::SnapshotPtr
 WarmStateStore::find(const WarmStateKey &key)
 {
     const std::string mk = mapKey(key);
@@ -180,29 +219,33 @@ WarmStateStore::find(const WarmStateKey &key)
         if (it != map_.end()) {
             lru_.splice(lru_.begin(), lru_, it->second);
             ++stats_.hits;
-            return it->second->blob;
+            if (key.windowIndex > 0)
+                ++stats_.windowHits;
+            return it->second->snap;
         }
     }
     if (!cfg_.diskDir.empty()) {
         auto loaded = loadDiskChecked(key);
         if (loaded.ok()) {
-            BlobPtr b = std::move(loaded).value();
+            SnapshotPtr snap = std::move(loaded).value();
             std::lock_guard<std::mutex> lock(mu_);
             auto it = map_.find(mk);
             if (it != map_.end()) {
                 // A writer published while we read the file; serve the
                 // resident copy (the bytes are identical either way).
                 lru_.splice(lru_.begin(), lru_, it->second);
+                snap = it->second->snap;
             } else {
-                const size_t bytes = b->size();
-                lru_.push_front(Entry{mk, b, bytes}); // catch-lint: allow(step-alloc) once per restored snapshot, not per cycle
+                lru_.push_front(Entry{mk, snap}); // catch-lint: allow(step-alloc) once per restored snapshot, not per cycle
                 map_[mk] = lru_.begin();
-                residentBytes_ += bytes;
+                chargeLocked(*snap);
                 evictOverBudgetLocked();
             }
             ++stats_.hits;
             ++stats_.diskHits;
-            return b;
+            if (key.windowIndex > 0)
+                ++stats_.windowHits;
+            return snap;
         }
         const SimError &e = loaded.error();
         if (e.category == ErrorCategory::TraceCorrupt) {
@@ -217,37 +260,38 @@ WarmStateStore::find(const WarmStateKey &key)
     }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
+    if (key.windowIndex > 0)
+        ++stats_.windowMisses;
     return nullptr;
 }
 
-WarmStateStore::BlobPtr
-WarmStateStore::put(const WarmStateKey &key, std::string blob)
+WarmStateStore::SnapshotPtr
+WarmStateStore::put(const WarmStateKey &key, WarmSnapshot snap)
 {
     const std::string mk = mapKey(key);
-    BlobPtr b;
+    SnapshotPtr s;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = map_.find(mk);
         if (it != map_.end()) {
             // First writer wins; every writer holds identical bytes.
             lru_.splice(lru_.begin(), lru_, it->second);
-            return it->second->blob;
+            return it->second->snap;
         }
-        b = std::make_shared<const std::string>(std::move(blob)); // catch-lint: allow(step-alloc) once per published snapshot, not per cycle
-        const size_t bytes = b->size();
-        lru_.push_front(Entry{mk, b, bytes}); // catch-lint: allow(step-alloc) once per published snapshot, not per cycle
+        s = std::make_shared<const WarmSnapshot>(std::move(snap)); // catch-lint: allow(step-alloc) once per published snapshot, not per cycle
+        lru_.push_front(Entry{mk, s}); // catch-lint: allow(step-alloc) once per published snapshot, not per cycle
         map_[mk] = lru_.begin();
-        residentBytes_ += bytes;
+        chargeLocked(*s);
         ++stats_.puts;
         evictOverBudgetLocked();
     }
     if (!cfg_.diskDir.empty()) {
-        auto w = writeDisk(key, *b);
+        auto w = writeDisk(key, *s);
         if (!w.ok())
             warn(w.error().message,
                  " — disk tier skipped for this snapshot");
     }
-    return b;
+    return s;
 }
 
 void
@@ -258,7 +302,7 @@ WarmStateStore::remove(const WarmStateKey &key)
         std::lock_guard<std::mutex> lock(mu_);
         auto it = map_.find(mk);
         if (it != map_.end()) {
-            residentBytes_ -= it->second->bytes;
+            releaseLocked(*it->second->snap);
             lru_.erase(it->second);
             map_.erase(it);
         }
@@ -270,19 +314,43 @@ WarmStateStore::remove(const WarmStateKey &key)
 void
 WarmStateStore::evictOverBudgetLocked()
 {
-    // Never evict below one resident blob: the entry just inserted
+    // Never evict below one resident snapshot: the entry just inserted
     // must survive long enough to be returned to its requester.
     while (residentBytes_ > cfg_.memBudgetBytes && lru_.size() > 1) {
         const Entry &victim = lru_.back();
-        residentBytes_ -= victim.bytes;
+        releaseLocked(*victim.snap);
         map_.erase(victim.mapKey);
         lru_.pop_back();
         ++stats_.evictions;
     }
 }
 
+void
+WarmStateStore::chargeLocked(const WarmSnapshot &snap)
+{
+    residentBytes_ += snap.bytes.size() + snap.pages.size() * sizeof(Addr);
+    for (const auto &kv : snap.pages)
+        if (++pageRefs_[kv.second.get()] == 1)
+            residentBytes_ += sizeof(FunctionalMemory::Page);
+}
+
+void
+WarmStateStore::releaseLocked(const WarmSnapshot &snap)
+{
+    residentBytes_ -= snap.bytes.size() + snap.pages.size() * sizeof(Addr);
+    for (const auto &kv : snap.pages) {
+        auto it = pageRefs_.find(kv.second.get());
+        CATCHSIM_ASSERT(it != pageRefs_.end(),
+                        "releasing a page the store never charged");
+        if (--it->second == 0) {
+            pageRefs_.erase(it);
+            residentBytes_ -= sizeof(FunctionalMemory::Page);
+        }
+    }
+}
+
 Expected<void>
-WarmStateStore::writeDisk(const WarmStateKey &key, const std::string &blob)
+WarmStateStore::writeDisk(const WarmStateKey &key, const WarmSnapshot &snap)
 {
     const std::string path = diskPath(key);
     {
@@ -292,8 +360,10 @@ WarmStateStore::writeDisk(const WarmStateKey &key, const std::string &blob)
         if (probe)
             return {};
     }
+    const uint64_t payload_len = 8 + snap.bytes.size() + 8 +
+                                 snap.pages.size() * kPageRecordBytes;
     const uint64_t total = kWarmHeaderBytes + key.kernel.size() +
-                           kWarmTrailerBytes + blob.size();
+                           kWarmTrailerBytes + payload_len;
     std::vector<uint8_t> out(total);
     size_t at = 0;
     putBytes(out, at, kWarmStateMagic, sizeof(kWarmStateMagic));
@@ -311,16 +381,31 @@ WarmStateStore::writeDisk(const WarmStateKey &key, const std::string &blob)
     at += 8;
     putBytes(out, at, &key.configDigest, 8);
     at += 8;
+    putBytes(out, at, &key.windowIndex, 8);
+    at += 8;
+    putBytes(out, at, &key.scheduleDigest, 8);
+    at += 8;
     const uint32_t name_len = static_cast<uint32_t>(key.kernel.size());
     putBytes(out, at, &name_len, 4);
     at += 4;
     putBytes(out, at, key.kernel.data(), key.kernel.size());
     at += key.kernel.size();
-    const uint64_t payload_len = blob.size();
     putBytes(out, at, &payload_len, 8);
     at += 8;
-    putBytes(out, at, blob.data(), blob.size());
-    at += blob.size();
+    const uint64_t blob_len = snap.bytes.size();
+    putBytes(out, at, &blob_len, 8);
+    at += 8;
+    putBytes(out, at, snap.bytes.data(), snap.bytes.size());
+    at += snap.bytes.size();
+    const uint64_t page_count = snap.pages.size();
+    putBytes(out, at, &page_count, 8);
+    at += 8;
+    for (const auto &kv : snap.pages) {
+        putBytes(out, at, &kv.first, 8);
+        at += 8;
+        putBytes(out, at, kv.second->words, sizeof(FunctionalMemory::Page));
+        at += sizeof(FunctionalMemory::Page);
+    }
     const uint64_t sum = fnv1a(out.data(), at);
     putBytes(out, at, &sum, 8);
     at += 8;
@@ -353,7 +438,7 @@ WarmStateStore::writeDisk(const WarmStateKey &key, const std::string &blob)
     return {};
 }
 
-Expected<WarmStateStore::BlobPtr>
+Expected<WarmStateStore::SnapshotPtr>
 WarmStateStore::loadDiskChecked(const WarmStateKey &key)
 {
     const std::string path = diskPath(key);
@@ -362,12 +447,17 @@ WarmStateStore::loadDiskChecked(const WarmStateKey &key)
                         path, "': ", what...);
     };
     // Deterministic fault injection: the reserved "warm-state-store"
-    // target corrupts every disk read so CI can drive the containment
-    // path (drop + re-warm) without manufacturing real bit flips.
+    // target corrupts every disk read, and "warm-state-window" only the
+    // window-boundary (mid-campaign) ones, so CI can drive both
+    // containment paths (drop + re-warm) without real bit flips.
     if (cfg_.plan &&
         cfg_.plan->shouldInject(FaultKind::StateCorrupt,
                                 "warm-state-store"))
         return corrupt("injected warm-state corruption");
+    if (key.windowIndex > 0 && cfg_.plan &&
+        cfg_.plan->shouldInject(FaultKind::StateCorrupt,
+                                "warm-state-window"))
+        return corrupt("injected window-boundary corruption");
 
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
@@ -377,8 +467,8 @@ WarmStateStore::loadDiskChecked(const WarmStateKey &key)
     // workload), so only a lower bound is known before the header is
     // read; the checksum still covers every byte before anything in
     // the record is trusted.
-    const uint64_t least =
-        kWarmHeaderBytes + key.kernel.size() + kWarmTrailerBytes;
+    const uint64_t least = kWarmHeaderBytes + key.kernel.size() +
+                           kWarmTrailerBytes + 8 + 8;
     if (std::fseek(f.get(), 0, SEEK_END) != 0)
         return simError(ErrorCategory::IoTransient, "cannot seek in '",
                         path, "'");
@@ -425,12 +515,20 @@ WarmStateStore::loadDiskChecked(const WarmStateKey &key)
     uint64_t digest = 0;
     std::memcpy(&digest, buf.data() + at, 8);
     at += 8;
+    uint64_t window_index = 0;
+    std::memcpy(&window_index, buf.data() + at, 8);
+    at += 8;
+    uint64_t schedule_digest = 0;
+    std::memcpy(&schedule_digest, buf.data() + at, 8);
+    at += 8;
     uint32_t name_len = 0;
     std::memcpy(&name_len, buf.data() + at, 4);
     at += 4;
     if (seed != key.seed || boundary != key.boundaryOps ||
         total_ops != key.totalOps || chunk_ops != key.chunkOps ||
-        digest != key.configDigest || name_len != key.kernel.size() ||
+        digest != key.configDigest || window_index != key.windowIndex ||
+        schedule_digest != key.scheduleDigest ||
+        name_len != key.kernel.size() ||
         std::memcmp(buf.data() + at, key.kernel.data(), name_len) != 0)
         return corrupt("header does not match the requested key");
     at += name_len;
@@ -440,9 +538,41 @@ WarmStateStore::loadDiskChecked(const WarmStateKey &key)
     if (payload_len != buf.size() - at - 8)
         return corrupt("payload length ", payload_len,
                        " disagrees with the record size");
+    const size_t payload_end = at + payload_len;
 
-    return std::make_shared<const std::string>( // catch-lint: allow(step-alloc) once per restored snapshot, not per cycle
-        reinterpret_cast<const char *>(buf.data()) + at, payload_len);
+    uint64_t blob_len = 0;
+    std::memcpy(&blob_len, buf.data() + at, 8);
+    at += 8;
+    if (blob_len > payload_end - at - 8)
+        return corrupt("component blob length ", blob_len,
+                       " overruns the payload");
+    auto snap = std::make_shared<WarmSnapshot>(); // catch-lint: allow(step-alloc) once per restored snapshot, not per cycle
+    snap->bytes.assign( // catch-lint: allow(step-alloc) once per restored snapshot
+        reinterpret_cast<const char *>(buf.data()) + at, blob_len);
+    at += blob_len;
+    uint64_t page_count = 0;
+    std::memcpy(&page_count, buf.data() + at, 8);
+    at += 8;
+    if (payload_end - at != page_count * kPageRecordBytes)
+        return corrupt("page section of ", payload_end - at,
+                       " bytes disagrees with page count ", page_count);
+    snap->pages.reserve(page_count); // catch-lint: allow(step-alloc) sized once per restored snapshot
+    Addr prev = 0;
+    for (uint64_t i = 0; i < page_count; ++i) {
+        Addr a = 0;
+        std::memcpy(&a, buf.data() + at, 8);
+        at += 8;
+        if (i > 0 && a <= prev)
+            return corrupt("page addresses are not strictly ascending");
+        prev = a;
+        auto p = std::make_shared<FunctionalMemory::Page>(); // catch-lint: allow(step-alloc) once per restored page, off the per-cycle path
+        std::memcpy(p->words, buf.data() + at,
+                    sizeof(FunctionalMemory::Page));
+        at += sizeof(FunctionalMemory::Page);
+        snap->pages.emplace_back(a, std::move(p)); // catch-lint: allow(step-alloc) fills the reservation above
+    }
+
+    return SnapshotPtr(std::move(snap));
 }
 
 WarmStateStore::Stats
@@ -473,6 +603,11 @@ WarmStateStore::global()
         Config cfg;
         cfg.memBudgetBytes = envU64("CATCH_WARM_STATE_MB", 128) << 20;
         cfg.diskDir = dir;
+        cfg.perWindow = envU64("CATCH_WARM_STATE_WINDOWS", 1) != 0;
+        cfg.minWindowGapInstrs =
+            envU64("CATCH_WARM_STATE_MIN_GAP", cfg.minWindowGapInstrs);
+        cfg.maxWindowPages =
+            envU64("CATCH_WARM_STATE_MAX_PAGES", cfg.maxWindowPages);
         cfg.plan = &FaultPlan::global();
         return new WarmStateStore(std::move(cfg)); // catch-lint: allow(raw-new-delete) intentionally leaked process singleton
     }();

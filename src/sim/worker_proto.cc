@@ -567,6 +567,12 @@ buildWorkerResult(const RunOutcome &out)
             w.field("warm_state_hits", out.profile->warmStateHits);
             w.field("warm_state_misses", out.profile->warmStateMisses);
             w.field("warm_state_bytes", out.profile->warmStateBytes);
+            w.field("warm_state_window_hits",
+                    out.profile->warmStateWindowHits);
+            w.field("warm_state_window_misses",
+                    out.profile->warmStateWindowMisses);
+            w.field("warm_state_window_bytes",
+                    out.profile->warmStateWindowBytes);
             w.close();
         }
     } else {
@@ -634,6 +640,10 @@ parseWorkerResult(const std::string &json)
             hp.u64("warm_state_hits", prof.warmStateHits);
             hp.u64("warm_state_misses", prof.warmStateMisses);
             hp.u64("warm_state_bytes", prof.warmStateBytes);
+            hp.u64("warm_state_window_hits", prof.warmStateWindowHits);
+            hp.u64("warm_state_window_misses",
+                   prof.warmStateWindowMisses);
+            hp.u64("warm_state_window_bytes", prof.warmStateWindowBytes);
             if (err)
                 return *err;
             out.profile = prof;

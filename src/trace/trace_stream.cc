@@ -142,11 +142,11 @@ TraceStream::saveWarmState(StateSink &sink) const
     sink.u64(total_);
     sink.u64(chunk_);
     sink.u64(genEnd_);
-    mem_->saveWarmState(sink);
 }
 
 bool
-TraceStream::loadWarmState(StateSource &src)
+TraceStream::loadWarmState(StateSource &src,
+                           const FunctionalMemory::PageImage &pages)
 {
     if (!store_ || !src.expect(stateTag("TSTR")))
         return false;
@@ -155,33 +155,44 @@ TraceStream::loadWarmState(StateSource &src)
     const uint64_t gen_end = src.u64();
     if (gen_end > total_ || gen_end < std::min(total_, 2 * chunk_))
         return false;
-    if (!mem_->loadWarmState(src))
+    if (!src.ok())
         return false;
+    mem_->restorePages(pages);
 
-    // Re-materialize the ring window [gen_end - 2*chunk, gen_end): the
-    // consumer's position is always inside it (one refill of slack).
-    // Stores are NOT replayed — the restored memory image already
-    // reflects every store before the frontier.
-    const double t0 = genClock_ ? genClock_() : 0;
-    const size_t begin = gen_end > 2 * chunk_ ? gen_end - 2 * chunk_ : 0;
-    const uint64_t first_idx = begin / chunk_;
-    const uint64_t last_idx = (gen_end - 1) / chunk_;
-    for (uint64_t idx = first_idx; idx <= last_idx; ++idx) {
-        ChunkStore::ChunkPtr c = fetchChunkNoReplay(idx);
-        if (!c || c->size() != chunk_)
-            return false;
-        const size_t lo = std::max(begin, static_cast<size_t>(idx) * chunk_);
-        const size_t hi = std::min(static_cast<size_t>(gen_end),
-                                   (static_cast<size_t>(idx) + 1) * chunk_);
-        for (size_t i = lo; i < hi; ++i)
-            ring_[i & mask_] = (*c)[i - static_cast<size_t>(idx) * chunk_];
+    // The ring content is a pure function of the generated-op frontier
+    // (chunks are canonical), so a restore whose frontier matches the
+    // live one — common at window boundaries once the trace is fully
+    // generated — keeps the resident window as-is.
+    if (gen_end != genEnd_) {
+        // Re-materialize the ring window [gen_end - 2*chunk, gen_end):
+        // the consumer's position is always inside it (one refill of
+        // slack). Stores are NOT replayed — the restored memory image
+        // already reflects every store before the frontier.
+        const double t0 = genClock_ ? genClock_() : 0;
+        const size_t begin =
+            gen_end > 2 * chunk_ ? gen_end - 2 * chunk_ : 0;
+        const uint64_t first_idx = begin / chunk_;
+        const uint64_t last_idx = (gen_end - 1) / chunk_;
+        for (uint64_t idx = first_idx; idx <= last_idx; ++idx) {
+            ChunkStore::ChunkPtr c = fetchChunkNoReplay(idx);
+            if (!c || c->size() != chunk_)
+                return false;
+            const size_t lo =
+                std::max(begin, static_cast<size_t>(idx) * chunk_);
+            const size_t hi = std::min(static_cast<size_t>(gen_end),
+                                       (static_cast<size_t>(idx) + 1) *
+                                           chunk_);
+            for (size_t i = lo; i < hi; ++i)
+                ring_[i & mask_] =
+                    (*c)[i - static_cast<size_t>(idx) * chunk_];
+        }
+        if (genClock_)
+            genSeconds_ += genClock_() - t0;
     }
-    if (genClock_)
-        genSeconds_ += genClock_() - t0;
 
     genEnd_ = gen_end;
     refillAt_ = genEnd_ >= total_ ? ~size_t(0) : genEnd_ - chunk_;
-    return src.ok();
+    return true;
 }
 
 void

@@ -133,23 +133,31 @@ class TraceStream
 
     /**
      * Serializes the stream's consumer-visible state: the generated-op
-     * frontier and the full functional-memory image (setup structures
-     * plus every replayed store). Store-backed streams only: the legacy
-     * in-place generator cannot jump its kernel cursors, so snapshots
-     * are gated on the chunk store being enabled.
+     * frontier (total, chunk, genEnd). The functional-memory image
+     * travels separately as a copy-on-write page image — see
+     * WarmSnapshot — so restores share pages instead of reparsing
+     * them. Store-backed streams only: the legacy in-place generator
+     * cannot jump its kernel cursors, so snapshots are gated on the
+     * chunk store being enabled.
      */
     void saveWarmState(StateSink &sink) const;
 
     /**
      * Restores a saveWarmState() stream taken at the same (workload,
-     * total, chunk) identity: replaces the functional memory in place,
-     * re-fetches the ring chunks covering the restored frontier from
-     * the chunk store (regenerating on a store miss) WITHOUT replaying
-     * their stores — the restored memory already reflects every store
-     * before the frontier. @returns false on a malformed stream or when
-     * the stream is not store-backed.
+     * total, chunk) identity: adopts @p pages into the functional
+     * memory in place (the mem() address — TACT-Feeder's value source —
+     * is preserved, and the snapshot's pages stay frozen: the memory
+     * clones on first write), then re-fetches the ring chunks covering
+     * the restored frontier from the chunk store (regenerating on a
+     * store miss) WITHOUT replaying their stores — the restored memory
+     * already reflects every store before the frontier. When the live
+     * frontier already equals the snapshot's, the ring is bitwise
+     * up-to-date (its content is a pure function of the frontier) and
+     * the re-fetch is skipped. @returns false on a malformed stream or
+     * when the stream is not store-backed.
      */
-    bool loadWarmState(StateSource &src);
+    bool loadWarmState(StateSource &src,
+                       const FunctionalMemory::PageImage &pages);
 
   private:
     /** find-or-regenerate without the mem_ store replay (restore path). */

@@ -93,6 +93,34 @@ class CatchAnalyzeFixtures(unittest.TestCase):
         # path's business: only the edge into Dram is a finding.
         self.assertNotIn("dram.cc", proc.stdout)
 
+    def test_snapshot_hot_path_covers_the_page_image_half(self):
+        # The COW page-image serializers (restorePages et al.) are
+        # run-boundary operations exactly like the blob serializers:
+        # both callees in Cache::lookup are findings, and neither of
+        # Checkpoint::capture's calls is.
+        proc = run_analyzer(FIXTURES / "snapshot_hot")
+        findings = [l for l in proc.stdout.splitlines()
+                    if "[snapshot-hot-path]" in l]
+        self.assertEqual(len(findings), 2, proc.stdout)
+        self.assertTrue(any("saveWarmState" in l for l in findings),
+                        proc.stdout)
+        self.assertTrue(any("restorePages" in l for l in findings),
+                        proc.stdout)
+        self.assertNotIn("Checkpoint", proc.stdout,
+                         "run-boundary callers must stay legal")
+
+    def test_warm_digest_honors_the_schedule_digest(self):
+        # A schedule knob covered by sampleScheduleDigest() must stay
+        # quiet; only the knob neither digest covers is a finding.
+        proc = run_analyzer(FIXTURES / "warm_digest")
+        findings = [l for l in proc.stdout.splitlines()
+                    if "[warm-digest]" in l]
+        self.assertEqual(len(findings), 1, proc.stdout)
+        self.assertIn("newKnob", findings[0])
+        self.assertNotIn("intervalInstrs", proc.stdout,
+                         "schedule-digest-covered knobs must stay "
+                         "legal")
+
     def test_typedef_clock_names_the_alias(self):
         proc = run_analyzer(FIXTURES / "typedef_clock")
         self.assertIn("alias 'Clk'", proc.stdout)

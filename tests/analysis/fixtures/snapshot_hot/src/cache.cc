@@ -5,6 +5,7 @@ Cache::lookup(int addr)
 {
     int sink = addr;
     tables_.saveWarmState(sink); // serialization on the per-cycle path
+    tables_.restorePages(sink);  // page-image restore: same violation
 }
 
 void
@@ -12,4 +13,5 @@ Checkpoint::capture()
 {
     int sink = 0;
     tables_.saveWarmState(sink); // run-boundary: legal
+    tables_.restorePages(sink);  // run-boundary: legal
 }

@@ -5,3 +5,9 @@ Tables::saveWarmState(int &sink) const
 {
     sink = state_;
 }
+
+void
+Tables::restorePages(const int &pages)
+{
+    state_ = pages;
+}

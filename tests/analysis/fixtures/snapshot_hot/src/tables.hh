@@ -3,6 +3,7 @@
 class Tables {
   public:
     void saveWarmState(int &sink) const;
+    void restorePages(const int &pages);
 
   private:
     int state_ = 0;

@@ -1,8 +1,17 @@
-// Miniature digest: covers 'ways' but not 'newKnob'.
+// Miniature digests: warmConfigDigest covers 'ways', the schedule
+// digest covers 'intervalInstrs'; neither covers 'newKnob'.
 unsigned long
 warmConfigDigest(const WarmConfig &cfg)
 {
     unsigned long h = 1469598103934665603UL;
     h = (h ^ cfg.ways) * 1099511628211UL;
+    return h;
+}
+
+unsigned long
+sampleScheduleDigest(const WarmConfig &cfg)
+{
+    unsigned long h = 1469598103934665603UL;
+    h = (h ^ cfg.intervalInstrs) * 1099511628211UL;
     return h;
 }

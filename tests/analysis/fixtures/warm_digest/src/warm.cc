@@ -3,8 +3,11 @@
 void
 FastForward::warm(int pos)
 {
-    // 'ways' is in the digest: quiet. 'newKnob' is a warming-visible
-    // knob the digest forgot: the finding.
+    // 'ways' is in the digest: quiet. 'intervalInstrs' is covered by
+    // the schedule digest (the window-boundary re-key): also quiet.
+    // 'newKnob' is a warming-visible knob both digests forgot: the
+    // finding.
     state_ += pos % static_cast<int>(cfg_.ways);
+    state_ += static_cast<int>(cfg_.intervalInstrs);
     state_ += static_cast<int>(cfg_.newKnob);
 }

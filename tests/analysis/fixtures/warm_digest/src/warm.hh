@@ -3,6 +3,7 @@
 struct WarmConfig {
     unsigned ways = 8;
     unsigned newKnob = 0;
+    unsigned intervalInstrs = 20000;
 };
 
 class FastForward {

@@ -24,10 +24,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -112,6 +114,24 @@ sampledCfg(SimConfig cfg)
     cfg.sampling.intervalInstrs = 5000;
     cfg.sampling.windowInstrs = 2000;
     cfg.sampling.warmupInstrs = 2000;
+    return cfg;
+}
+
+/**
+ * Store config with the window-eligibility gates disabled. The test
+ * schedule above has a 1000-instruction slack — far below the default
+ * minWindowGapInstrs floor, which exists because restoring a window
+ * snapshot only pays off against long warming gaps. The functional
+ * contract under test (bitwise equivalence, counter attribution,
+ * record purity) must hold whenever windows memoize, so these tests
+ * opt out of the profitability heuristic.
+ */
+WarmStateStore::Config
+ungatedWindows()
+{
+    WarmStateStore::Config cfg;
+    cfg.minWindowGapInstrs = 0;
+    cfg.maxWindowPages = 0;
     return cfg;
 }
 
@@ -264,8 +284,8 @@ TEST(WarmStateLru, BudgetFloorKeepsTheNewestSnapshotResident)
     ASSERT_NE(b, nullptr);
     EXPECT_EQ(store.stats().evictions, 1u);
     EXPECT_EQ(store.find(wkeyAt(0)), nullptr);
-    // Shared ownership keeps an evicted-then-reheld blob valid.
-    EXPECT_EQ(a->size(), 256u);
+    // Shared ownership keeps an evicted-then-reheld snapshot valid.
+    EXPECT_EQ(a->bytes.size(), 256u);
 }
 
 // ------------------------ Disk tier ------------------------------
@@ -316,11 +336,12 @@ TEST(WarmStateDisk, RoundTripServesWarmStartAcrossStoreInstances)
     auto loaded = reader.loadDiskChecked(wkeyAt(0));
     ASSERT_TRUE(loaded.ok())
         << (loaded.ok() ? "" : loaded.error().message);
-    EXPECT_EQ(*loaded.value(), blob);
+    EXPECT_EQ(loaded.value()->bytes, blob);
+    EXPECT_TRUE(loaded.value()->pages.empty());
 
     auto hit = reader.find(wkeyAt(0));
     ASSERT_NE(hit, nullptr);
-    EXPECT_EQ(*hit, blob);
+    EXPECT_EQ(hit->bytes, blob);
     auto s = reader.stats();
     EXPECT_EQ(s.diskHits, 1u);
     EXPECT_EQ(s.hits, 1u);
@@ -573,8 +594,28 @@ TEST(WarmStateComponents, EveryWarmedComponentRoundTripsByteIdentical)
     ff2.bind(stream2);
 
     // Snapshot order: the stream first (TACT's feeder reads its
-    // functional memory), then the independent components.
-    expectRoundTrip(stream, stream2, "TraceStream");
+    // functional memory), then the independent components. The stream
+    // round-trips in two pieces: the frontier blob through the sink,
+    // and the memory as a COW page image the restore adopts.
+    {
+        StateSink a;
+        stream.saveWarmState(a);
+        EXPECT_GT(a.size(), 0u) << "TraceStream";
+        FunctionalMemory::PageImage pages = stream.mem()->snapshotPages();
+        StateSource src(a.bytes());
+        ASSERT_TRUE(stream2.loadWarmState(src, pages)) << "TraceStream";
+        EXPECT_TRUE(src.exhausted())
+            << "TraceStream: loader must consume its whole section";
+        StateSink b;
+        stream2.saveWarmState(b);
+        EXPECT_EQ(a.bytes(), b.bytes()) << "TraceStream";
+        // The adopted image serializes identically from both memories:
+        // the restore shared pages, it did not reinterpret them.
+        StateSink ma, mb;
+        FunctionalMemory::savePages(pages, ma);
+        FunctionalMemory::savePages(stream2.mem()->snapshotPages(), mb);
+        EXPECT_EQ(ma.bytes(), mb.bytes()) << "TraceStream memory image";
+    }
     expectRoundTrip(hierarchy, hierarchy2, "CacheHierarchy");
     expectRoundTrip(predictor, predictor2, "BranchPredictor");
     expectRoundTrip(table, table2, "CriticalTable");
@@ -611,8 +652,10 @@ TEST(WarmStateComponents, SnapshotBlobIsAPureFunctionOfTheKey)
 {
     // Two independent cold runs in separate processes-worth of state
     // must publish byte-identical records at the same deterministic
-    // path — the property that makes sharing a disk tier across
-    // machines and runs sound.
+    // paths — the property that makes sharing a disk tier across
+    // machines and runs sound. With per-window keys a single sampled
+    // run publishes the global-warmup snapshot plus one record per
+    // inter-window gap; every one of them must reproduce.
     SimConfig cfg = sampledCfg(withCatch(baselineSkx()));
     const std::vector<std::string> names = {"mcf"};
     std::vector<std::string> dirs;
@@ -620,27 +663,35 @@ TEST(WarmStateComponents, SnapshotBlobIsAPureFunctionOfTheKey)
         const std::string dir =
             freshDir("warm_state_pure_" + std::to_string(rep));
         ChunkStore chunks;
-        WarmStateStore::Config store_cfg;
+        WarmStateStore::Config store_cfg = ungatedWindows();
         store_cfg.diskDir = dir;
         WarmStateStore warm(store_cfg);
         auto out = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
                                         optsWithStores(&chunks, &warm));
         ASSERT_TRUE(out[0].ok());
-        EXPECT_EQ(warm.stats().puts, 1u);
+        EXPECT_GE(warm.stats().puts, 2u)
+            << "expected the global snapshot plus window boundaries";
         dirs.push_back(dir);
     }
-    std::vector<std::filesystem::path> records;
+    std::vector<std::vector<std::filesystem::path>> records;
     for (const auto &dir : dirs) {
         std::vector<std::filesystem::path> files;
         for (const auto &e : std::filesystem::directory_iterator(dir))
             files.push_back(e.path());
-        ASSERT_EQ(files.size(), 1u) << dir;
-        records.push_back(files[0]);
+        std::sort(files.begin(), files.end());
+        ASSERT_GE(files.size(), 2u) << dir;
+        records.push_back(std::move(files));
     }
-    EXPECT_EQ(records[0].filename(), records[1].filename())
-        << "the record path is part of the deterministic contract";
-    EXPECT_EQ(readAll(records[0]), readAll(records[1]))
-        << "independent warms must serialize bitwise-identical state";
+    ASSERT_EQ(records[0].size(), records[1].size())
+        << "both runs must publish the same snapshot set";
+    for (size_t i = 0; i < records[0].size(); ++i) {
+        EXPECT_EQ(records[0][i].filename(), records[1][i].filename())
+            << "the record path is part of the deterministic contract";
+        EXPECT_EQ(readAll(records[0][i]), readAll(records[1][i]))
+            << records[0][i].filename()
+            << ": independent warms must serialize bitwise-identical "
+               "state";
+    }
     for (const auto &dir : dirs)
         std::filesystem::remove_all(dir);
 }
@@ -663,10 +714,10 @@ expectWarmStateEquivalence(const SimConfig &cfg)
     const std::string dir =
         freshDir(std::string("warm_state_equiv_") + cfg.name);
     ChunkStore chunks; // warm-state eligibility needs a store-backed stream
-    WarmStateStore::Config disk_cfg;
+    WarmStateStore::Config disk_cfg = ungatedWindows();
     disk_cfg.diskDir = dir;
     WarmStateStore warm(disk_cfg); // shared across job counts: stays warm
-    WarmStateStore::Config tiny_cfg;
+    WarmStateStore::Config tiny_cfg = ungatedWindows();
     tiny_cfg.memBudgetBytes = 1; // evicts after every insertion
     WarmStateStore evicting(tiny_cfg);
 
@@ -677,7 +728,7 @@ expectWarmStateEquivalence(const SimConfig &cfg)
                                         optsWithStores(&chunks, nullptr));
         EXPECT_EQ(campaignHash(off), golden);
 
-        WarmStateStore cold;
+        WarmStateStore cold(ungatedWindows());
         auto with_cold =
             runWorkloadsIsolated(cfg, names, kInstr, kWarm, jobs,
                                  optsWithStores(&chunks, &cold));
@@ -767,7 +818,7 @@ TEST(WarmStateEquivalence, PerRunProfileCountersAttributeHitsAndMisses)
     SimConfig cfg = sampledCfg(withCatch(baselineSkx()));
     const std::vector<std::string> names = {"mcf"};
     ChunkStore chunks;
-    WarmStateStore store;
+    WarmStateStore store(ungatedWindows());
     IsolationOptions opts = optsWithStores(&chunks, &store);
     opts.profile = true;
 
@@ -777,6 +828,11 @@ TEST(WarmStateEquivalence, PerRunProfileCountersAttributeHitsAndMisses)
     EXPECT_EQ(cold[0].profile->warmStateMisses, 1u);
     EXPECT_EQ(cold[0].profile->warmStateHits, 0u);
     EXPECT_GT(cold[0].profile->warmStateBytes, 0u);
+    // Window-boundary attribution is split from the global counters:
+    // the cold run misses (and publishes) every inter-window gap.
+    EXPECT_GT(cold[0].profile->warmStateWindowMisses, 0u);
+    EXPECT_EQ(cold[0].profile->warmStateWindowHits, 0u);
+    EXPECT_GT(cold[0].profile->warmStateWindowBytes, 0u);
 
     auto warm = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1, opts);
     ASSERT_TRUE(warm[0].ok());
@@ -787,7 +843,214 @@ TEST(WarmStateEquivalence, PerRunProfileCountersAttributeHitsAndMisses)
     EXPECT_EQ(warm[0].profile->warmStateBytes,
               cold[0].profile->warmStateBytes)
         << "hit and miss account the same snapshot";
+    EXPECT_EQ(warm[0].profile->warmStateWindowHits,
+              cold[0].profile->warmStateWindowMisses)
+        << "every gap the cold run published must restore warm";
+    EXPECT_EQ(warm[0].profile->warmStateWindowMisses, 0u);
+    EXPECT_EQ(warm[0].profile->warmStateWindowBytes,
+              cold[0].profile->warmStateWindowBytes);
     expectBitwiseEqual(warm[0].result, cold[0].result);
+}
+
+TEST(WarmStateEquivalence, PerWindowOffReproducesPhaseOneBehaviour)
+{
+    // Config.perWindow = false is the phase-1 store: only the global
+    // boundary is consulted, campaigns still hash identical, and no
+    // window counters move.
+    SimConfig cfg = sampledCfg(withCatch(baselineSkx()));
+    const std::vector<std::string> names = {"mcf"};
+    ChunkStore chunks;
+    auto baseline = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                         optsWithStores(&chunks, nullptr));
+    const uint64_t golden = campaignHash(baseline);
+
+    WarmStateStore::Config p1_cfg;
+    p1_cfg.perWindow = false;
+    WarmStateStore p1(p1_cfg);
+    IsolationOptions opts = optsWithStores(&chunks, &p1);
+    opts.profile = true;
+    for (int rep = 0; rep < 2; ++rep) {
+        auto out = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                        opts);
+        ASSERT_TRUE(out[0].ok());
+        EXPECT_EQ(campaignHash(out), golden);
+        ASSERT_TRUE(out[0].profile.has_value());
+        EXPECT_EQ(out[0].profile->warmStateWindowHits, 0u);
+        EXPECT_EQ(out[0].profile->warmStateWindowMisses, 0u);
+        EXPECT_EQ(out[0].profile->warmStateWindowBytes, 0u);
+    }
+    auto s = p1.stats();
+    EXPECT_EQ(s.puts, 1u) << "phase 1 publishes only the global snapshot";
+    EXPECT_EQ(s.windowHits, 0u);
+    EXPECT_EQ(s.windowMisses, 0u);
+}
+
+TEST(WarmStateEquivalence, EligibilityGatesSkipUnprofitableWindows)
+{
+    // A window restore costs a near-constant blob parse plus an
+    // O(pages) map adoption, so it only pays against long warming
+    // gaps over modest page maps. Both gates must leave results
+    // bitwise-identical — they redirect the simulator to re-warm,
+    // which derives the same state — while keeping window records
+    // out of the store.
+    SimConfig cfg = sampledCfg(withCatch(baselineSkx()));
+    const std::vector<std::string> names = {"mcf"};
+    ChunkStore chunks;
+    auto baseline = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                         optsWithStores(&chunks, nullptr));
+    const uint64_t golden = campaignHash(baseline);
+
+    // Default config: the test schedule's 1000-instruction slack is
+    // below the minWindowGapInstrs floor, so only the global-warmup
+    // snapshot is published — phase-1 behaviour without opting out
+    // of perWindow.
+    {
+        WarmStateStore gated;
+        auto out = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                        optsWithStores(&chunks, &gated));
+        ASSERT_TRUE(out[0].ok());
+        EXPECT_EQ(campaignHash(out), golden);
+        EXPECT_EQ(gated.stats().puts, 1u)
+            << "a sub-floor slack must not publish window records";
+        EXPECT_EQ(gated.stats().windowMisses, 0u);
+    }
+
+    // Page cap: with the slack floor lifted but a 1-page cap, mcf's
+    // multi-thousand-page map disqualifies every gap.
+    {
+        WarmStateStore::Config capped = ungatedWindows();
+        capped.maxWindowPages = 1;
+        WarmStateStore store(capped);
+        auto out = runWorkloadsIsolated(cfg, names, kInstr, kWarm, 1,
+                                        optsWithStores(&chunks, &store));
+        ASSERT_TRUE(out[0].ok());
+        EXPECT_EQ(campaignHash(out), golden);
+        EXPECT_EQ(store.stats().puts, 1u)
+            << "an over-cap page map must not publish window records";
+        EXPECT_EQ(store.stats().windowMisses, 0u);
+    }
+}
+
+// ---------------------- COW aliasing safety ----------------------
+
+/** Serializes whatever `find(key)` currently holds, for before/after
+ *  comparisons that prove restored runs never mutate the snapshot. */
+std::string
+snapshotImageBytes(WarmStateStore &store, const WarmStateKey &key)
+{
+    auto snap = store.find(key);
+    EXPECT_NE(snap, nullptr);
+    StateSink sink;
+    FunctionalMemory::savePages(snap->pages, sink);
+    return sink.take();
+}
+
+TEST(WarmStateCow, RestoredRunsNeverMutateTheResidentSnapshot)
+{
+    // Single-process multi-slot variant: several runs restore the same
+    // resident snapshot concurrently-shared pages and then write to
+    // them; the store's view (and each sibling's) must stay frozen.
+    // Campaign equivalence implies this; the targeted variant pins the
+    // sharing mechanics directly at the memory layer.
+    FunctionalMemory warmed;
+    for (Addr a = 0; a < 16 * kPageBytes; a += 64)
+        warmed.write(a, a ^ 0x5aa5);
+
+    WarmStateStore store;
+    const WarmStateKey key = wkeyAt(0);
+    store.put(key, WarmSnapshot{"blob", warmed.snapshotPages()});
+    const std::string before = snapshotImageBytes(store, key);
+
+    // The publisher's own later writes must clone, not leak through.
+    warmed.write(0, 0xdead);
+
+    // Two sibling slots restore the same snapshot and diverge.
+    auto snap = store.find(key);
+    ASSERT_NE(snap, nullptr);
+    FunctionalMemory slot_a, slot_b;
+    slot_a.restorePages(snap->pages);
+    slot_b.restorePages(snap->pages);
+    slot_a.write(0, 0x1111);
+    slot_a.write(5 * kPageBytes, 0x2222);
+    EXPECT_EQ(slot_b.read(0), 0u ^ 0x5aa5)
+        << "a sibling slot's view must not see another slot's writes";
+    EXPECT_EQ(slot_b.read(5 * kPageBytes), (5 * kPageBytes) ^ 0x5aa5);
+    slot_b.write(0, 0x3333);
+    EXPECT_EQ(slot_a.read(0), 0x1111u);
+
+    EXPECT_EQ(snapshotImageBytes(store, key), before)
+        << "the resident snapshot must be bitwise-frozen under "
+           "publisher and restored-run writes";
+}
+
+TEST(WarmStateCow, DiskReplayedSnapshotIsIsolatedFromRestoredWrites)
+{
+    // Cross-process variant: a snapshot replayed from the disk tier by
+    // a fresh store must also be isolated from a restored run's writes
+    // (fresh pages allocated off the record, then COW-shared onward).
+    const std::string dir = freshDir("warm_state_cow_disk");
+    FunctionalMemory warmed;
+    for (Addr a = 0; a < 8 * kPageBytes; a += 128)
+        warmed.write(a, ~a);
+    const WarmStateKey key = wkeyAt(3);
+    {
+        WarmStateStore::Config cfg;
+        cfg.diskDir = dir;
+        WarmStateStore writer(cfg);
+        writer.put(key, WarmSnapshot{"blob", warmed.snapshotPages()});
+    }
+    WarmStateStore::Config cfg;
+    cfg.diskDir = dir;
+    WarmStateStore reader(cfg);
+    const std::string before = snapshotImageBytes(reader, key);
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+
+    auto snap = reader.find(key);
+    ASSERT_NE(snap, nullptr);
+    FunctionalMemory run;
+    run.restorePages(snap->pages);
+    for (Addr a = 0; a < 8 * kPageBytes; a += kPageBytes)
+        run.write(a, 0xfeed);
+    EXPECT_EQ(snapshotImageBytes(reader, key), before)
+        << "writes after a disk replay must clone, not mutate";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(WarmStateCow, ConcurrentRestoresOfOneSnapshotAreRaceFree)
+{
+    // TSan stress: many threads restore the same resident snapshot and
+    // immediately write every page. Refcount traffic on the shared
+    // handles and the clone-on-first-write path must be data-race free
+    // (shared_ptr counts are atomic; a count of 1 proves exclusivity).
+    constexpr size_t kPages = 32;
+    FunctionalMemory warmed;
+    for (Addr a = 0; a < kPages * kPageBytes; a += 8)
+        warmed.write(a, a * 2654435761ULL);
+
+    WarmStateStore store;
+    const WarmStateKey key = wkeyAt(7);
+    store.put(key, WarmSnapshot{"blob", warmed.snapshotPages()});
+    const std::string before = snapshotImageBytes(store, key);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&store, &key, t]() {
+            auto snap = store.find(key);
+            ASSERT_NE(snap, nullptr);
+            FunctionalMemory run;
+            run.restorePages(snap->pages);
+            for (Addr a = 0; a < kPages * kPageBytes; a += kPageBytes) {
+                // Reads see the warmed values, writes stay private.
+                ASSERT_EQ(run.read(a + 8), (a + 8) * 2654435761ULL);
+                run.write(a, 0x1000u + static_cast<uint64_t>(t));
+            }
+            for (Addr a = 0; a < kPages * kPageBytes; a += kPageBytes)
+                ASSERT_EQ(run.read(a), 0x1000u + static_cast<uint64_t>(t));
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(snapshotImageBytes(store, key), before);
 }
 
 } // namespace

@@ -22,18 +22,20 @@ contracts:
       IssueCalendar::*, OooCore::*). This turns the PR 5 "stats-free
       contract" test into a static guarantee.
   snapshot-hot-path
-      No warmed-state serialization (any saveWarmState/loadWarmState)
-      is reachable from the per-cycle entry points. Snapshots are a
-      run-boundary operation; a serializer that creeps onto the hot
-      loop would re-serialize megabytes per step.
+      No warmed-state serialization (any saveWarmState/loadWarmState,
+      or the page-image half: snapshotPages/restorePages/savePages/
+      loadPages) is reachable from the per-cycle entry points.
+      Snapshots are a run-boundary operation; a serializer that creeps
+      onto the hot loop would re-serialize megabytes per step.
   warm-digest
       Every config field read on the warming-reachable call graph
       (`cfg.x` / `cfg_.x` member reads; text frontend only) must
-      appear in warmConfigDigest() (src/sim/warm_state.cc), so a knob
-      that can shape warmed state is never silently excluded from the
-      snapshot key. Provably timing-only reads on flag-guarded
-      dual-mode code are waiverable; repos without a digest skip the
-      rule.
+      appear in warmConfigDigest() (src/sim/warm_state.cc) — or in
+      sampleScheduleDigest(), which re-keys the window-boundary
+      snapshots on the schedule knobs — so a knob that can shape
+      warmed state is never silently excluded from the snapshot key.
+      Provably timing-only reads on flag-guarded dual-mode code are
+      waiverable; repos without a digest skip the rule.
   determinism-ast
       Entropy/clock calls that reach through type aliases the line
       regexes cannot see (`using Clk = std::chrono::steady_clock;`
@@ -139,8 +141,14 @@ WARM_ENTRY_POINTS = (
 # The timing model, off-limits from the warming path.
 TIMING_MODEL_RE = re.compile(r"^(Dram|IssueCalendar|OooCore)::")
 
-# Warmed-state serialization, off-limits from the per-cycle path.
-SNAPSHOT_FUNC_RE = re.compile(r"::(saveWarmState|loadWarmState)$")
+# Warmed-state serialization, off-limits from the per-cycle path. The
+# page-image half of a snapshot travels through snapshotPages/
+# restorePages (copy-on-write handles) and savePages/loadPages (disk
+# records); all four are run-boundary operations like the blob
+# serializers.
+SNAPSHOT_FUNC_RE = re.compile(
+    r"::(saveWarmState|loadWarmState|snapshotPages|restorePages|"
+    r"savePages|loadPages)$")
 
 # A config-member read (`cfg.a.b` / `cfg_.x`); group 2 is the leaf
 # field, group 3 nonempty when it is a method call (derived value, not
@@ -1195,19 +1203,27 @@ class Analyzer:
                 "stay off the hot loop")
 
     def _digest_fields(self):
-        """Identifier tokens in warmConfigDigest()'s body, or None
-        when this tree carries no digest (rule skipped)."""
+        """Identifier tokens in warmConfigDigest()'s body — unioned
+        with sampleScheduleDigest()'s when present, since the schedule
+        knobs re-key the window-boundary snapshots through that second
+        digest — or None when this tree carries no digest (rule
+        skipped)."""
         path = self.root / DIGEST_FILE
         if not path.is_file():
             return None
         text = strip_comments_and_strings(
             path.read_text(encoding="utf-8", errors="replace"))
-        m = re.search(r"^warmConfigDigest\s*\(", text, re.M)
-        if not m:
-            return None
-        end = text.find("\n}", m.end())
-        body = text[m.end():end if end >= 0 else len(text)]
-        return frozenset(re.findall(r"\w+", body))
+        fields: set[str] = set()
+        found = False
+        for func in ("warmConfigDigest", "sampleScheduleDigest"):
+            m = re.search(rf"^{func}\s*\(", text, re.M)
+            if not m:
+                continue
+            found = True
+            end = text.find("\n}", m.end())
+            body = text[m.end():end if end >= 0 else len(text)]
+            fields.update(re.findall(r"\w+", body))
+        return frozenset(fields) if found else None
 
     def check_warm_digest(self) -> None:
         rule = "warm-digest"

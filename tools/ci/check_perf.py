@@ -31,7 +31,13 @@ memoization win). Informational only, like --sampled.
 the detailed run (the end-to-end checkpointed speedup) and, when
 --sampled-warm is also given, against the chunk-store-only sampled run
 (the isolated warmed-state win on top of chunk memoization).
-Informational only, like --sampled.
+Informational only, like --sampled. When the document carries per-cell
+"warm_state" counters (bench_perf emits them for --warm-state runs),
+the per-window hit rates — global-warmup and window-boundary consults
+attributed separately — are reported alongside the speedups; cells
+without a detailed counterpart (the "-longwarm" variant bench_perf adds
+for warm-state runs) still get their hit rates even though the speedup
+pairing skips them.
 
 Usage: check_perf.py --current BENCH_PERF.json \
                      [--baseline bench/perf/BENCH_PERF.json] \
@@ -93,6 +99,35 @@ def report_sampled(detailed: dict, sampled: dict,
         print(f"{label} speedup median: {med:.2f}x over {n} cells")
 
 
+def rate(hits: int, misses: int) -> str:
+    total = hits + misses
+    if total == 0:
+        return "  n/a"
+    return f"{100.0 * hits / total:4.0f}%"
+
+
+def report_warm_state(doc: dict) -> None:
+    """Per-cell warm-state hit rates, global vs window-boundary.
+
+    Informational; tolerates cells without the "warm_state" object
+    (documents from a bench_perf predating the counters, or runs with
+    --warm-state=off)."""
+    rows = [(k, r["warm_state"]) for k, r in sorted(cells(doc).items())
+            if "warm_state" in r]
+    if not rows:
+        return
+    print("warm-state hit rates (global | window-boundary, "
+          "informational):")
+    for (workload, config), w in rows:
+        g = rate(w["hits"], w["misses"])
+        win = rate(w["window_hits"], w["window_misses"])
+        print(f"  {workload:<12} {config:<30} global {g} "
+              f"({w['hits']}/{w['hits'] + w['misses']})  "
+              f"window {win} "
+              f"({w['window_hits']}/"
+              f"{w['window_hits'] + w['window_misses']})")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     repo = Path(__file__).resolve().parents[2]
@@ -150,6 +185,7 @@ def main() -> int:
         if warm is not None:
             report_sampled(warm, wstate,
                            label="warm-state vs chunk-store-only sampled")
+        report_warm_state(wstate)
 
     b = base["median_kips_overall"]
     c = cur["median_kips_overall"]
